@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+The full-length scenario runs are expensive (a 240-second simulated LAN
+run); they execute once per session and the per-panel benchmarks consume
+the cached result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure4 import Figure4, run_figure4
+from repro.experiments.figure5 import Figure5, run_figure5
+
+
+@pytest.fixture(scope="session")
+def figure4() -> Figure4:
+    return run_figure4()
+
+
+@pytest.fixture(scope="session")
+def figure5() -> Figure5:
+    return run_figure5()
+
+
+def show(text: str) -> None:
+    """Print a report block, visibly separated in pytest output."""
+    print()
+    print(text)

@@ -1,0 +1,102 @@
+"""A-1..A-4 — ablations over the Section 4.2 tuning knobs."""
+
+from conftest import show
+
+from repro.experiments.ablations import (
+    ablate_buffer_size,
+    ablate_emergency,
+    ablate_fd_timeout,
+    ablate_sync_interval,
+    ablation_table,
+)
+
+
+def test_a1_buffer_size(benchmark):
+    """Smaller buffers cover a shorter irregularity period."""
+    rows = benchmark.pedantic(
+        lambda: ablate_buffer_size((10, 37, 74)), rounds=1, iterations=1
+    )
+    show(ablation_table(rows, "A-1 — software buffer size").render())
+    by_value = {row.value: row for row in rows}
+    # The paper-sized buffer keeps the viewer unaware of both events.
+    assert by_value["37"].stall_s <= 0.5
+    # A tiny buffer degrades (more skips or visible stalls).
+    tiny, paper = by_value["10"], by_value["37"]
+    assert (
+        tiny.stall_s > paper.stall_s
+        or tiny.skipped + tiny.overflow > paper.skipped + paper.overflow
+    )
+    # An oversized buffer is no worse for continuity.
+    assert by_value["74"].stall_s <= by_value["37"].stall_s + 0.5
+
+
+def test_a2_emergency_quota(benchmark):
+    """Without the decaying refill, buffers recover too slowly and a
+    second irregularity would hit them empty."""
+    rows = benchmark.pedantic(
+        lambda: ablate_emergency(), rounds=1, iterations=1
+    )
+    show(ablation_table(rows, "A-2 — emergency refill quota").render())
+    by_value = {row.value: row for row in rows}
+    none, paper = by_value["no refill"], by_value["paper (q=12/6)"]
+    aggressive = by_value["aggressive (q=24/12)"]
+    # The paper config keeps playback smooth.
+    assert paper.stall_s <= 0.5
+    # No refill is never better on continuity and lacks the overflow
+    # signature; an aggressive refill overflows more.
+    assert none.overflow <= paper.overflow
+    assert aggressive.overflow >= paper.overflow
+
+
+def test_a3_sync_interval(benchmark):
+    """Tighter sync shrinks duplicate transmission at migrations but
+    costs proportionally more control traffic."""
+    rows = benchmark.pedantic(
+        lambda: ablate_sync_interval((0.25, 0.5, 2.0)), rounds=1, iterations=1
+    )
+    show(ablation_table(rows, "A-3 — state sync interval").render())
+    by_value = {row.value: row for row in rows}
+    # Duplicates (late frames) grow with the sync interval: the takeover
+    # offset is up to one interval stale.
+    assert by_value["0.25"].late <= by_value["2.0"].late
+    # Control overhead shrinks as the interval grows.
+    assert (
+        by_value["0.25"].control_fraction
+        > by_value["2.0"].control_fraction
+    )
+
+
+def test_a5_double_emergency(benchmark):
+    """Section 4.2: the paper-sized buffer covers a *single* emergency;
+    a second failure arriving before the refill completes causes
+    noticeable frame loss unless the buffer is enlarged."""
+    from repro.experiments.ablations import ablate_double_emergency
+
+    rows = benchmark.pedantic(
+        lambda: ablate_double_emergency((37, 74)), rounds=1, iterations=1
+    )
+    show(ablation_table(
+        rows, "A-5 — back-to-back failures (1 s apart) vs buffer size"
+    ).render())
+    by_value = {row.value: row for row in rows}
+    paper_sized, doubled = by_value["37"], by_value["74"]
+    # The standard buffer degrades visibly (a burst of skipped frames);
+    # the enlarged buffer rides out both failures cleanly.
+    assert paper_sized.skipped > 10
+    assert doubled.skipped == 0
+    assert doubled.stall_s == 0.0
+
+
+def test_a4_fd_timeout(benchmark):
+    """Failure detection dominates the irregularity period: too long a
+    timeout drains the buffers into a visible stall."""
+    rows = benchmark.pedantic(
+        lambda: ablate_fd_timeout((0.45, 2.0)), rounds=1, iterations=1
+    )
+    show(ablation_table(rows, "A-4 — failure detection timeout").render())
+    by_value = {row.value: row for row in rows}
+    fast, slow = by_value["0.45"], by_value["2.0"]
+    # The paper's ~0.5 s detection keeps the stall invisible.
+    assert fast.stall_s <= 0.5
+    # A 2 s detector exceeds what the buffers cover.
+    assert slow.stall_s > fast.stall_s

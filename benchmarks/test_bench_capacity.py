@@ -1,0 +1,26 @@
+"""E-capacity — the load-balancing payoff the paper motivates."""
+
+from conftest import show
+
+from repro.experiments.capacity import capacity_table, run_capacity_sweep
+
+
+def test_capacity_knee_and_scale_out(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_capacity_sweep((10, 30, 50, 70)),
+        rounds=1, iterations=1,
+    )
+    show(capacity_table(points).render())
+    single = {p.n_clients: p for p in points if p.n_servers == 1}
+    doubled = next(p for p in points if p.n_servers == 2)
+
+    # Under the uplink capacity everything is clean.
+    assert single[10].clean
+    assert single[30].clean
+    assert single[50].clean
+    # Past it, the transmit queue collapses playback.
+    assert not single[70].clean
+    assert single[70].worst_stall_s > 5.0
+    # Bringing up a second server (the paper's remedy) restores the
+    # same population to clean playback.
+    assert doubled.clean

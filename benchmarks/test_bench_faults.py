@@ -1,0 +1,37 @@
+"""T-ft — the Section 7 fault-tolerance comparison.
+
+"If a movie is replicated k times, then up to k-1 failures are
+tolerated", versus the Tiger-like striped cluster that "smoothly
+tolerates the failure of one server, but not necessarily two", and a
+plain single server that tolerates none.
+"""
+
+from conftest import show
+
+from repro.experiments.faults import fault_matrix_table, run_fault_matrix
+
+
+def test_fault_tolerance_matrix(benchmark):
+    trials = benchmark.pedantic(
+        lambda: run_fault_matrix(duration_s=90.0), rounds=1, iterations=1
+    )
+    show(fault_matrix_table(trials).render())
+
+    by_key = {(t.system, t.kills): t for t in trials}
+    single = by_key[("single server", 1)]
+    striped_1 = by_key[("Tiger-like striped", 1)]
+    striped_2 = by_key[("Tiger-like striped", 2)]
+    ours_1 = by_key[("group-communication VoD", 1)]
+    ours_2 = by_key[("group-communication VoD", 2)]
+
+    # Single server: one crash kills the stream.
+    assert not single.survived
+    # Tiger-like striping survives one failure but not two, even
+    # non-concurrent ones.
+    assert striped_1.survived
+    assert striped_2.skipped > 100  # periodic block loss
+    # Our service (k=3) survives both one and two failures.
+    assert ours_1.survived
+    assert ours_2.survived
+    # And it beats striping on the 2-failure case by a wide margin.
+    assert ours_2.skipped < striped_2.skipped / 5

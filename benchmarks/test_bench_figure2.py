@@ -1,0 +1,34 @@
+"""Figure 2 — the client flow-control policy table.
+
+Regenerates the paper's table from the implemented policy and checks
+every row matches the published one.
+"""
+
+from conftest import show
+
+from repro.experiments.figure2 import generate_policy_rows, render_figure2
+
+
+def test_figure2_policy_table(benchmark):
+    rows = benchmark(generate_policy_rows)
+    show(render_figure2())
+
+    requests = [row.request for row in rows]
+    frequencies = [row.frequency for row in rows]
+    # Row order in the paper: emergency, increase, inc/dec/none mid-band,
+    # decrease — with urgent frequency everywhere outside the water
+    # marks and normal frequency between them.
+    assert requests == [
+        "emergency (level 2)",
+        "emergency (level 1)",
+        "increase",
+        "increase",
+        "decrease",
+        "(none)",
+        "decrease",
+    ]
+    assert frequencies == [
+        "f_urgent", "f_urgent", "f_urgent",
+        "f_normal", "f_normal", "f_normal",
+        "f_urgent",
+    ]

@@ -1,0 +1,110 @@
+"""Figure 4 — overcoming the irregularity of video transmission (LAN).
+
+One benchmark per panel plus one timing the whole 240-second scenario.
+Shape assertions mirror the paper's reported facts; absolute numbers are
+not expected to match the 1999 testbed.
+"""
+
+import dataclasses
+
+from conftest import show
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.scenarios import LAN_SCENARIO, run_scenario
+
+
+def test_figure4_scenario_runtime(benchmark):
+    """Times the full LAN scenario (the substrate's headline cost)."""
+    spec = dataclasses.replace(
+        LAN_SCENARIO, movie_duration_s=60.0, run_duration_s=60.0,
+        schedule=((30.0, "crash-serving"),),
+    )
+    result = benchmark.pedantic(
+        lambda: run_scenario(spec), rounds=2, iterations=1
+    )
+    assert result.client.displayed_total > 1500
+
+
+def test_fig4a_skipped_frames(benchmark, figure4):
+    samples = benchmark(figure4.series_samples)
+    show(figure4.summary_table().render())
+    show("Figure 4(a) cumulative skipped frames:\n" + "\n".join(
+        f"  t={t:6.1f}s  {v:8.0f}" for t, v in samples["4a_skipped"]
+    ))
+    # "no more than six frames were skipped following each emergency
+    # period (at startup, failure, and migration due to load balancing)"
+    # — small single digits; we allow a little seed-level slack.
+    assert figure4.skipped_at_startup() <= 10
+    assert figure4.skipped_at_crash() <= 10
+    assert figure4.skipped_at_lb() <= 10
+    # "none of the skipped frames was an I frame" — and therefore the
+    # image degradation each loss causes stays under one GOP (<1 s):
+    # "this degradation was not noticeable to a human observer".
+    assert figure4.intra_frames_discarded() == 0
+    decoder_stats = figure4.result.client.decoder.stats
+    if decoder_stats.degradation_episodes:
+        mean_burst = (
+            decoder_stats.degraded_frames / decoder_stats.degradation_episodes
+        )
+        assert mean_burst <= 30  # < 1 s of damaged picture per episode
+    # Nothing skipped outside the emergency windows (lossless LAN).
+    total = figure4.skipped.final()
+    at_events = (
+        figure4.skipped_at_startup()
+        + figure4.skipped_at_crash()
+        + figure4.skipped_at_lb()
+    )
+    assert total == at_events
+
+
+def test_fig4b_late_frames(benchmark, figure4):
+    samples = benchmark(figure4.series_samples)
+    show("Figure 4(b) cumulative late frames:\n" + "\n".join(
+        f"  t={t:6.1f}s  {v:8.0f}" for t, v in samples["4b_late"]
+    ))
+    # Duplicate transmissions appear at both migrations ("certain frames
+    # may be transmitted by both servers").
+    assert figure4.late_at_crash() > 0
+    assert figure4.late_at_lb() > 0
+    # On a LAN nothing else arrives late.
+    total = figure4.late.final()
+    assert total == figure4.late_at_crash() + figure4.late_at_lb()
+    # The conservative overlap is bounded by one sync period of frames.
+    assert figure4.late_at_crash() <= 0.5 * 30 + 5
+    assert figure4.late_at_lb() <= 0.5 * 30 + 5
+
+
+def test_fig4c_software_buffer(benchmark, figure4):
+    samples = benchmark(figure4.series_samples)
+    show("Figure 4(c) software buffer occupancy (frames):\n" + "\n".join(
+        f"  t={t:6.1f}s  {v:8.0f}" for t, v in samples["4c_software_frames"]
+    ))
+    # "the software buffers reach their mean occupancy (around 23
+    # frames)" and oscillate between the water marks.
+    assert 15 <= figure4.sw_mean_steady() <= 30
+    # "drops to zero when the client is migrated due to a failure"
+    assert figure4.sw_min_after_crash() <= 2
+    # The load-balance dip is shallower than the crash dip (no failure
+    # detection delay) but clearly below the steady mean.
+    capacity = figure4.result.client.config.sw_capacity_frames
+    assert figure4.sw_min_after_lb() <= 0.6 * capacity
+    assert figure4.sw_min_after_lb() < figure4.sw_mean_steady()
+    assert figure4.sw_min_after_lb() > figure4.sw_min_after_crash()
+    # Mean reached within tens of seconds of startup (paper: ~14 s).
+    assert figure4.sw_fill_time() < 30.0
+
+
+def test_fig4d_hardware_buffer(benchmark, figure4):
+    samples = benchmark(figure4.series_samples)
+    show("Figure 4(d) hardware buffer occupancy (bytes):\n" + "\n".join(
+        f"  t={t:6.1f}s  {v:10.0f}" for t, v in samples["4d_hardware_bytes"]
+    ))
+    # "the hardware buffers fill up approximately 10 seconds after the
+    # first frame of the movie arrives"
+    assert figure4.hw_fill_time() < 15.0
+    # The hardware buffer dips after the crash but never empties
+    # (paper: drops to ~3/4 of capacity).
+    assert 0.4 <= figure4.hw_min_fraction_after_crash() < 1.0
+    # The viewer never noticed: no human-visible stall (>1 s) across
+    # both events; with the default seed there is none at all.
+    assert figure4.result.client.decoder.stats.stall_time_s <= 0.5

@@ -1,0 +1,49 @@
+"""Figure 5 — skipped frames in a small-scale WAN.
+
+Load balance at ~25 s, crash of the transmitting server ~22 s later,
+over a seven-hop lossy Internet path without QoS reservation.
+"""
+
+from conftest import show
+
+
+def test_fig5a_skipped_frames(benchmark, figure5):
+    samples = benchmark(figure5.series_samples)
+    show(figure5.summary_table().render())
+    show("Figure 5(a) cumulative skipped frames:\n" + "\n".join(
+        f"  t={t:6.1f}s  {v:8.0f}" for t, v in samples["5a_skipped"]
+    ))
+    # "when running on the Internet without reservation mechanisms, a
+    # certain percentage of the messages are lost" — steady growth.
+    assert figure5.steady_skip_rate() > 0.05
+    # "the quality of displayed video is inferior to ... a LAN": a small
+    # but nonzero fraction of frames never displayed.
+    assert 0.001 < figure5.loss_fraction() < 0.10
+    # The curve keeps growing across the run (not a one-off step).
+    early = figure5.skipped.value_at(30.0)
+    late = figure5.skipped.final()
+    assert late > early > 0
+
+
+def test_fig5b_overflow_discards(benchmark, figure5):
+    samples = benchmark(figure5.series_samples)
+    show("Figure 5(b) frames discarded due to buffer overflow:\n" + "\n".join(
+        f"  t={t:6.1f}s  {v:8.0f}" for t, v in samples["5b_overflow_discards"]
+    ))
+    # "At irregularity periods additional frames are skipped due to
+    # buffer overflow": all overflow lands in the emergency windows
+    # (startup / load balance / crash), the curve is flat elsewhere.
+    total = figure5.overflow_total()
+    assert total > 0
+    in_windows = (
+        figure5.overflow.increase_over(0.0, 20.0)
+        + figure5.overflow.increase_over(
+            figure5.lb_time - 1, figure5.lb_time + 12
+        )
+        + figure5.overflow.increase_over(
+            figure5.crash_time - 1, figure5.crash_time + 12
+        )
+    )
+    assert in_windows >= 0.9 * total
+    # Overflow is a small correction, not a second loss channel.
+    assert total < 60

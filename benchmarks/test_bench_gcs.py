@@ -1,0 +1,26 @@
+"""T-gcs — the substrate's view-agreement latency and its scaling."""
+
+from conftest import show
+
+from repro.experiments.gcs_latency import gcs_latency_table, measure_scaling
+
+
+def test_view_agreement_latency_scaling(benchmark):
+    points = benchmark.pedantic(
+        lambda: measure_scaling((2, 4, 8, 16)), rounds=1, iterations=1
+    )
+    show(gcs_latency_table(points).render())
+
+    by_size = {p.group_size: p for p in points}
+    # Joins are fast: milliseconds on a LAN (no detection timeout).
+    for point in points:
+        assert point.join_latency_s < 0.2
+    # Crash recovery is dominated by the ~0.45 s failure-detection
+    # timeout — the paper's "take over time was half a second".
+    for point in points:
+        assert 0.4 <= point.crash_latency_s <= 1.0
+    # And it is essentially flat in group size (loose coupling): going
+    # from 2 to 16 members costs little.
+    assert (
+        by_size[16].crash_latency_s - by_size[2].crash_latency_s < 0.25
+    )

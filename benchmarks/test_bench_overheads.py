@@ -1,0 +1,76 @@
+"""The paper's quantitative claims: T-sync, T-emergency, T-buffer."""
+
+import pytest
+from conftest import show
+
+from repro.experiments.overheads import (
+    measure_emergency,
+    measure_sync_overhead,
+    measure_takeover,
+)
+from repro.server.rate_controller import EmergencyConfig
+
+
+
+def test_sync_overhead(benchmark):
+    """"the overhead for synchronization consumes less than one
+    thousandth of the total communication bandwidth" (Section 1)."""
+    result = benchmark.pedantic(
+        lambda: measure_sync_overhead(n_clients=4, duration_s=60.0),
+        rounds=1, iterations=1,
+    )
+    show(result.table().render())
+    assert result.sync_fraction < 1.0 / 1000.0
+    assert result.video_bytes > 1e7
+
+
+def test_sync_overhead_scales_with_clients(benchmark):
+    """Per-client state is 'a few dozens of bytes': the sync fraction
+    stays under 1/1000 as the client count grows."""
+    result = benchmark.pedantic(
+        lambda: measure_sync_overhead(n_clients=8, duration_s=45.0),
+        rounds=1, iterations=1,
+    )
+    show(result.table().render())
+    assert result.sync_fraction < 1.0 / 1000.0
+
+
+def test_emergency_sequences(benchmark):
+    """q=12/f=0.8 delivers exactly 43 extra frames; q=6 about 15."""
+    result = benchmark.pedantic(measure_emergency, rounds=1, iterations=1)
+    show(result.table().render())
+    assert sum(result.severe_sequence) == 43
+    assert sum(result.mild_sequence) in (15, 16)
+    config = EmergencyConfig()
+    # "increase the bandwidth consumption at emergency periods by no
+    # more than 40% of the mean bandwidth": instantaneous rate bound.
+    assert config.base_severe / 30 <= 0.4
+    # Measured end-to-end peak (includes duplicate replay at takeover).
+    assert result.peak_rate_fraction < 1.6
+
+
+def test_takeover_time(benchmark):
+    """"the take over time was half a second on the average" and the
+    low-water-mark buffer covers the full irregularity period."""
+    result = benchmark.pedantic(
+        lambda: measure_takeover(n_trials=5), rounds=1, iterations=1
+    )
+    show(result.table().render())
+    assert len(result.takeover_times) == 5
+    assert 0.2 <= result.mean_takeover <= 1.0
+    # Worst irregularity within what the LWM buffer (~1.7 s) covers.
+    assert max(result.irregularity_gaps) <= 1.7
+
+
+def test_buffer_budget_matches_paper(benchmark):
+    """Static check of Section 4.2's arithmetic on our defaults."""
+    from repro.client.player import ClientConfig
+
+    config = ClientConfig()
+    combined = benchmark(config.combined_capacity_frames)
+    seconds_of_video = combined / config.fps
+    # "approximately 2.4 seconds of video"
+    assert seconds_of_video == pytest.approx(2.4, abs=0.4)
+    # LWM at 73% covers ~1.7 s of irregularity.
+    covered = 0.73 * seconds_of_video
+    assert covered == pytest.approx(1.7, abs=0.3)

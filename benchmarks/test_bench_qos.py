@@ -1,0 +1,25 @@
+"""E-qos — what the planned ATM reservations would have bought (§8)."""
+
+from conftest import show
+
+from repro.experiments.qos import qos_comparison_table, run_wan_trial
+
+
+def test_qos_reservation_eliminates_network_loss(benchmark):
+    best_effort, reserved = benchmark.pedantic(
+        lambda: (run_wan_trial(False), run_wan_trial(True)),
+        rounds=1, iterations=1,
+    )
+    show(qos_comparison_table(best_effort, reserved).render())
+
+    loss_skips_be = best_effort.skipped - best_effort.overflow
+    loss_skips_qos = reserved.skipped - reserved.overflow
+    # Best effort loses frames steadily; the reservation loses none.
+    assert loss_skips_be > 10
+    assert loss_skips_qos == 0
+    # Neither run shows a human-visible stall (the crash failover is
+    # still covered by the buffers either way).
+    assert best_effort.stall_s <= 1.0
+    assert reserved.stall_s <= 1.0
+    # The reservation also kills reordering-induced lateness.
+    assert reserved.late <= best_effort.late

@@ -1,0 +1,93 @@
+"""Scale behaviour: the deployment the paper's introduction motivates.
+
+"In such an environment, scalability and fault tolerance will be key
+issues" — these benchmarks load one service with a growing client
+population and verify the control plane stays negligible and failover
+stays client-count-independent.
+"""
+
+from conftest import show
+
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.metrics.report import Table
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+def run_scaled(n_clients, n_servers=3, duration_s=40.0, seed=77,
+               crash_at=None):
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=n_servers + n_clients + 1)
+    catalog = MovieCatalog(
+        [Movie.synthetic("feature", duration_s=duration_s + 20)]
+    )
+    deployment = Deployment(
+        topology, catalog, server_nodes=list(range(n_servers))
+    )
+    clients = []
+    for index in range(n_clients):
+        client = deployment.attach_client(n_servers + index)
+        client.request_movie("feature")
+        clients.append(client)
+    if crash_at is not None:
+        def crash_most_loaded() -> None:
+            victim = max(deployment.live_servers(), key=lambda s: s.n_clients)
+            victim.crash()
+        sim.call_at(crash_at, crash_most_loaded)
+    sim.run_until(duration_s)
+    return sim, deployment, clients
+
+
+def test_scale_16_clients(benchmark):
+    """16 concurrent viewers on 3 servers: all smooth, load balanced."""
+    sim, deployment, clients = benchmark.pedantic(
+        lambda: run_scaled(16), rounds=1, iterations=1
+    )
+    table = Table(
+        "Scale — 16 clients, 3 servers, 40 s",
+        ["metric", "value"],
+    )
+    total_stall = sum(c.decoder.stats.stall_time_s for c in clients)
+    loads = sorted(s.n_clients for s in deployment.live_servers())
+    video = sum(s.video_bytes_sent for s in deployment.servers.values())
+    control = sum(
+        s.endpoint.control_bytes_sent for s in deployment.servers.values()
+    ) + sum(c.endpoint.control_bytes_sent for c in clients)
+    table.add_row("clients served", sum(loads))
+    table.add_row("load spread", str(loads))
+    table.add_row("total stall (s)", f"{total_stall:.2f}")
+    table.add_row("control/video bytes", f"{control / video:.5f}")
+    show(table.render())
+
+    assert sum(loads) == 16
+    assert max(loads) - min(loads) <= 2
+    assert total_stall <= 1.0
+    assert control / video < 0.02
+
+
+def test_failover_under_load(benchmark):
+    """Crashing the most-loaded server migrates its whole client share
+    transparently; takeover effort does not scale with client count."""
+    sim, deployment, clients = benchmark.pedantic(
+        lambda: run_scaled(12, crash_at=20.0), rounds=1, iterations=1
+    )
+    survivors = deployment.live_servers()
+    loads = sorted(s.n_clients for s in survivors)
+    stalls = [c.decoder.stats.stall_time_s for c in clients]
+    table = Table(
+        "Scale — failover with 12 clients",
+        ["metric", "value"],
+    )
+    table.add_row("surviving servers", len(survivors))
+    table.add_row("load spread after crash", str(loads))
+    table.add_row("max client stall (s)", f"{max(stalls):.2f}")
+    table.add_row(
+        "clients with any stall", sum(1 for s in stalls if s > 0.05)
+    )
+    show(table.render())
+
+    assert len(survivors) == 2
+    assert sum(loads) == 12
+    assert max(stalls) <= 1.0  # nobody saw a human-visible freeze

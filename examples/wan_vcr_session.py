@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""A WAN viewer with full VCR control and a mid-movie server failure.
+
+The Section 6.2 environment: servers at one university, the client
+seven Internet hops away, plain UDP with no QoS reservation.  The
+viewer pauses, resumes, seeks around the movie and drops to reduced
+quality — and halfway through, the transmitting server dies.
+
+Run with::
+
+    python examples/wan_vcr_session.py
+"""
+
+from repro import Deployment, Movie, MovieCatalog, Simulator, build_wan
+
+
+def main() -> None:
+    sim = Simulator(seed=3)
+    # Two server hosts at site A; the client at site B, 7 hops away.
+    topology = build_wan(sim, n_hosts_site_a=2, n_hosts_site_b=1)
+    catalog = MovieCatalog([Movie.synthetic("lecture", duration_s=240)])
+    deployment = Deployment(topology, catalog, server_nodes=[0, 1])
+    client = deployment.attach_client(2)
+
+    def log(message) -> None:
+        print(f"[t={sim.now:6.1f}s] {message}")
+
+    client.request_movie("lecture")
+    log("requested 'lecture' from the abstract server group")
+
+    sim.run_until(20.0)
+    log(f"watching via {client.serving_server}; "
+        f"displayed={client.displayed_total}")
+
+    client.pause()
+    log("PAUSE (coffee break)")
+    sim.run_until(30.0)
+    client.resume()
+    log("RESUME")
+
+    sim.run_until(40.0)
+    client.seek(120.0)
+    log("SEEK to 2:00 (random access; buffers flushed, emergency refill)")
+
+    sim.run_until(60.0)
+    for server in deployment.live_servers():
+        if server.process == client.serving_server:
+            server.crash()
+            log(f"{server.name} CRASHED (7 hops away, nobody told the client)")
+
+    sim.run_until(80.0)
+    log(f"still watching, now via {client.serving_server}")
+
+    client.set_quality(10)
+    log("QUALITY reduced to 10 fps (slow last-mile link); "
+        "all I frames are kept")
+    sim.run_until(120.0)
+
+    print()
+    stats = client.stats
+    print("received frames:   ", stats.received)
+    print("displayed frames:  ", client.displayed_total)
+    print("skipped (loss etc):", client.skipped_total)
+    print("late/duplicates:   ", stats.late_frames)
+    print("overflow discards: ", stats.overflow_discards,
+          f"(I frames among them: {stats.overflow_discarded_intra})")
+    print("visible stalls:    ",
+          f"{client.decoder.stats.stall_time_s:.2f}s "
+          f"in {client.decoder.stats.stall_events} event(s)")
+    print("migrations:")
+    for time, old, new in stats.migrations:
+        print(f"  t={time:6.1f}s  {old} -> {new}")
+
+
+if __name__ == "__main__":
+    main()

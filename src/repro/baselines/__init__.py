@@ -1,0 +1,22 @@
+"""Comparison baselines for the fault-tolerance evaluation.
+
+* :mod:`repro.baselines.single_server` — a conventional single-server
+  VoD deployment (replication degree 1): any server failure kills the
+  stream.  The trivial lower bound.
+* :mod:`repro.baselines.striped` — a Tiger-like striped video cluster
+  (Bolosky et al., the only prior system the paper credits with
+  server-failure tolerance): movies striped over tightly coupled
+  servers with declustered mirroring.  Tolerates exactly one failure;
+  the paper's group-communication service tolerates k-1 of k replicas.
+"""
+
+from repro.baselines.mini_client import MiniClient
+from repro.baselines.single_server import run_single_server_crash
+from repro.baselines.striped import StripedCluster, run_striped_crash
+
+__all__ = [
+    "MiniClient",
+    "StripedCluster",
+    "run_single_server_crash",
+    "run_striped_crash",
+]

@@ -1,0 +1,21 @@
+"""The VoD client.
+
+Mirrors the paper's client (Section 3-4): a software reorder buffer in
+front of a hardware decoder buffer, the water-mark flow-control policy
+of Figure 2 with two-tier emergency requests, full VCR control, and the
+statistics the evaluation section plots.
+"""
+
+from repro.client.buffers import InsertOutcome, SoftwareBuffer
+from repro.client.flow_control import FlowControlConfig, FlowControlPolicy
+from repro.client.player import ClientConfig, ClientStats, VoDClient
+
+__all__ = [
+    "ClientConfig",
+    "ClientStats",
+    "FlowControlConfig",
+    "FlowControlPolicy",
+    "InsertOutcome",
+    "SoftwareBuffer",
+    "VoDClient",
+]

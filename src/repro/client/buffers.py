@@ -1,0 +1,117 @@
+"""The client's software frame buffer.
+
+Received frames are first stored here, re-ordered into display order,
+and then streamed into the hardware decoder.  On overflow the buffer
+discards a frame to make room for the new arrival, preferring an
+incremental (non-I) frame — the policy behind the paper's "none of the
+skipped frames was an I frame" observation in Figure 4(a).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import MediaError
+from repro.media.frames import Frame
+
+#: The paper's software allocation: 37 frames (~1.7 Mbit at the test
+#: stream's mean frame size, ~1.2 s of video).
+DEFAULT_SW_CAPACITY_FRAMES = 37
+
+
+class InsertOutcome(enum.Enum):
+    STORED = "stored"
+    DUPLICATE = "duplicate"  # the index is already buffered
+    STORED_EVICTED = "stored-evicted"  # stored, another frame discarded
+
+
+@dataclass
+class Eviction:
+    """Result of an insert: outcome plus the discarded victim, if any."""
+
+    outcome: InsertOutcome
+    victim: Optional[Frame] = None
+
+
+class SoftwareBuffer:
+    """A bounded, index-ordered frame buffer with I-frame-sparing eviction."""
+
+    def __init__(self, capacity_frames: int = DEFAULT_SW_CAPACITY_FRAMES) -> None:
+        if capacity_frames < 1:
+            raise MediaError(
+                f"software buffer needs capacity >= 1, got {capacity_frames!r}"
+            )
+        self.capacity_frames = capacity_frames
+        self._frames: Dict[int, Frame] = {}
+
+    # ------------------------------------------------------------------
+    # Insertion (network side)
+    # ------------------------------------------------------------------
+    def insert(self, frame: Frame) -> Eviction:
+        """Store a frame, evicting per the overflow policy when full."""
+        if frame.index in self._frames:
+            return Eviction(InsertOutcome.DUPLICATE)
+        if len(self._frames) < self.capacity_frames:
+            self._frames[frame.index] = frame
+            return Eviction(InsertOutcome.STORED)
+        victim_index = self._pick_victim()
+        victim = self._frames.pop(victim_index)
+        self._frames[frame.index] = frame
+        return Eviction(InsertOutcome.STORED_EVICTED, victim)
+
+    def _pick_victim(self) -> int:
+        """Highest-index incremental frame; highest-index frame if all I.
+
+        Discarding from the far end of the buffer keeps the imminent
+        display window intact, and sparing I frames keeps the image
+        recoverable (incremental frames are undecodable without them
+        anyway).
+        """
+        non_intra = [
+            index for index, frame in self._frames.items() if not frame.is_intra
+        ]
+        if non_intra:
+            return max(non_intra)
+        return max(self._frames)
+
+    # ------------------------------------------------------------------
+    # Draining (decoder side)
+    # ------------------------------------------------------------------
+    def peek_next(self) -> Optional[Frame]:
+        """The lowest-index buffered frame (next in display order)."""
+        if not self._frames:
+            return None
+        return self._frames[min(self._frames)]
+
+    def pop_next(self) -> Frame:
+        if not self._frames:
+            raise MediaError("pop from empty software buffer")
+        return self._frames.pop(min(self._frames))
+
+    def clear(self) -> int:
+        """Drop everything (random access).  Returns the count dropped."""
+        dropped = len(self._frames)
+        self._frames.clear()
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._frames)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._frames) >= self.capacity_frames
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._frames
+
+    def indices(self):
+        return sorted(self._frames)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SoftwareBuffer {len(self._frames)}/{self.capacity_frames}>"

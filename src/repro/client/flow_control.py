@@ -1,0 +1,173 @@
+"""The client flow-control policy — the paper's Figure 2, verbatim.
+
+The client never tries to deduce the server's transmission rate; it only
+watches the occupancy of its own buffers (software + hardware, counted
+in frames) and asks for one-frame-per-second adjustments:
+
+====================  ==================  =========  ============
+buffer occupancy       extra condition    frequency   request
+====================  ==================  =========  ============
+0 .. critical                             f_urgent    emergency
+critical .. LWM-1                         f_urgent    increase
+LWM .. HWM-1          occ < previous      f_normal    increase
+LWM .. HWM-1          occ > previous      f_normal    decrease
+LWM .. HWM-1          occ == previous     f_normal    (none)
+HWM .. full                               f_urgent    decrease
+====================  ==================  =========  ============
+
+"Frequency" counts *received frames*: one message per 8 frames between
+the water marks, one per 4 frames outside them ("the frequency is
+doubled").  Section 4.1's refinement adds a second critical threshold:
+below 15% occupancy the emergency is severe (base quantity 12), between
+15% and 30% it is mild (base quantity 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.service.protocol import EmergencyLevel, FlowControlMsg, FlowKind
+
+
+@dataclass(frozen=True)
+class FlowControlConfig:
+    """Flow-control thresholds.
+
+    The water marks are fractions of the *combined* buffer capacity
+    (software + hardware): the paper derives the 1.7 s irregularity
+    coverage from 73% of the total 2.4 s of buffering.  The critical
+    thresholds are fractions of the *software* buffer: it is the shock
+    absorber in front of the decoder, and the paper's emergencies fire
+    exactly when it runs dry (crash: drops to 0 -> severe; load
+    balance: drops to ~1/4 -> mild).
+    """
+
+    low_water_frac: float = 0.73
+    high_water_frac: float = 0.88
+    critical_mild_frac: float = 0.30
+    critical_severe_frac: float = 0.15
+    normal_every_frames: int = 8
+    urgent_every_frames: int = 4
+
+    def validate(self) -> None:
+        if not 0 <= self.critical_severe_frac <= self.critical_mild_frac <= 1.0:
+            raise ServiceError(
+                "critical thresholds must satisfy 0 <= severe <= mild <= 1"
+            )
+        if not 0 < self.low_water_frac <= self.high_water_frac <= 1.0:
+            raise ServiceError(
+                "water marks must satisfy 0 < low <= high <= 1"
+            )
+        if self.normal_every_frames < 1 or self.urgent_every_frames < 1:
+            raise ServiceError("flow-control frequencies must be >= 1 frame")
+
+
+class FlowControlPolicy:
+    """Stateful evaluator of the Figure 2 policy.
+
+    Call :meth:`on_frame_received` once per received video frame with
+    the current combined occupancy; it returns the
+    :class:`FlowControlMsg` to send, or None when the cadence or the
+    policy says to stay quiet.
+    """
+
+    def __init__(
+        self,
+        config: FlowControlConfig,
+        capacity_frames: int,
+        sw_capacity_frames: Optional[int] = None,
+    ) -> None:
+        config.validate()
+        if capacity_frames < 4:
+            raise ServiceError(
+                f"combined capacity too small: {capacity_frames!r} frames"
+            )
+        if sw_capacity_frames is None:
+            sw_capacity_frames = capacity_frames
+        self.config = config
+        self.capacity_frames = capacity_frames
+        self.sw_capacity_frames = sw_capacity_frames
+        self.low_water = int(round(config.low_water_frac * capacity_frames))
+        self.high_water = int(round(config.high_water_frac * capacity_frames))
+        # "falls below 30% / 15%": strict float thresholds, so a buffer
+        # sitting exactly at 16% of capacity is a *mild* emergency.
+        self.critical_mild = config.critical_mild_frac * sw_capacity_frames
+        self.critical_severe = config.critical_severe_frac * sw_capacity_frames
+        # Occupancy when the previous request was sent (the "previous
+        # occupancy" column of Figure 2).
+        self.previous_occupancy: Optional[int] = None
+        self._frames_since_message = 0
+        self.sent_total = 0
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def on_frame_received(
+        self, occupancy: int, sw_occupancy: Optional[int] = None
+    ) -> Optional[FlowControlMsg]:
+        self._frames_since_message += 1
+        if self._frames_since_message < self._current_period(occupancy):
+            return None
+        message = self.decide(occupancy, sw_occupancy)
+        self._frames_since_message = 0
+        if message is not None:
+            self.previous_occupancy = occupancy
+            self.sent_total += 1
+        return message
+
+    def decide(
+        self, occupancy: int, sw_occupancy: Optional[int] = None
+    ) -> Optional[FlowControlMsg]:
+        """The Figure 2 decision for a given occupancy (stateless w.r.t.
+        cadence; uses ``previous_occupancy`` for the mid-band rows).
+
+        ``occupancy`` is the combined frame count; ``sw_occupancy`` is
+        the software-buffer share, checked against the critical
+        thresholds (defaults to the combined value for callers that do
+        not split buffers).
+        """
+        if sw_occupancy is None:
+            sw_occupancy = occupancy
+        if sw_occupancy < self.critical_mild:
+            level = (
+                EmergencyLevel.SEVERE
+                if sw_occupancy < self.critical_severe
+                else EmergencyLevel.MILD
+            )
+            return FlowControlMsg(FlowKind.EMERGENCY, level, occupancy)
+        if occupancy < self.low_water:
+            return FlowControlMsg(FlowKind.INCREASE, occupancy=occupancy)
+        if occupancy >= self.high_water:
+            return FlowControlMsg(FlowKind.DECREASE, occupancy=occupancy)
+        # Between the water marks: steer by the occupancy trend.
+        previous = self.previous_occupancy
+        if previous is None or occupancy == previous:
+            return None
+        if occupancy < previous:
+            return FlowControlMsg(FlowKind.INCREASE, occupancy=occupancy)
+        return FlowControlMsg(FlowKind.DECREASE, occupancy=occupancy)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _current_period(self, occupancy: int) -> int:
+        if self.low_water <= occupancy < self.high_water:
+            return self.config.normal_every_frames
+        return self.config.urgent_every_frames
+
+    def in_normal_band(self, occupancy: int) -> bool:
+        return self.low_water <= occupancy < self.high_water
+
+    def reset_cadence(self) -> None:
+        """Forget trend state (used after seeks/migrations)."""
+        self.previous_occupancy = None
+        self._frames_since_message = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlowControlPolicy cap={self.capacity_frames} "
+            f"lwm={self.low_water} hwm={self.high_water} "
+            f"crit={self.critical_severe}/{self.critical_mild}>"
+        )

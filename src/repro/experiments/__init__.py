@@ -1,0 +1,24 @@
+"""Experiment harness: the paper's evaluation, regenerated.
+
+One module per figure/table of the paper (see DESIGN.md's per-experiment
+index), plus overhead verifications for the quantitative claims in the
+text, fault-tolerance comparisons against the baselines, and ablation
+sweeps over the design parameters Section 4.2 calls "subject to fine
+tuning".
+"""
+
+from repro.experiments.scenarios import (
+    LAN_SCENARIO,
+    WAN_SCENARIO,
+    ScenarioResult,
+    ScenarioSpec,
+    run_scenario,
+)
+
+__all__ = [
+    "LAN_SCENARIO",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "WAN_SCENARIO",
+    "run_scenario",
+]

@@ -1,0 +1,107 @@
+"""E-capacity — when does a single server saturate?
+
+The paper's introduction motivates the design with scale ("high
+bandwidth communication lines will reach millions of homes"), and its
+answer to a loaded server is to bring another up and migrate clients.
+This experiment quantifies the trigger: one server on a 100 Mbps access
+link serves a growing client population (each stream ~1.4 Mbps); past
+the uplink capacity the transmit queue tail-drops, clients see skipped
+frames and stalls.  Bringing up a second server restores clean playback
+for the same population — the load-balancing payoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.metrics.report import Table
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+@dataclass
+class CapacityPoint:
+    n_clients: int
+    n_servers: int
+    offered_mbps: float
+    mean_skipped: float
+    worst_stall_s: float
+    clean: bool  # every client free of visible degradation
+
+
+def run_capacity_point(
+    n_clients: int,
+    n_servers: int = 1,
+    duration_s: float = 30.0,
+    seed: int = 51,
+) -> CapacityPoint:
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=n_servers + n_clients)
+    catalog = MovieCatalog(
+        [Movie.synthetic("feature", duration_s=duration_s + 20)]
+    )
+    deployment = Deployment(
+        topology, catalog, server_nodes=list(range(n_servers))
+    )
+    clients = []
+    for index in range(n_clients):
+        client = deployment.attach_client(n_servers + index)
+        client.request_movie("feature")
+        clients.append(client)
+    sim.run_until(duration_s)
+    for client in clients:
+        client.decoder.end_stall(sim.now)
+
+    movie = catalog.movie("feature")
+    offered = n_clients * movie.bitrate_bps() / 1e6
+    skipped = [c.skipped_total for c in clients]
+    stalls = [c.decoder.stats.stall_time_s for c in clients]
+    clean = max(stalls) <= 1.0 and max(skipped) <= 20
+    return CapacityPoint(
+        n_clients=n_clients,
+        n_servers=n_servers,
+        offered_mbps=offered,
+        mean_skipped=sum(skipped) / len(skipped),
+        worst_stall_s=max(stalls),
+        clean=clean,
+    )
+
+
+def run_capacity_sweep(
+    populations: List[int] = (10, 30, 50, 70),
+    duration_s: float = 30.0,
+) -> List[CapacityPoint]:
+    """Single-server sweep plus a two-server point at the largest load."""
+    points = [
+        run_capacity_point(n, n_servers=1, duration_s=duration_s)
+        for n in populations
+    ]
+    points.append(
+        run_capacity_point(
+            populations[-1], n_servers=2, duration_s=duration_s
+        )
+    )
+    return points
+
+
+def capacity_table(points: List[CapacityPoint]) -> Table:
+    table = Table(
+        "E-capacity — clients per server on a 100 Mbps uplink "
+        "(1.4 Mbps streams)",
+        ["clients", "servers", "offered (Mbps)", "mean skipped",
+         "worst stall (s)", "clean"],
+    )
+    for point in points:
+        table.add_row(
+            point.n_clients,
+            point.n_servers,
+            f"{point.offered_mbps:.0f}",
+            f"{point.mean_skipped:.0f}",
+            f"{point.worst_stall_s:.1f}",
+            "yes" if point.clean else "NO",
+        )
+    return table

@@ -1,0 +1,127 @@
+"""T-ft: fault-tolerance envelope (paper Section 7 comparison).
+
+"If a movie is replicated k times, then up to k-1 failures are
+tolerated" — versus Microsoft Tiger, which "smoothly tolerates the
+failure of one server, but not necessarily two failures even if the
+failures are not concurrent", and versus a plain single server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines.single_server import run_single_server_crash
+from repro.baselines.striped import run_striped_crash
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.metrics.report import Table
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+@dataclass
+class FaultTrial:
+    system: str
+    servers: int
+    kills: int
+    stall_time_s: float
+    skipped: int
+    displayed: int
+
+    @property
+    def survived(self) -> bool:
+        """Playback continuity survived: no human-visible freeze (>1 s)."""
+        return self.stall_time_s <= 1.0
+
+
+def run_group_service_trial(
+    k: int = 3, kills: int = 2, duration_s: float = 90.0, seed: int = 61
+) -> FaultTrial:
+    """k replicas, crash ``kills`` servers 15 s apart (non-concurrent)."""
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=k + 1)
+    catalog = MovieCatalog([Movie.synthetic("feature", duration_s=duration_s)])
+    deployment = Deployment(topology, catalog, server_nodes=list(range(k)))
+    client = deployment.attach_client(k)
+    client.request_movie("feature")
+
+    def crash_serving() -> None:
+        serving = client.serving_server
+        for server in deployment.live_servers():
+            if server.process == serving:
+                server.crash()
+                return
+
+    for kill in range(kills):
+        sim.call_at(30.0 + 15.0 * kill, crash_serving)
+    sim.run_until(duration_s)
+    client.decoder.end_stall(sim.now)
+    return FaultTrial(
+        system="group-communication VoD",
+        servers=k,
+        kills=kills,
+        stall_time_s=client.decoder.stats.stall_time_s,
+        skipped=client.skipped_total,
+        displayed=client.displayed_total,
+    )
+
+
+def run_striped_trial(
+    n: int = 3, kills: int = 1, duration_s: float = 90.0, seed: int = 31
+) -> FaultTrial:
+    client, cluster = run_striped_crash(
+        n_servers=n, kills=kills, duration_s=duration_s, seed=seed
+    )
+    del cluster
+    return FaultTrial(
+        system="Tiger-like striped",
+        servers=n,
+        kills=kills,
+        stall_time_s=client.stall_time_s,
+        skipped=client.skipped_total,
+        displayed=client.decoder.stats.displayed,
+    )
+
+
+def run_single_server_trial(duration_s: float = 90.0, seed: int = 41) -> FaultTrial:
+    client, deployment = run_single_server_crash(duration_s=duration_s, seed=seed)
+    del deployment
+    return FaultTrial(
+        system="single server",
+        servers=1,
+        kills=1,
+        stall_time_s=client.decoder.stats.stall_time_s,
+        skipped=client.skipped_total,
+        displayed=client.displayed_total,
+    )
+
+
+def run_fault_matrix(duration_s: float = 90.0) -> List[FaultTrial]:
+    """The full comparison matrix of the Section 7 discussion."""
+    trials = [run_single_server_trial(duration_s=duration_s)]
+    for kills in (1, 2):
+        trials.append(run_striped_trial(n=3, kills=kills, duration_s=duration_s))
+    for kills in (1, 2):
+        trials.append(
+            run_group_service_trial(k=3, kills=kills, duration_s=duration_s)
+        )
+    return trials
+
+
+def fault_matrix_table(trials: List[FaultTrial]) -> Table:
+    table = Table(
+        "T-ft — failures tolerated (3 servers unless noted, kills 15 s apart)",
+        ["system", "servers", "kills", "stall (s)", "skipped", "survived"],
+    )
+    for trial in trials:
+        table.add_row(
+            trial.system,
+            trial.servers,
+            trial.kills,
+            f"{trial.stall_time_s:.1f}",
+            trial.skipped,
+            "yes" if trial.survived else "NO",
+        )
+    return table

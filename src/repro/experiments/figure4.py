@@ -1,0 +1,188 @@
+"""Figure 4: overcoming the irregularity of video transmission in a LAN.
+
+Four panels, all measured at the client during the LAN scenario
+(crash at ~38 s, load-balance migration at ~62 s):
+
+* (a) cumulative skipped frames — small steps (<= ~6) at each emergency
+  period, and none of the overflow victims is an I frame;
+* (b) cumulative late frames — duplicate transmissions at each
+  migration (the conservative handoff);
+* (c) software buffer occupancy — fills to a mean of ~23 frames,
+  oscillates between the water marks, drops to zero at the crash and to
+  about a quarter of capacity at the load balance;
+* (d) hardware buffer occupancy in bytes — fills within ~10 s and dips
+  after the crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.scenarios import LAN_SCENARIO, ScenarioResult, run_scenario
+from repro.metrics.collector import TimeSeries
+from repro.metrics.report import Table
+
+#: Window (seconds) after a scenario event in which its effects land.
+EVENT_WINDOW_S = 12.0
+
+
+@dataclass
+class Figure4:
+    """Extracted series and summary facts for all four panels."""
+
+    result: ScenarioResult
+    skipped: TimeSeries
+    late: TimeSeries
+    sw_occupancy: TimeSeries
+    hw_occupancy_bytes: TimeSeries
+    crash_time: float
+    lb_time: float
+
+    # ------------------------------------------------------------------
+    # Panel (a): skipped frames
+    # ------------------------------------------------------------------
+    def skipped_at_startup(self) -> float:
+        return self.skipped.increase_over(0.0, 20.0)
+
+    def skipped_at_crash(self) -> float:
+        return self.skipped.increase_over(
+            self.crash_time - 1, self.crash_time + EVENT_WINDOW_S
+        )
+
+    def skipped_at_lb(self) -> float:
+        return self.skipped.increase_over(
+            self.lb_time - 1, self.lb_time + EVENT_WINDOW_S
+        )
+
+    def intra_frames_discarded(self) -> int:
+        return self.result.client.stats.overflow_discarded_intra
+
+    # ------------------------------------------------------------------
+    # Panel (b): late frames
+    # ------------------------------------------------------------------
+    def late_at_crash(self) -> float:
+        return self.late.increase_over(
+            self.crash_time - 1, self.crash_time + EVENT_WINDOW_S
+        )
+
+    def late_at_lb(self) -> float:
+        return self.late.increase_over(
+            self.lb_time - 1, self.lb_time + EVENT_WINDOW_S
+        )
+
+    # ------------------------------------------------------------------
+    # Panel (c): software buffer
+    # ------------------------------------------------------------------
+    def sw_mean_steady(self) -> float:
+        """Mean occupancy over the quiet stretch after the migrations."""
+        start = self.lb_time + 20.0
+        return self.sw_occupancy.mean(start, self.result.spec.run_duration_s - 5)
+
+    def sw_min_after_crash(self) -> float:
+        return self.sw_occupancy.min(
+            self.crash_time, self.crash_time + EVENT_WINDOW_S
+        )
+
+    def sw_min_after_lb(self) -> float:
+        return self.sw_occupancy.min(self.lb_time, self.lb_time + EVENT_WINDOW_S)
+
+    def sw_fill_time(self, fraction: float = 0.9) -> float:
+        """Seconds until occupancy first reaches ``fraction`` of its
+        steady mean (the paper: mean reached after ~14 s)."""
+        target = fraction * self.sw_mean_steady()
+        for time, value in zip(self.sw_occupancy.times, self.sw_occupancy.values):
+            if value >= target:
+                return time
+        return float("inf")
+
+    # ------------------------------------------------------------------
+    # Panel (d): hardware buffer
+    # ------------------------------------------------------------------
+    def hw_fill_time(self, fraction: float = 0.9) -> float:
+        capacity = self.result.client.decoder.capacity_bytes
+        for time, value in zip(
+            self.hw_occupancy_bytes.times, self.hw_occupancy_bytes.values
+        ):
+            if value >= fraction * capacity:
+                return time
+        return float("inf")
+
+    def hw_min_fraction_after_crash(self) -> float:
+        capacity = self.result.client.decoder.capacity_bytes
+        low = self.hw_occupancy_bytes.min(
+            self.crash_time, self.crash_time + EVENT_WINDOW_S
+        )
+        return low / capacity
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary_table(self) -> Table:
+        client = self.result.client
+        table = Table(
+            "Figure 4 — LAN irregularity recovery (paper shape vs measured)",
+            ["panel", "quantity", "paper", "measured"],
+        )
+        table.add_row("a", "skipped per emergency event", "<= 6",
+                      f"start={self.skipped_at_startup():.0f} "
+                      f"crash={self.skipped_at_crash():.0f} "
+                      f"lb={self.skipped_at_lb():.0f}")
+        table.add_row("a", "I frames among overflow discards", "0",
+                      f"{self.intra_frames_discarded()}")
+        table.add_row("b", "late (duplicate) frames at crash", "step",
+                      f"{self.late_at_crash():.0f}")
+        table.add_row("b", "late (duplicate) frames at load balance", "step",
+                      f"{self.late_at_lb():.0f}")
+        table.add_row("c", "software mean occupancy (frames)", "~23",
+                      f"{self.sw_mean_steady():.1f}")
+        table.add_row("c", "software occupancy after crash", "drops to 0",
+                      f"{self.sw_min_after_crash():.0f}")
+        table.add_row("c", "software occupancy after load balance", "~1/4 cap",
+                      f"{self.sw_min_after_lb():.0f}"
+                      f"/{client.config.sw_capacity_frames}")
+        table.add_row("d", "hardware buffer fill time (s)", "~10",
+                      f"{self.hw_fill_time():.1f}")
+        table.add_row("d", "hardware dip after crash (fraction)", "~3/4",
+                      f"{self.hw_min_fraction_after_crash():.2f}")
+        table.add_row("-", "stalls visible to the viewer", "none",
+                      f"{client.decoder.stats.stall_time_s:.2f}s")
+        table.add_row("-", "image degradation per event", "< 1 s, not noticeable",
+                      f"{client.decoder.stats.degraded_frames} frames over "
+                      f"{client.decoder.stats.degradation_episodes} episode(s)")
+        return table
+
+    def series_samples(self, every: float = 20.0) -> Dict[str, List[Tuple[float, float]]]:
+        """Down-sampled curves, one row per ``every`` seconds."""
+        end = self.result.spec.run_duration_s
+
+        def sample(series: TimeSeries):
+            points = []
+            t = 0.0
+            while t <= end:
+                value = series.value_at(t)
+                if value is not None:
+                    points.append((t, value))
+                t += every
+            return points
+
+        return {
+            "4a_skipped": sample(self.skipped),
+            "4b_late": sample(self.late),
+            "4c_software_frames": sample(self.sw_occupancy),
+            "4d_hardware_bytes": sample(self.hw_occupancy_bytes),
+        }
+
+
+def run_figure4(seed: int = None) -> Figure4:
+    result = run_scenario(LAN_SCENARIO, seed=seed)
+    stats = result.client.stats
+    return Figure4(
+        result=result,
+        skipped=stats.skipped_cum,
+        late=stats.late_cum,
+        sw_occupancy=stats.sw_occupancy,
+        hw_occupancy_bytes=stats.hw_occupancy_bytes,
+        crash_time=result.crash_times[0],
+        lb_time=result.server_up_times[0],
+    )

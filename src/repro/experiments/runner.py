@@ -1,0 +1,230 @@
+"""Command-line experiment runner: ``repro-vod <experiment>``.
+
+Regenerates any table or figure of the paper from the terminal::
+
+    repro-vod figure2
+    repro-vod figure4 --seed 17
+    repro-vod figure5
+    repro-vod sync-overhead --clients 8
+    repro-vod emergency
+    repro-vod takeover --trials 5
+    repro-vod faults
+    repro-vod ablations
+    repro-vod all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _print_figure2(args: argparse.Namespace) -> None:
+    from repro.experiments.figure2 import render_figure2
+
+    print(render_figure2())
+
+
+def _print_figure4(args: argparse.Namespace) -> None:
+    from repro.experiments.figure4 import run_figure4
+    from repro.metrics.ascii_chart import render_timeseries
+
+    figure = run_figure4(seed=args.seed)
+    if getattr(args, "json", None):
+        figure.result.export_json(args.json)
+        print(f"run exported to {args.json}")
+    print(figure.summary_table().render())
+    markers = [(figure.crash_time, "crash"), (figure.lb_time, "load balance")]
+    for title, series in (
+        ("Figure 4(a) — cumulative skipped frames", figure.skipped),
+        ("Figure 4(b) — cumulative late frames", figure.late),
+        ("Figure 4(c) — software buffer occupancy (frames)",
+         figure.sw_occupancy),
+        ("Figure 4(d) — hardware buffer occupancy (bytes)",
+         figure.hw_occupancy_bytes),
+    ):
+        print()
+        print(render_timeseries(series, title=title, markers=markers))
+
+
+def _print_figure5(args: argparse.Namespace) -> None:
+    from repro.experiments.figure5 import run_figure5
+    from repro.metrics.ascii_chart import render_timeseries
+
+    figure = run_figure5(seed=args.seed)
+    if getattr(args, "json", None):
+        figure.result.export_json(args.json)
+        print(f"run exported to {args.json}")
+    print(figure.summary_table().render())
+    markers = [(figure.lb_time, "load balance"), (figure.crash_time, "crash")]
+    for title, series in (
+        ("Figure 5(a) — cumulative skipped frames", figure.skipped),
+        ("Figure 5(b) — frames discarded due to buffer overflow",
+         figure.overflow),
+    ):
+        print()
+        print(render_timeseries(series, title=title, markers=markers))
+
+
+def _print_sync_overhead(args: argparse.Namespace) -> None:
+    from repro.experiments.overheads import measure_sync_overhead
+
+    result = measure_sync_overhead(n_clients=args.clients)
+    print(result.table().render())
+
+
+def _print_emergency(args: argparse.Namespace) -> None:
+    from repro.experiments.overheads import measure_emergency
+
+    print(measure_emergency().table().render())
+
+
+def _print_takeover(args: argparse.Namespace) -> None:
+    from repro.experiments.overheads import measure_takeover
+
+    print(measure_takeover(n_trials=args.trials).table().render())
+
+
+def _print_gcs(args: argparse.Namespace) -> None:
+    from repro.experiments.gcs_latency import (
+        gcs_latency_table,
+        measure_scaling,
+    )
+
+    print(gcs_latency_table(measure_scaling()).render())
+
+
+def _print_capacity(args: argparse.Namespace) -> None:
+    from repro.experiments.capacity import capacity_table, run_capacity_sweep
+
+    print(capacity_table(run_capacity_sweep()).render())
+
+
+def _print_qos(args: argparse.Namespace) -> None:
+    from repro.experiments.qos import qos_comparison_table, run_wan_trial
+
+    best_effort = run_wan_trial(False)
+    reserved = run_wan_trial(True)
+    print(qos_comparison_table(best_effort, reserved).render())
+
+
+def _print_faults(args: argparse.Namespace) -> None:
+    from repro.experiments.faults import fault_matrix_table, run_fault_matrix
+
+    print(fault_matrix_table(run_fault_matrix()).render())
+
+
+def _print_ablations(args: argparse.Namespace) -> None:
+    from repro.experiments.ablations import (
+        ablate_buffer_size,
+        ablate_double_emergency,
+        ablate_emergency,
+        ablate_fd_timeout,
+        ablate_sync_interval,
+        ablation_table,
+    )
+
+    print(ablation_table(ablate_buffer_size(), "A-1 — software buffer size"))
+    print()
+    print(ablation_table(ablate_emergency(), "A-2 — emergency refill quota"))
+    print()
+    print(ablation_table(ablate_sync_interval(), "A-3 — state sync interval"))
+    print()
+    print(ablation_table(ablate_fd_timeout(), "A-4 — failure detection timeout"))
+    print()
+    print(ablation_table(
+        ablate_double_emergency(),
+        "A-5 — back-to-back failures (1 s apart) vs buffer size",
+    ))
+
+
+def _print_all(args: argparse.Namespace) -> None:
+    for fn in (
+        _print_figure2,
+        _print_figure4,
+        _print_figure5,
+        _print_sync_overhead,
+        _print_emergency,
+        _print_takeover,
+        _print_qos,
+        _print_faults,
+        _print_ablations,
+    ):
+        fn(args)
+        print("\n" + "=" * 72 + "\n")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-vod",
+        description=(
+            "Regenerate the evaluation of 'Fault Tolerant Video on Demand "
+            "Services' (ICDCS 1999)"
+        ),
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--seed", type=int, default=None, help="override the scenario seed"
+    )
+    common.add_argument(
+        "--json", type=str, default=None,
+        help="also dump the figure4/figure5 run (counters + series) to "
+             "this JSON file",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    sub.add_parser("figure2", parents=[common],
+                   help="flow-control policy table")
+    sub.add_parser("figure4", parents=[common],
+                   help="LAN irregularity recovery (4 panels)")
+    sub.add_parser("figure5", parents=[common],
+                   help="WAN skipped frames (2 panels)")
+    p = sub.add_parser("sync-overhead", parents=[common], help="T-sync claim")
+    p.add_argument("--clients", type=int, default=4)
+    sub.add_parser("emergency", parents=[common], help="T-emergency claim")
+    p = sub.add_parser("takeover", parents=[common],
+                       help="T-buffer take-over time")
+    p.add_argument("--trials", type=int, default=5)
+    sub.add_parser("qos", parents=[common],
+                   help="E-qos: best-effort vs reserved WAN")
+    sub.add_parser("capacity", parents=[common],
+                   help="E-capacity: clients per server")
+    sub.add_parser("gcs", parents=[common],
+                   help="T-gcs: view agreement latency scaling")
+    sub.add_parser("faults", parents=[common], help="T-ft comparison matrix")
+    sub.add_parser("ablations", parents=[common],
+                   help="A-1..A-5 parameter sweeps")
+    sub.add_parser("all", parents=[common], help="everything")
+    return parser
+
+
+_DISPATCH = {
+    "figure2": _print_figure2,
+    "figure4": _print_figure4,
+    "figure5": _print_figure5,
+    "sync-overhead": _print_sync_overhead,
+    "emergency": _print_emergency,
+    "takeover": _print_takeover,
+    "qos": _print_qos,
+    "capacity": _print_capacity,
+    "gcs": _print_gcs,
+    "faults": _print_faults,
+    "ablations": _print_ablations,
+    "all": _print_all,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Subparsers may not define every attribute; default the common ones.
+    defaults = (("clients", 4), ("trials", 5), ("seed", None), ("json", None))
+    for attribute, default in defaults:
+        if not hasattr(args, attribute):
+            setattr(args, attribute, default)
+    _DISPATCH[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Causally-ordered multicast on top of a group.
+
+Transis provided *causal* delivery between FIFO and agreed: a message is
+delivered only after every message its sender had delivered when sending
+it.  The construction is the classic vector-clock scheme:
+
+* each member keeps a vector ``delivered[member] = count`` of messages
+  delivered per sender;
+* a message carries its sender's vector at send time (its causal past);
+* a received message is held back until the local vector dominates the
+  carried one (everything the sender had seen is delivered here too).
+
+View changes are benign: the underlying flush equalizes FIFO streams, so
+surviving members hold identical sets, and vector entries of departed
+members stay frozen.  New joiners adopt the first message's vector as a
+baseline (they do not receive pre-join history).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.gcs.endpoint import GcsEndpoint, GroupHandle, GroupListener
+from repro.gcs.view import ProcessId, View
+
+DeliverFn = Callable[[ProcessId, Any], None]
+
+
+@dataclass(frozen=True)
+class _CausalPayload:
+    sender: ProcessId
+    seq: int  # per-sender counter (1-based)
+    past: Tuple[Tuple[ProcessId, int], ...]  # sender's vector at send
+    body: Any
+
+
+@dataclass
+class _Held:
+    payload: _CausalPayload
+
+
+class CausalGroup:
+    """A causal-multicast endpoint on one group."""
+
+    def __init__(
+        self,
+        endpoint: GcsEndpoint,
+        group: str,
+        process_name: str,
+        on_deliver: Optional[DeliverFn] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.group = group
+        self.on_deliver = on_deliver or (lambda sender, body: None)
+        self._delivered_count: Dict[ProcessId, int] = {}
+        self._held: List[_Held] = []
+        self._joined_mid_stream = True
+        self.delivered: List[Tuple[ProcessId, Any]] = []
+        self.handle: GroupHandle = endpoint.join(
+            group,
+            process_name,
+            GroupListener(on_view=self._on_view, on_message=self._on_message),
+        )
+        self.process = self.handle.process
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def multicast(self, body: Any, payload_bytes: int = 64) -> None:
+        """Send a message causally after everything delivered here."""
+        seq = self._delivered_count.get(self.process, 0) + 1
+        payload = _CausalPayload(
+            sender=self.process,
+            seq=seq,
+            past=tuple(sorted(self._delivered_count.items())),
+            body=body,
+        )
+        vector_bytes = 12 * len(payload.past)
+        self.handle.multicast(payload, payload_bytes + vector_bytes + 16)
+
+    @property
+    def view(self) -> Optional[View]:
+        return self.handle.view
+
+    def vector(self) -> Dict[ProcessId, int]:
+        """The current delivered-count vector (for tests/diagnostics)."""
+        return dict(self._delivered_count)
+
+    def leave(self) -> None:
+        self.handle.leave()
+
+    # ------------------------------------------------------------------
+    # Delivery machinery
+    # ------------------------------------------------------------------
+    def _on_message(self, sender: ProcessId, message: Any) -> None:
+        if not isinstance(message, _CausalPayload):
+            return
+        if self._joined_mid_stream:
+            # First causal message after our join: anything in its past
+            # predates us and will never be delivered here.  Adopt that
+            # past as the baseline (virtual-synchrony join semantics).
+            for member, count in message.past:
+                if self._delivered_count.get(member, 0) < count:
+                    self._delivered_count[member] = count
+            self._joined_mid_stream = False
+        self._held.append(_Held(message))
+        self._drain()
+
+    def _deliverable(self, payload: _CausalPayload) -> bool:
+        # FIFO-per-sender component of causality:
+        if payload.seq != self._delivered_count.get(payload.sender, 0) + 1:
+            return False
+        # The sender's causal past must be delivered here.
+        for member, count in payload.past:
+            if member == payload.sender:
+                continue
+            if self._delivered_count.get(member, 0) < count:
+                return False
+        return True
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for held in list(self._held):
+                payload = held.payload
+                if not self._deliverable(payload):
+                    continue
+                self._held.remove(held)
+                self._delivered_count[payload.sender] = payload.seq
+                self.delivered.append((payload.sender, payload.body))
+                self.on_deliver(payload.sender, payload.body)
+                progressed = True
+
+    def _on_view(self, view: View) -> None:
+        # Departed members' vector entries freeze; held messages whose
+        # past references only departed members' frozen counts remain
+        # deliverable because the flush equalized those FIFO streams.
+        self._drain()

@@ -1,0 +1,61 @@
+"""GCS domain: the configured set of daemons.
+
+A real Transis deployment knows its daemons from configuration files;
+the :class:`GcsDomain` plays that role — every endpoint created through
+it can broadcast control messages to all others.  Daemons added later
+(a server brought up on the fly) become visible to everyone, which
+models updating the configuration out of band.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.net.network import Network
+from repro.sim.core import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gcs.endpoint import GcsEndpoint
+
+
+class GcsDomain:
+    """Registry of all GCS daemons in one deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        fd_timeout: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.fd_timeout = fd_timeout
+        self._endpoints: Dict[int, "GcsEndpoint"] = {}
+
+    def create_endpoint(self, node_id: int) -> "GcsEndpoint":
+        """Start a GCS daemon on ``node_id`` and register it domain-wide."""
+        from repro.gcs.endpoint import GcsEndpoint
+        from repro.gcs.failure_detector import DEFAULT_TIMEOUT
+
+        if node_id in self._endpoints and not self._endpoints[node_id].closed:
+            raise ValueError(f"node {node_id} already runs a GCS daemon")
+        endpoint = GcsEndpoint(
+            self,
+            self.network.node(node_id),
+            fd_timeout=self.fd_timeout or DEFAULT_TIMEOUT,
+        )
+        self._endpoints[node_id] = endpoint
+        return endpoint
+
+    def remove_endpoint(self, node_id: int) -> None:
+        self._endpoints.pop(node_id, None)
+
+    def daemon_nodes(self) -> List[int]:
+        """Node ids of all registered daemons (the 'configuration file')."""
+        return sorted(self._endpoints)
+
+    def endpoint(self, node_id: int) -> "GcsEndpoint":
+        return self._endpoints[node_id]
+
+    def __len__(self) -> int:
+        return len(self._endpoints)

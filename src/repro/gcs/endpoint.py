@@ -1,0 +1,516 @@
+"""The GCS daemon: one per node, multiplexing all groups.
+
+The endpoint owns the control-plane UDP socket, the failure detector,
+the heartbeat/tick/presence timers, and one
+:class:`~repro.gcs.membership.GroupMember` per locally joined group.  It
+also provides two extra messaging services used by the VoD layer:
+
+* **open-group sends** — best-effort datagram to all members of a group
+  the sender did not join (the VoD client contacts the server group this
+  way, with application-level retry);
+* **reliable point-to-point** — acked, retried unicast between processes
+  (used for connection offers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import GroupError
+from repro.gcs.domain import GcsDomain
+from repro.gcs.failure_detector import (
+    DEFAULT_TIMEOUT,
+    FailureDetector,
+)
+from repro.gcs.membership import GroupMember, MemberState, TICK_INTERVAL
+from repro.gcs.messages import (
+    FlushOk,
+    FlushVector,
+    Heartbeat,
+    JoinRequest,
+    LeaveRequest,
+    Multicast,
+    Nack,
+    OpenGroupSend,
+    PointToPoint,
+    PointToPointAck,
+    Presence,
+    Propose,
+    Retransmission,
+    ViewCommit,
+)
+from repro.gcs.view import ProcessId, View
+from repro.net.address import GCS_PORT, Endpoint
+from repro.net.node import Node
+from repro.net.packet import Datagram
+from repro.net.udp import UdpSocket
+from repro.sim.process import Timer
+
+HEARTBEAT_INTERVAL = 0.15
+PRESENCE_INTERVAL = 2.5
+P2P_RETRY_INTERVAL = 0.15
+P2P_MAX_RETRIES = 20
+
+ViewCallback = Callable[[View], None]
+MessageCallback = Callable[[ProcessId, Any], None]
+P2pCallback = Callable[[ProcessId, Any], None]
+OpenSendCallback = Callable[[ProcessId, Any], None]
+
+
+class GroupListener:
+    """Callbacks a process supplies when joining a group."""
+
+    def __init__(
+        self,
+        on_view: Optional[ViewCallback] = None,
+        on_message: Optional[MessageCallback] = None,
+    ) -> None:
+        self.on_view = on_view or (lambda view: None)
+        self.on_message = on_message or (lambda sender, payload: None)
+
+
+class GroupHandle:
+    """A process's handle on one joined group."""
+
+    def __init__(self, endpoint: "GcsEndpoint", member: GroupMember) -> None:
+        self._endpoint = endpoint
+        self._member = member
+
+    @property
+    def group(self) -> str:
+        return self._member.group
+
+    @property
+    def view(self) -> Optional[View]:
+        return self._member.view
+
+    @property
+    def process(self) -> ProcessId:
+        return self._member.local
+
+    def multicast(self, payload: Any, payload_bytes: int = 64) -> None:
+        """Reliable FIFO multicast to the current view members."""
+        self._member.multicast(payload, payload_bytes)
+
+    def leave(self) -> None:
+        self._endpoint.leave_group(self._member.group)
+
+    @property
+    def is_member(self) -> bool:
+        return self._member.is_member
+
+
+class GcsEndpoint:
+    """A GCS daemon bound to one node."""
+
+    def __init__(self, domain: GcsDomain, node: Node, fd_timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.domain = domain
+        self.node = node
+        self.sim = domain.sim
+        self.daemon_id = node.node_id
+        self.closed = False
+
+        self.socket = UdpSocket(node, GCS_PORT, on_receive=self._on_datagram)
+        self.fd = FailureDetector(
+            self.sim,
+            timeout=fd_timeout,
+            on_suspect=self._on_suspicion_event,
+            on_trust=self._on_suspicion_event,
+        )
+        self._members: Dict[str, GroupMember] = {}
+        self._p2p_handlers: Dict[str, P2pCallback] = {}
+        self._open_handlers: Dict[str, OpenSendCallback] = {}
+        # Reliable p2p state.
+        self._p2p_next_seq = 0
+        self._p2p_pending: Dict[int, Dict[str, Any]] = {}
+        self._p2p_seen: Dict[Tuple[ProcessId, int], bool] = {}
+        self._open_seen: Set[Tuple[ProcessId, int]] = set()
+        self._open_next_id = 0
+        # Graceful-leave tombstones per group.
+        self._tombstones: Dict[str, Set[ProcessId]] = {}
+        # Control-plane traffic accounting (for the overhead experiment).
+        self.control_bytes_sent = 0
+        self.control_packets_sent = 0
+
+        self._hb_timer = Timer(
+            self.sim, HEARTBEAT_INTERVAL, self._heartbeat_tick,
+            start_delay=self._stagger(HEARTBEAT_INTERVAL),
+        )
+        self._tick_timer = Timer(
+            self.sim, TICK_INTERVAL, self._member_tick,
+            start_delay=self._stagger(TICK_INTERVAL),
+        )
+        self._presence_timer = Timer(
+            self.sim, PRESENCE_INTERVAL, self._presence_tick,
+            start_delay=self._stagger(PRESENCE_INTERVAL),
+        )
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def process_id(self, name: str) -> ProcessId:
+        return ProcessId(self.daemon_id, name)
+
+    def join(
+        self, group: str, process_name: str, listener: GroupListener
+    ) -> GroupHandle:
+        """Join ``group`` as the local process ``process_name``.
+
+        At most one local process per group per daemon (sufficient for
+        the VoD layout; the restriction keeps delivery bookkeeping
+        per-daemon).
+        """
+        self._ensure_open()
+        existing = self._members.get(group)
+        if existing is not None and existing.state != MemberState.LEFT:
+            raise GroupError(
+                f"daemon {self.daemon_id} already has a member in {group!r}"
+            )
+        process = self.process_id(process_name)
+        self._tombstones.get(group, set()).discard(process)
+        member = GroupMember(
+            self, group, process, listener.on_view, listener.on_message
+        )
+        self._members[group] = member
+        return GroupHandle(self, member)
+
+    def leave_group(self, group: str) -> None:
+        member = self._members.get(group)
+        if member is None:
+            return
+        member.leave()
+        del self._members[group]
+
+    def send_to_group(
+        self,
+        group: str,
+        payload: Any,
+        payload_bytes: int = 64,
+        sender_name: str = "anon",
+    ) -> int:
+        """Open-group send: best-effort datagram to all group members.
+
+        Returns a request id; duplicates of the same request are
+        suppressed at receivers, so callers may re-send for reliability.
+        """
+        self._ensure_open()
+        self._open_next_id += 1
+        message = OpenGroupSend(
+            group,
+            self.process_id(sender_name),
+            payload,
+            payload_bytes,
+            self._open_next_id,
+        )
+        self.broadcast_domain(message)
+        # Local members receive it too.
+        self._deliver_open_send(message)
+        return self._open_next_id
+
+    def register_open_group_handler(
+        self, group: str, handler: OpenSendCallback
+    ) -> None:
+        """Receive open-group sends for a group joined on this daemon."""
+        self._open_handlers[group] = handler
+
+    def send_p2p(self, target: ProcessId, payload: Any, payload_bytes: int = 64,
+                 sender_name: str = "anon") -> None:
+        """Reliable unicast to ``target`` (acked, retried)."""
+        self._ensure_open()
+        self._p2p_next_seq += 1
+        message = PointToPoint(
+            self.process_id(sender_name), target, self._p2p_next_seq,
+            payload, payload_bytes,
+        )
+        self._p2p_pending[message.seq] = {"message": message, "tries": 0}
+        self._p2p_transmit(message.seq)
+
+    def register_p2p_handler(self, process_name: str, handler: P2pCallback) -> None:
+        self._p2p_handlers[process_name] = handler
+
+    def group_view(self, group: str) -> Optional[View]:
+        member = self._members.get(group)
+        return member.view if member is not None else None
+
+    def shutdown(self) -> None:
+        """Graceful daemon shutdown: leave all groups, stop timers."""
+        if self.closed:
+            return
+        for group in list(self._members):
+            self.leave_group(group)
+        self._stop()
+
+    def crash(self) -> None:
+        """Fail-stop without goodbyes (used with node.crash())."""
+        self._stop()
+
+    def _stop(self) -> None:
+        self.closed = True
+        self._hb_timer.cancel()
+        self._tick_timer.cancel()
+        self._presence_timer.cancel()
+        if not self.socket.closed:
+            self.socket.close()
+        self.domain.remove_endpoint(self.daemon_id)
+
+    # ==================================================================
+    # Services used by GroupMember (duck-typed context)
+    # ==================================================================
+    def send_to_daemon(self, daemon: int, message: Any) -> None:
+        if self.closed or daemon == self.daemon_id:
+            self._loopback(message)
+            return
+        size = message.wire_bytes()
+        self.control_bytes_sent += size
+        self.control_packets_sent += 1
+        self.socket.sendto(Endpoint(daemon, GCS_PORT), message, size)
+
+    def broadcast_domain(self, message: Any) -> None:
+        if self.closed:
+            return
+        for daemon in self.domain.daemon_nodes():
+            if daemon != self.daemon_id:
+                self.send_to_daemon(daemon, message)
+
+    def suspected_daemons(self) -> Set[int]:
+        return self.fd.suspected()
+
+    @staticmethod
+    def daemon_of(process: ProcessId) -> int:
+        return process.node
+
+    def note_installed_view(self, group: str, view: View) -> None:
+        """Hook: refresh FD watch targets after a view installation."""
+        self._refresh_watches()
+
+    def note_left_process(self, group: str, process: ProcessId) -> None:
+        self._tombstones.setdefault(group, set()).add(process)
+
+    def is_tombstoned(self, group: str, process: ProcessId) -> bool:
+        return process in self._tombstones.get(group, set())
+
+    # ==================================================================
+    # Timers
+    # ==================================================================
+    def _heartbeat_tick(self) -> None:
+        if self.closed:
+            return
+        ack_vectors = {}
+        for group, member in self._members.items():
+            if member.state == MemberState.LEFT:
+                continue
+            vector = member.heartbeat_vector()
+            ack_vectors[group] = vector
+            member.store.update_peer_vector(member.local, vector)
+            if member.view is not None:
+                member.store.evict_stable(list(member.view.members))
+        heartbeat = Heartbeat(self.daemon_id, ack_vectors)
+        for daemon in self._heartbeat_targets():
+            self.send_to_daemon(daemon, heartbeat)
+        self.fd.check()
+
+    def _heartbeat_targets(self) -> Set[int]:
+        """Daemons of every co-member in any group or live proposal."""
+        targets: Set[int] = set()
+        for member in self._members.values():
+            if member.view is not None:
+                targets.update(p.node for p in member.view.members)
+            if member.proposal is not None:
+                targets.update(p.node for p in member.proposal.members)
+        targets.discard(self.daemon_id)
+        return targets
+
+    def _refresh_watches(self) -> None:
+        wanted = self._heartbeat_targets()
+        for daemon in wanted - self.fd.watched():
+            self.fd.watch(daemon)
+        for daemon in self.fd.watched() - wanted:
+            self.fd.unwatch(daemon)
+
+    def _on_suspicion_event(self, _daemon: int) -> None:
+        """FD output changed: let every group re-evaluate its membership."""
+        if self.closed:
+            return
+        for member in list(self._members.values()):
+            member.on_suspicion_change()
+
+    def _member_tick(self) -> None:
+        if self.closed:
+            return
+        self._refresh_watches()
+        for member in list(self._members.values()):
+            member.tick()
+        self._p2p_tick()
+
+    def _presence_tick(self) -> None:
+        if self.closed:
+            return
+        for group, member in self._members.items():
+            view = member.view
+            if view is None or member.state != MemberState.NORMAL:
+                continue
+            if view.coordinator != member.local:
+                continue
+            presence = Presence(group, view.view_id, view.members, member.local)
+            self.broadcast_domain(presence)
+
+    # ==================================================================
+    # Receive path
+    # ==================================================================
+    def _on_datagram(self, datagram: Datagram) -> None:
+        if self.closed:
+            return
+        self._dispatch(datagram.payload, datagram.src.node)
+
+    def _loopback(self, message: Any) -> None:
+        # Same-daemon control messages short-circuit the network.
+        self.sim.call_soon(self._dispatch, message, self.daemon_id)
+
+    def _dispatch(self, message: Any, from_daemon: int) -> None:
+        if self.closed:
+            return
+        self.fd.heard_from(from_daemon)
+        if isinstance(message, Heartbeat):
+            self._on_heartbeat(message)
+        elif isinstance(message, Multicast):
+            self._with_member(message.group, lambda m: m.on_multicast(message))
+        elif isinstance(message, Retransmission):
+            self._with_member(
+                message.original.group,
+                lambda m: m.on_multicast(message.original),
+            )
+        elif isinstance(message, JoinRequest):
+            self._tombstones.get(message.group, set()).discard(message.process)
+            self._with_member(message.group, lambda m: m.on_join_request(message))
+        elif isinstance(message, LeaveRequest):
+            self.note_left_process(message.group, message.process)
+            self._with_member(message.group, lambda m: m.on_leave_request(message))
+        elif isinstance(message, Propose):
+            self._with_member(message.group, lambda m: m.on_propose(message))
+        elif isinstance(message, FlushVector):
+            self._with_member(message.group, lambda m: m.on_flush_vector(message))
+        elif isinstance(message, FlushOk):
+            self._with_member(message.group, lambda m: m.on_flush_ok(message))
+        elif isinstance(message, ViewCommit):
+            self._with_member(message.group, lambda m: m.on_view_commit(message))
+        elif isinstance(message, Nack):
+            self._with_member(
+                message.group, lambda m: m.on_nack(message, from_daemon)
+            )
+        elif isinstance(message, Presence):
+            self._on_presence(message, from_daemon)
+        elif isinstance(message, OpenGroupSend):
+            self._deliver_open_send(message)
+        elif isinstance(message, PointToPoint):
+            self._on_p2p(message)
+        elif isinstance(message, PointToPointAck):
+            self._p2p_pending.pop(message.seq, None)
+
+    def _with_member(self, group: str, action: Callable[[GroupMember], None]) -> None:
+        member = self._members.get(group)
+        if member is not None and member.state != MemberState.LEFT:
+            action(member)
+
+    def _on_heartbeat(self, heartbeat: Heartbeat) -> None:
+        for group, vector in heartbeat.ack_vectors.items():
+            member = self._members.get(group)
+            if member is None or member.state == MemberState.LEFT:
+                continue
+            peers = [
+                p for p in (member.view.members if member.view else ())
+                if p.node == heartbeat.sender_daemon
+            ]
+            for peer in peers:
+                member.on_peer_vector(peer, vector)
+
+    def _on_presence(self, presence: Presence, from_daemon: int) -> None:
+        member = self._members.get(presence.group)
+        if member is None or member.state == MemberState.LEFT:
+            return
+        members = tuple(
+            p for p in presence.members
+            if not self.is_tombstoned(presence.group, p)
+        )
+        if member.view is not None and member.local not in presence.members:
+            # We were left out of their view: advertise ourselves so the
+            # union rule can fire at whoever is the smallest process.
+            reply = Presence(
+                presence.group,
+                member.view.view_id,
+                member.view.members,
+                member.local,
+            )
+            self.send_to_daemon(from_daemon, reply)
+        member.on_presence(presence.view_id, members)
+
+    def _deliver_open_send(self, message: OpenGroupSend) -> None:
+        key = (message.sender, message.request_id)
+        if key in self._open_seen:
+            return
+        self._open_seen.add(key)
+        if len(self._open_seen) > 100_000:
+            self._open_seen.clear()
+        member = self._members.get(message.group)
+        if member is None or not member.is_member:
+            return
+        handler = self._open_handlers.get(message.group)
+        if handler is not None:
+            handler(message.sender, message.payload)
+
+    # ==================================================================
+    # Reliable point-to-point
+    # ==================================================================
+    def _on_p2p(self, message: PointToPoint) -> None:
+        ack = PointToPointAck(message.target, message.sender, message.seq)
+        self.send_to_daemon(message.sender.node, ack)
+        key = (message.sender, message.seq)
+        if key in self._p2p_seen:
+            return
+        self._p2p_seen[key] = True
+        if len(self._p2p_seen) > 100_000:
+            self._p2p_seen.clear()
+        handler = self._p2p_handlers.get(message.target.name)
+        if handler is not None:
+            handler(message.sender, message.payload)
+
+    def _p2p_transmit(self, seq: int) -> None:
+        entry = self._p2p_pending.get(seq)
+        if entry is None:
+            return
+        entry["tries"] += 1
+        entry["last_sent"] = self.now
+        message: PointToPoint = entry["message"]
+        self.send_to_daemon(message.target.node, message)
+
+    def _p2p_tick(self) -> None:
+        for seq in list(self._p2p_pending):
+            entry = self._p2p_pending.get(seq)
+            if entry is None:
+                continue
+            if entry["tries"] >= P2P_MAX_RETRIES:
+                del self._p2p_pending[seq]
+                continue
+            if self.now - entry.get("last_sent", 0.0) >= P2P_RETRY_INTERVAL:
+                self._p2p_transmit(seq)
+
+    # ==================================================================
+    # Helpers
+    # ==================================================================
+    def _stagger(self, interval: float) -> float:
+        """Desynchronize timers across daemons deterministically."""
+        rng = self.sim.rng(f"gcs.stagger.{self.daemon_id}")
+        return rng.uniform(0.0, interval)
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise GroupError(f"GCS daemon on node {self.daemon_id} is closed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GcsEndpoint node={self.daemon_id} groups={sorted(self._members)} "
+            f"{'closed' if self.closed else 'open'}>"
+        )

@@ -1,0 +1,218 @@
+"""Wire messages of the GCS control plane.
+
+Sizes are estimated explicitly (we never really serialize); the estimates
+matter because the paper claims the whole control plane costs less than
+one thousandth of the video bandwidth, and the overhead experiment
+verifies that claim against these sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.gcs.view import ProcessId, ViewId
+
+#: Bytes we charge for the fixed part of every GCS message (type tag,
+#: group name hash, sender id, checksum).
+BASE_BYTES = 24
+#: Bytes per process id appearing in a message.
+PID_BYTES = 8
+#: Bytes per (sender -> seq) vector entry.
+VECTOR_ENTRY_BYTES = 12
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Daemon liveness beacon; carries per-group delivered-seq vectors for
+    stability tracking (positive acks piggybacked on heartbeats)."""
+
+    sender_daemon: int
+    ack_vectors: Dict[str, Dict[ProcessId, int]] = field(default_factory=dict)
+
+    def wire_bytes(self) -> int:
+        entries = sum(len(vector) for vector in self.ack_vectors.values())
+        return BASE_BYTES + entries * VECTOR_ENTRY_BYTES
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """A process asks to join a group (broadcast to all daemons)."""
+
+    group: str
+    process: ProcessId
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + PID_BYTES
+
+
+@dataclass(frozen=True)
+class LeaveRequest:
+    """A process gracefully leaves a group."""
+
+    group: str
+    process: ProcessId
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + PID_BYTES
+
+
+@dataclass(frozen=True)
+class Multicast:
+    """A reliable FIFO multicast data message within a group."""
+
+    group: str
+    sender: ProcessId
+    seq: int
+    payload: Any
+    payload_bytes: int
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + PID_BYTES + self.payload_bytes
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Receiver asks ``holder`` to retransmit gaps of ``origin``'s flow."""
+
+    group: str
+    origin: ProcessId
+    missing_from: int
+    missing_to: int
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + PID_BYTES + 8
+
+
+@dataclass(frozen=True)
+class Propose:
+    """Coordinator proposes a new view and starts the flush.
+
+    ``prior`` is the proposer's installed membership at proposal time;
+    it travels to the commit so every member derives identical
+    joined/departed sets for the new view.
+    """
+
+    group: str
+    view_id: ViewId
+    members: Tuple[ProcessId, ...]
+    prior: Tuple[ProcessId, ...] = ()
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + 12 + PID_BYTES * (len(self.members) + len(self.prior))
+
+
+@dataclass(frozen=True)
+class FlushVector:
+    """A member's per-sender max contiguous seq known, sent during flush."""
+
+    group: str
+    view_id: ViewId
+    sender: ProcessId
+    vector: Dict[ProcessId, int]
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + 12 + PID_BYTES + VECTOR_ENTRY_BYTES * len(self.vector)
+
+
+@dataclass(frozen=True)
+class FlushOk:
+    """A member tells the coordinator it caught up to the flush target."""
+
+    group: str
+    view_id: ViewId
+    sender: ProcessId
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + 12 + PID_BYTES
+
+
+@dataclass(frozen=True)
+class ViewCommit:
+    """Coordinator installs the agreed view with its flush cut."""
+
+    group: str
+    view_id: ViewId
+    members: Tuple[ProcessId, ...]
+    cut: Dict[ProcessId, int]
+    prior: Tuple[ProcessId, ...] = ()
+
+    def wire_bytes(self) -> int:
+        return (
+            BASE_BYTES
+            + 12
+            + PID_BYTES * (len(self.members) + len(self.prior))
+            + VECTOR_ENTRY_BYTES * len(self.cut)
+        )
+
+
+@dataclass(frozen=True)
+class Presence:
+    """Periodic beacon of an installed view, broadcast by every member.
+
+    Presence drives partition merge and repairs diverged views: a member
+    that hears a beacon describing a different member set proposes the
+    union (if it is the smallest live process of that union).
+    """
+
+    group: str
+    view_id: ViewId
+    members: Tuple[ProcessId, ...]
+    sender: ProcessId
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + 12 + PID_BYTES * (len(self.members) + 1)
+
+
+@dataclass(frozen=True)
+class OpenGroupSend:
+    """A message to a group from a non-member (open-group semantics).
+
+    ``reply_to`` lets receivers answer the anonymous sender directly.
+    """
+
+    group: str
+    sender: ProcessId
+    payload: Any
+    payload_bytes: int
+    request_id: int
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + PID_BYTES + 8 + self.payload_bytes
+
+
+@dataclass(frozen=True)
+class PointToPoint:
+    """A reliable unicast between processes (acked, retried)."""
+
+    sender: ProcessId
+    target: ProcessId
+    seq: int
+    payload: Any
+    payload_bytes: int
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + 2 * PID_BYTES + 8 + self.payload_bytes
+
+
+@dataclass(frozen=True)
+class PointToPointAck:
+    """Ack for :class:`PointToPoint`."""
+
+    sender: ProcessId
+    target: ProcessId
+    seq: int
+
+    def wire_bytes(self) -> int:
+        return BASE_BYTES + 2 * PID_BYTES + 8
+
+
+@dataclass(frozen=True)
+class Retransmission:
+    """A re-sent multicast, unicast to the process that NACKed."""
+
+    original: Multicast
+    to_daemon: Optional[int] = None
+
+    def wire_bytes(self) -> int:
+        return self.original.wire_bytes() + 4

@@ -1,0 +1,203 @@
+"""Totally-ordered ("agreed") multicast on top of a group.
+
+Transis offered *agreed* delivery alongside FIFO; the VoD paper's
+control plane only needs FIFO, but the authors note the concepts "may
+be exploited to construct a variety of highly available servers" — many
+of which (e.g. replicated state machines over the movie catalog) need
+total order.  This layer adds it with the classic fixed-sequencer
+construction:
+
+* every agreed message is FIFO-multicast in the group, tagged with a
+  local sequence id;
+* the current view's **coordinator** acts as sequencer: it FIFO-
+  multicasts an ordering token (sender, local id) -> global sequence
+  number;
+* members deliver messages in global-sequence order, holding back
+  arrivals until their token (and every earlier token's message) is in.
+
+View changes re-anchor the order: the flush protocol equalizes FIFO
+streams, so all members of the next view hold the same ordered prefix;
+a new coordinator simply continues assigning global numbers.  Messages
+whose token never appeared (the sequencer died first) are re-proposed
+to the new sequencer by their original sender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.gcs.endpoint import GcsEndpoint, GroupHandle, GroupListener
+from repro.gcs.view import ProcessId, View
+
+DeliverFn = Callable[[ProcessId, Any], None]
+ViewFn = Callable[[View], None]
+
+
+@dataclass(frozen=True)
+class _Payload:
+    """An agreed message as carried inside the FIFO multicast."""
+
+    sender: ProcessId
+    local_id: int
+    body: Any
+
+
+@dataclass(frozen=True)
+class _Token:
+    """Sequencer ordering decision: (sender, local_id) gets seq."""
+
+    sender: ProcessId
+    local_id: int
+    seq: int
+
+
+@dataclass
+class _PendingOrder:
+    payloads: Dict[Tuple[ProcessId, int], _Payload] = field(default_factory=dict)
+    tokens: Dict[int, _Token] = field(default_factory=dict)
+    next_deliver: int = 1
+
+
+class TotalOrderGroup:
+    """An agreed-multicast endpoint on one group.
+
+    Create one per process with the same group name; use
+    :meth:`multicast` to send and receive ordered messages through the
+    ``on_deliver`` callback.  Delivery order is identical at every
+    member that stays in the group.
+    """
+
+    def __init__(
+        self,
+        endpoint: GcsEndpoint,
+        group: str,
+        process_name: str,
+        on_deliver: Optional[DeliverFn] = None,
+        on_view: Optional[ViewFn] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.group = group
+        self.on_deliver = on_deliver or (lambda sender, body: None)
+        self.on_view_cb = on_view or (lambda view: None)
+        self._local_id = 0
+        self._state = _PendingOrder()
+        self._delivered: List[Tuple[ProcessId, Any]] = []
+        # Sequencer-local memory of keys already given a token.  The
+        # token multicast may still be queued behind a flush (blocked
+        # sends are invisible locally), so dedup cannot rely on the
+        # received-token set alone.
+        self._assigned_keys: set = set()
+        # Keys already handed to the application: a key can end up with
+        # two tokens when sequencer roles change hands mid-flush; the
+        # first (lowest-seq) token wins at every member, later ones are
+        # consumed silently.
+        self._delivered_keys: set = set()
+        # Messages we sent that have no token yet: re-proposed to a new
+        # sequencer after a view change.
+        self._unordered_own: Dict[int, _Payload] = {}
+        self._next_seq_to_assign = 1
+        self.handle: GroupHandle = endpoint.join(
+            group,
+            process_name,
+            GroupListener(on_view=self._on_view, on_message=self._on_message),
+        )
+        self.process = self.handle.process
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def multicast(self, body: Any, payload_bytes: int = 64) -> None:
+        """Send one agreed (totally ordered) message to the group."""
+        self._local_id += 1
+        payload = _Payload(self.process, self._local_id, body)
+        self._unordered_own[self._local_id] = payload
+        self.handle.multicast(payload, payload_bytes + 16)
+
+    @property
+    def view(self) -> Optional[View]:
+        return self.handle.view
+
+    @property
+    def delivered(self) -> List[Tuple[ProcessId, Any]]:
+        """All agreed deliveries so far, in order (for testing/audit)."""
+        return list(self._delivered)
+
+    def leave(self) -> None:
+        self.handle.leave()
+
+    # ------------------------------------------------------------------
+    # Sequencing
+    # ------------------------------------------------------------------
+    def _is_sequencer(self) -> bool:
+        view = self.handle.view
+        return view is not None and view.coordinator == self.process
+
+    def _on_message(self, sender: ProcessId, message: Any) -> None:
+        if isinstance(message, _Payload):
+            key = (message.sender, message.local_id)
+            if key not in self._state.payloads:
+                self._state.payloads[key] = message
+                if self._is_sequencer():
+                    self._assign_token(message)
+        elif isinstance(message, _Token):
+            self._state.tokens[message.seq] = message
+            self._next_seq_to_assign = max(
+                self._next_seq_to_assign, message.seq + 1
+            )
+            if message.sender == self.process:
+                self._unordered_own.pop(message.local_id, None)
+        self._drain()
+
+    def _assign_token(self, payload: _Payload) -> None:
+        key = (payload.sender, payload.local_id)
+        if key in self._assigned_keys:
+            return
+        if any(
+            (token.sender, token.local_id) == key
+            for token in self._state.tokens.values()
+        ):
+            return
+        self._assigned_keys.add(key)
+        token = _Token(payload.sender, payload.local_id, self._next_seq_to_assign)
+        self._next_seq_to_assign += 1
+        self.handle.multicast(token, 24)
+
+    def _drain(self) -> None:
+        state = self._state
+        while True:
+            token = state.tokens.get(state.next_deliver)
+            if token is None:
+                return
+            payload = state.payloads.get((token.sender, token.local_id))
+            if payload is None:
+                return
+            state.next_deliver += 1
+            key = (token.sender, token.local_id)
+            if key in self._delivered_keys:
+                continue  # a second token for the same message
+            self._delivered_keys.add(key)
+            self._delivered.append((payload.sender, payload.body))
+            self.on_deliver(payload.sender, payload.body)
+
+    # ------------------------------------------------------------------
+    # View changes
+    # ------------------------------------------------------------------
+    def _on_view(self, view: View) -> None:
+        # The flush equalized the FIFO streams, so every surviving
+        # member holds the same payloads and tokens.  If we are the new
+        # sequencer, order everything that is still unordered.
+        if self._is_sequencer():
+            ordered = {
+                (token.sender, token.local_id)
+                for token in self._state.tokens.values()
+            }
+            for key in sorted(self._state.payloads):
+                if key not in ordered:
+                    self._assign_token(self._state.payloads[key])
+        # Re-propose our own unordered messages: their payload multicast
+        # may have died with the old view.
+        for local_id in sorted(self._unordered_own):
+            payload = self._unordered_own[local_id]
+            self.handle.multicast(payload, 80)
+        self.on_view_cb(view)

@@ -1,0 +1,93 @@
+"""Process identities and group views."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.address import NodeId
+
+
+@dataclass(frozen=True, order=True)
+class ProcessId:
+    """A process registered with the GCS: (node, local name).
+
+    Ordering is total (node id, then name), which the membership protocol
+    uses to pick coordinators deterministically and which the VoD layer
+    uses for deterministic client re-distribution.
+    """
+
+    node: NodeId
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.node}"
+
+
+@dataclass(frozen=True)
+class ViewId:
+    """Totally ordered view identifier: (epoch counter, proposer)."""
+
+    counter: int
+    proposer: ProcessId
+
+    def __lt__(self, other: "ViewId") -> bool:
+        return (self.counter, self.proposer) < (other.counter, other.proposer)
+
+    def __le__(self, other: "ViewId") -> bool:
+        return self == other or self < other
+
+    def next(self, proposer: ProcessId) -> "ViewId":
+        return ViewId(self.counter + 1, proposer)
+
+    def __str__(self) -> str:
+        return f"v{self.counter}/{self.proposer}"
+
+
+@dataclass(frozen=True)
+class View:
+    """An installed membership view of one group.
+
+    ``members`` is sorted, so all members that install the view see the
+    identical sequence — the basis for deterministic takeover decisions.
+    ``prior`` is the proposer's membership before this change; since the
+    commit carries it, every member (including fresh joiners) derives
+    the *same* joined/departed sets, which the VoD layer needs to decide
+    between orphan takeover and even re-distribution.
+    """
+
+    group: str
+    view_id: ViewId
+    members: Tuple[ProcessId, ...]
+    prior: Tuple[ProcessId, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", tuple(sorted(self.members)))
+        object.__setattr__(self, "prior", tuple(sorted(self.prior)))
+
+    @property
+    def joined(self) -> Tuple[ProcessId, ...]:
+        """Members that were not in the proposer's previous view."""
+        prior = set(self.prior)
+        return tuple(m for m in self.members if m not in prior)
+
+    @property
+    def departed(self) -> Tuple[ProcessId, ...]:
+        """Prior members no longer present."""
+        members = set(self.members)
+        return tuple(m for m in self.prior if m not in members)
+
+    @property
+    def coordinator(self) -> ProcessId:
+        """The deterministic leader of this view (smallest member)."""
+        return self.members[0]
+
+    def __contains__(self, process: ProcessId) -> bool:
+        return process in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __str__(self) -> str:
+        names = ", ".join(str(member) for member in self.members)
+        return f"View({self.group} {self.view_id} [{names}])"

@@ -1,0 +1,25 @@
+"""MPEG-like media model.
+
+The paper stores and ships real MPEG-1 movies; the evaluation, however,
+depends only on the *structure* of the stream — frame types (I frames
+are full images, P/B frames incremental), frame sizes, and the frame
+rate.  This package models exactly that structure: synthetic movies with
+a configurable GOP pattern calibrated to the paper's 1.4 Mbps / 30 fps
+stream, a replicated movie catalog, and a hardware-decoder model with a
+byte-capacity input buffer (the Optibase card's 240 KB).
+"""
+
+from repro.media.catalog import MovieCatalog
+from repro.media.decoder import DecoderStats, HardwareDecoder
+from repro.media.frames import Frame, FrameType, GopPattern
+from repro.media.movie import Movie
+
+__all__ = [
+    "DecoderStats",
+    "Frame",
+    "FrameType",
+    "GopPattern",
+    "HardwareDecoder",
+    "Movie",
+    "MovieCatalog",
+]

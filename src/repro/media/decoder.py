@@ -1,0 +1,162 @@
+"""Hardware MPEG decoder model.
+
+The client machines in the paper decode with an Optibase hardware card
+that has its own input buffer ("240 KB hardware buffers, approximately
+1.2 seconds of video").  We model the card as a byte-capacity FIFO that
+the player fills from its software buffer and that consumes (displays)
+one frame per frame period.  The decoder itself never reorders — frames
+must be streamed into it in display order, which is why late-arriving
+frames whose successors were already streamed in must be dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.errors import MediaError
+from repro.media.frames import Frame
+
+#: The paper's hardware buffer size.
+DEFAULT_HW_CAPACITY_BYTES = 240 * 1024
+
+
+@dataclass
+class DecoderStats:
+    """Display-side accounting."""
+
+    displayed: int = 0
+    skipped_gaps: int = 0  # frame indices jumped over at display time
+    stall_events: int = 0
+    stall_time_s: float = 0.0
+    last_displayed_index: int = 0
+    # Start times of stalls longer than one frame period, for the
+    # "noticeable to a human observer" analysis.
+    stall_starts: List[float] = field(default_factory=list)
+    # Incremental frames displayed while their GOP was damaged (some
+    # frame since the last I frame never arrived): MPEG cannot decode
+    # them cleanly, so they render as the paper's "slight transient
+    # degradation of the video image".
+    degraded_frames: int = 0
+    # Contiguous degradation episodes (ended by the next intact I frame).
+    degradation_episodes: int = 0
+
+
+class HardwareDecoder:
+    """Byte-bounded FIFO of frames awaiting display."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_HW_CAPACITY_BYTES) -> None:
+        if capacity_bytes <= 0:
+            raise MediaError(f"capacity must be positive, got {capacity_bytes!r}")
+        self.capacity_bytes = capacity_bytes
+        self._queue: Deque[Frame] = deque()
+        self._occupancy_bytes = 0
+        self.highest_pushed_index = 0
+        self.stats = DecoderStats()
+        self._stalled_since: Optional[float] = None
+        self._gop_damaged = False
+
+    # ------------------------------------------------------------------
+    # Fill side (player streams frames in, display order)
+    # ------------------------------------------------------------------
+    def has_space_for(self, frame: Frame) -> bool:
+        return self._occupancy_bytes + frame.size_bytes <= self.capacity_bytes
+
+    def push(self, frame: Frame) -> None:
+        """Stream one frame into the card.  Order must be ascending."""
+        if frame.index <= self.highest_pushed_index:
+            raise MediaError(
+                f"frame {frame.index} pushed after {self.highest_pushed_index}; "
+                "the hardware decoder cannot reorder"
+            )
+        if not self.has_space_for(frame):
+            raise MediaError(
+                f"decoder overflow: {frame.size_bytes}B into "
+                f"{self.capacity_bytes - self._occupancy_bytes}B free"
+            )
+        self._queue.append(frame)
+        self._occupancy_bytes += frame.size_bytes
+        self.highest_pushed_index = frame.index
+
+    # ------------------------------------------------------------------
+    # Display side (one call per frame period while playing)
+    # ------------------------------------------------------------------
+    def peek_head_index(self) -> Optional[int]:
+        """Index of the next frame to display, or None when dry."""
+        return self._queue[0].index if self._queue else None
+
+    def consume_one(self, now: float) -> Optional[Frame]:
+        """Display the next frame; None (and a stall) if the card is dry."""
+        if not self._queue:
+            if self._stalled_since is None:
+                self._stalled_since = now
+                self.stats.stall_events += 1
+                self.stats.stall_starts.append(now)
+            return None
+        if self._stalled_since is not None:
+            self.stats.stall_time_s += now - self._stalled_since
+            self._stalled_since = None
+        frame = self._queue.popleft()
+        self._occupancy_bytes -= frame.size_bytes
+        gap = frame.index - self.stats.last_displayed_index - 1
+        if gap > 0:
+            self.stats.skipped_gaps += gap
+            if not self._gop_damaged and not frame.is_intra:
+                self.stats.degradation_episodes += 1
+            self._gop_damaged = True
+        if frame.is_intra:
+            # A full image repairs the picture regardless of history.
+            self._gop_damaged = False
+        elif self._gop_damaged:
+            self.stats.degraded_frames += 1
+        self.stats.last_displayed_index = frame.index
+        self.stats.displayed += 1
+        return frame
+
+    def end_stall(self, now: float) -> None:
+        """Close an open stall interval (e.g. at teardown or pause)."""
+        if self._stalled_since is not None:
+            self.stats.stall_time_s += now - self._stalled_since
+            self._stalled_since = None
+
+    def flush(self) -> int:
+        """Drop all buffered frames (used by random access).
+
+        Returns the number of frames dropped.  The push-order constraint
+        is reset by the caller repositioning ``highest_pushed_index`` via
+        :meth:`reposition`.
+        """
+        dropped = len(self._queue)
+        self._queue.clear()
+        self._occupancy_bytes = 0
+        return dropped
+
+    def reposition(self, next_index: int) -> None:
+        """Reset the order constraint after a seek."""
+        self.highest_pushed_index = next_index - 1
+        self.stats.last_displayed_index = next_index - 1
+        # A seek lands mid-GOP: the picture is damaged until the next I
+        # frame arrives (real players show exactly this).
+        self._gop_damaged = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def occupancy_bytes(self) -> int:
+        return self._occupancy_bytes
+
+    @property
+    def occupancy_frames(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_stalled(self) -> bool:
+        return self._stalled_since is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<HardwareDecoder {self._occupancy_bytes}/{self.capacity_bytes}B "
+            f"{len(self._queue)} frames>"
+        )

@@ -1,0 +1,90 @@
+"""Frame types and group-of-pictures structure."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import MediaError
+
+
+class FrameType(enum.Enum):
+    """MPEG frame types.
+
+    ``I`` frames are self-contained full images; ``P`` and ``B`` frames
+    are incremental and cannot be decoded without their reference
+    frames.  The client's overflow policy prefers discarding incremental
+    frames, and quality adaptation always preserves I frames.
+    """
+
+    I = "I"  # noqa: E741 - the MPEG name
+    P = "P"
+    B = "B"
+
+    @property
+    def is_intra(self) -> bool:
+        return self is FrameType.I
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One video frame as transmitted (a single frame per datagram)."""
+
+    movie: str
+    index: int  # 1-based position in the movie
+    ftype: FrameType
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise MediaError(f"frame index must be >= 1, got {self.index}")
+        if self.size_bytes <= 0:
+            raise MediaError(f"frame size must be positive, got {self.size_bytes}")
+
+    @property
+    def is_intra(self) -> bool:
+        return self.ftype.is_intra
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Frame {self.movie}#{self.index} {self.ftype.value} {self.size_bytes}B>"
+
+
+class GopPattern:
+    """A repeating group-of-pictures pattern, e.g. ``IBBPBBPBBPBB``.
+
+    Also owns the relative size weights of the frame types; classic
+    MPEG-1 encodes have I frames roughly 2.5x the size of P frames and
+    5x the size of B frames.
+    """
+
+    DEFAULT = "IBBPBBPBBPBB"
+    SIZE_WEIGHTS = {FrameType.I: 5.0, FrameType.P: 2.0, FrameType.B: 1.0}
+
+    def __init__(self, pattern: str = DEFAULT) -> None:
+        if not pattern:
+            raise MediaError("GOP pattern must be non-empty")
+        if pattern[0] != "I":
+            raise MediaError(f"GOP pattern must start with an I frame: {pattern!r}")
+        try:
+            self.types: Tuple[FrameType, ...] = tuple(
+                FrameType(ch) for ch in pattern
+            )
+        except ValueError as exc:
+            raise MediaError(f"invalid GOP pattern {pattern!r}") from exc
+        self.pattern = pattern
+
+    def __len__(self) -> int:
+        return len(self.types)
+
+    def frame_type(self, index: int) -> FrameType:
+        """Type of the 1-based ``index``-th frame of the movie."""
+        return self.types[(index - 1) % len(self.types)]
+
+    def mean_weight(self) -> float:
+        """Average size weight over one GOP (for bitrate calibration)."""
+        total = sum(self.SIZE_WEIGHTS[ftype] for ftype in self.types)
+        return total / len(self.types)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GopPattern({self.pattern!r})"

@@ -1,0 +1,148 @@
+"""Synthetic movies calibrated to the paper's test stream."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import MediaError
+from repro.media.frames import Frame, GopPattern
+
+#: The paper's stream: "Approximately 1.4 Mbps, 30 frames per second
+#: MPEG movie".
+DEFAULT_BITRATE_BPS = 1.4e6
+DEFAULT_FPS = 30
+
+
+@dataclass
+class Movie:
+    """A stored movie: an immutable sequence of frames.
+
+    Use :meth:`synthetic` to generate one; frame sizes follow the GOP
+    size weights with mild pseudo-random variation, deterministic in the
+    title, so every server replica of a movie is bit-identical.
+    """
+
+    title: str
+    fps: int
+    frames: List[Frame] = field(repr=False)
+
+    @classmethod
+    def synthetic(
+        cls,
+        title: str,
+        duration_s: float,
+        fps: int = DEFAULT_FPS,
+        bitrate_bps: float = DEFAULT_BITRATE_BPS,
+        gop: str = GopPattern.DEFAULT,
+        size_variation: float = 0.15,
+    ) -> "Movie":
+        """Generate a synthetic movie.
+
+        Mean frame size is ``bitrate / (8 * fps)``; individual sizes are
+        scaled by the GOP type weights and perturbed by up to
+        ``size_variation`` (relative), seeded from the title.
+        """
+        if duration_s <= 0:
+            raise MediaError(f"duration must be positive, got {duration_s!r}")
+        if fps < 1:
+            raise MediaError(f"fps must be >= 1, got {fps!r}")
+        if not 0 <= size_variation < 1:
+            raise MediaError(
+                f"size_variation must be in [0,1), got {size_variation!r}"
+            )
+        pattern = GopPattern(gop)
+        mean_frame_bytes = bitrate_bps / (8.0 * fps)
+        scale = mean_frame_bytes / pattern.mean_weight()
+        rng = random.Random(f"movie:{title}")
+        n_frames = int(round(duration_s * fps))
+        frames = []
+        for index in range(1, n_frames + 1):
+            ftype = pattern.frame_type(index)
+            base = scale * GopPattern.SIZE_WEIGHTS[ftype]
+            jitter = 1.0 + rng.uniform(-size_variation, size_variation)
+            frames.append(
+                Frame(title, index, ftype, max(64, int(base * jitter)))
+            )
+        return cls(title=title, fps=fps, frames=frames)
+
+    @classmethod
+    def synthetic_vbr(
+        cls,
+        title: str,
+        duration_s: float,
+        fps: int = DEFAULT_FPS,
+        base_bitrate_bps: float = DEFAULT_BITRATE_BPS,
+        gop: str = GopPattern.DEFAULT,
+        scene_len_s: Tuple[float, float] = (4.0, 12.0),
+        scene_scale: Tuple[float, float] = (0.5, 1.8),
+    ) -> "Movie":
+        """Generate a variable-bitrate movie.
+
+        Real MPEG encodes are strongly scene-dependent; this generator
+        splits the movie into scenes of ``scene_len_s`` seconds whose
+        bitrate is the base scaled by a factor drawn from
+        ``scene_scale``.  Frame counts and GOP structure are unchanged —
+        only sizes vary — so the stream stresses the *byte*-bounded
+        hardware buffer while the frame-counted flow control adapts.
+        """
+        if duration_s <= 0:
+            raise MediaError(f"duration must be positive, got {duration_s!r}")
+        pattern = GopPattern(gop)
+        mean_frame_bytes = base_bitrate_bps / (8.0 * fps)
+        scale = mean_frame_bytes / pattern.mean_weight()
+        rng = random.Random(f"movie-vbr:{title}")
+        n_frames = int(round(duration_s * fps))
+
+        frames = []
+        index = 1
+        while index <= n_frames:
+            scene_frames = int(rng.uniform(*scene_len_s) * fps)
+            scene_factor = rng.uniform(*scene_scale)
+            for _ in range(scene_frames):
+                if index > n_frames:
+                    break
+                ftype = pattern.frame_type(index)
+                base = scale * GopPattern.SIZE_WEIGHTS[ftype] * scene_factor
+                jitter = 1.0 + rng.uniform(-0.1, 0.1)
+                frames.append(
+                    Frame(title, index, ftype, max(64, int(base * jitter)))
+                )
+                index += 1
+        return cls(title=title, fps=fps, frames=frames)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def duration_s(self) -> float:
+        return len(self.frames) / self.fps
+
+    def frame(self, index: int) -> Frame:
+        """The 1-based ``index``-th frame."""
+        if not 1 <= index <= len(self.frames):
+            raise MediaError(
+                f"{self.title!r} has frames 1..{len(self.frames)}, asked {index}"
+            )
+        return self.frames[index - 1]
+
+    def mean_frame_bytes(self) -> float:
+        return sum(frame.size_bytes for frame in self.frames) / len(self.frames)
+
+    def bitrate_bps(self) -> float:
+        return self.mean_frame_bytes() * 8.0 * self.fps
+
+    def index_at(self, seconds: float) -> int:
+        """Frame index playing at ``seconds`` into the movie (clamped)."""
+        index = int(seconds * self.fps) + 1
+        return max(1, min(index, len(self.frames)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Movie {self.title!r} {len(self.frames)} frames "
+            f"@{self.fps}fps ~{self.bitrate_bps()/1e6:.2f}Mbps>"
+        )

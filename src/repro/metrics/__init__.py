@@ -1,0 +1,17 @@
+"""Measurement utilities: counters, time series, and report formatting.
+
+Every figure in the paper is a time series collected at the client; the
+probes here sample those series on a timer so experiment code can
+extract exactly the curves of Figures 4 and 5.
+"""
+
+from repro.metrics.collector import Counter, Probe, TimeSeries
+from repro.metrics.report import Table, format_series_summary
+
+__all__ = [
+    "Counter",
+    "Probe",
+    "Table",
+    "TimeSeries",
+    "format_series_summary",
+]

@@ -1,0 +1,31 @@
+"""Simulated network substrate.
+
+Provides nodes, point-to-point links with delay/jitter/loss/bandwidth
+models, shortest-path routing over an arbitrary topology, network
+partitions, and an unreliable datagram (UDP-like) socket API.  The VoD
+video plane and the group-communication control plane both run on these
+sockets, so loss, reordering and duplication arise from the simulated
+transport exactly as they would on a real IP network.
+"""
+
+from repro.net.address import Endpoint, NodeId
+from repro.net.link import Link, LinkStats, LinkParams
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.packet import Datagram
+from repro.net.topologies import build_lan, build_wan
+from repro.net.udp import UdpSocket
+
+__all__ = [
+    "Datagram",
+    "Endpoint",
+    "Link",
+    "LinkParams",
+    "LinkStats",
+    "Network",
+    "Node",
+    "NodeId",
+    "UdpSocket",
+    "build_lan",
+    "build_wan",
+]

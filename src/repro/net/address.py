@@ -1,0 +1,27 @@
+"""Addressing primitives: node identifiers and (node, port) endpoints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NodeId = int
+"""Nodes are identified by small integers assigned by the Network."""
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A (node, port) pair — the datagram-layer address of a socket."""
+
+    node: NodeId
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.node}:{self.port}"
+
+
+# Well-known ports used by the VoD service.  These mirror the role of
+# registered port numbers on a real deployment; any free port works, the
+# constants just make traces readable.
+GCS_PORT = 7000
+VIDEO_PORT = 8000
+CONTROL_PORT = 8001

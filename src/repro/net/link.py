@@ -1,0 +1,213 @@
+"""Point-to-point link model.
+
+Each (directed) link direction models:
+
+* **propagation delay** — fixed one-way latency;
+* **jitter** — extra uniformly distributed delay per packet (this is what
+  reorders packets on WAN paths);
+* **loss** — independent Bernoulli drop per packet;
+* **bandwidth** — bits/second; packets are serialized through a FIFO
+  transmitter, so a burst experiences queueing delay exactly like a real
+  interface; a bounded transmit queue drops overflowing packets
+  (tail-drop), which is how congestion loss arises in the WAN scenario.
+
+Every stochastic draw uses a link-specific named random stream, so runs
+are reproducible and independent across links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.packet import Datagram
+from repro.sim.core import Simulator
+
+DeliverFn = Callable[[Datagram], None]
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Static characteristics of one link direction.
+
+    ``reorder_prob``/``reorder_delay_s`` model transient route changes:
+    with probability ``reorder_prob`` a packet takes a detour and arrives
+    up to ``reorder_delay_s`` later than its normal delivery time, which
+    puts it behind packets sent after it.  Per-packet jitter alone cannot
+    reorder a 30 fps stream (frames are 33 ms apart), but route flaps on
+    the Internet of the paper's era did — this knob reproduces that.
+    """
+
+    delay_s: float = 0.0002
+    jitter_s: float = 0.0
+    loss_prob: float = 0.0
+    bandwidth_bps: float = 100e6
+    queue_packets: int = 512
+    reorder_prob: float = 0.0
+    reorder_delay_s: float = 0.0
+
+    def validate(self) -> None:
+        if self.delay_s < 0:
+            raise NetworkError(f"negative link delay {self.delay_s!r}")
+        if self.jitter_s < 0:
+            raise NetworkError(f"negative link jitter {self.jitter_s!r}")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise NetworkError(f"loss_prob must be in [0,1), got {self.loss_prob!r}")
+        if self.bandwidth_bps <= 0:
+            raise NetworkError(f"bandwidth must be positive, got {self.bandwidth_bps!r}")
+        if self.queue_packets < 1:
+            raise NetworkError(f"queue must hold >=1 packet, got {self.queue_packets!r}")
+        if not 0.0 <= self.reorder_prob < 1.0:
+            raise NetworkError(
+                f"reorder_prob must be in [0,1), got {self.reorder_prob!r}"
+            )
+        if self.reorder_delay_s < 0:
+            raise NetworkError(
+                f"negative reorder delay {self.reorder_delay_s!r}"
+            )
+
+
+@dataclass
+class LinkStats:
+    """Per-direction counters, used by the overhead experiments."""
+
+    sent_packets: int = 0
+    sent_bytes: int = 0
+    delivered_packets: int = 0
+    dropped_loss: int = 0
+    dropped_queue: int = 0
+    detoured: int = 0
+    guaranteed_packets: int = 0
+
+    def drop_total(self) -> int:
+        return self.dropped_loss + self.dropped_queue
+
+
+class _Direction:
+    """One direction of a link: FIFO transmitter + lossy channel."""
+
+    def __init__(self, sim: Simulator, params: LinkParams, rng_name: str) -> None:
+        params.validate()
+        self.sim = sim
+        self.params = params
+        self.rng_name = rng_name
+        self.stats = LinkStats()
+        self.up = True
+        # Virtual time when the transmitter finishes its current backlog.
+        self._tx_free_at = 0.0
+
+    def transmit(
+        self, datagram: Datagram, deliver: DeliverFn, guaranteed: bool = False
+    ) -> None:
+        """Send one datagram over this direction.
+
+        ``guaranteed`` marks a packet riding an admitted QoS reservation
+        (see :mod:`repro.net.qos`): it is exempt from loss, tail drop,
+        jitter and detours — it still pays propagation and
+        serialization."""
+        if not self.up:
+            return
+        self.stats.sent_packets += 1
+        self.stats.sent_bytes += datagram.wire_bytes()
+
+        serialization = datagram.wire_bytes() * 8.0 / self.params.bandwidth_bps
+        now = self.sim.now
+        queue_ahead_s = max(0.0, self._tx_free_at - now)
+        # Tail-drop if the backlog already holds queue_packets' worth of
+        # serialization time (approximating a packet-count queue using the
+        # mean packet currently queued is unreliable; we bound by time:
+        # queue_packets * this packet's serialization time).
+        if (
+            not guaranteed
+            and serialization > 0
+            and queue_ahead_s > self.params.queue_packets * serialization
+        ):
+            self.stats.dropped_queue += 1
+            return
+        start_tx = max(now, self._tx_free_at)
+        self._tx_free_at = start_tx + serialization
+
+        if guaranteed:
+            self.stats.guaranteed_packets += 1
+            arrival = self._tx_free_at + self.params.delay_s
+            self.sim.call_at(arrival, self._deliver, datagram, deliver)
+            return
+
+        rng = self.sim.rng(self.rng_name)
+        if self.params.loss_prob > 0 and rng.random() < self.params.loss_prob:
+            self.stats.dropped_loss += 1
+            return
+
+        extra_jitter = 0.0
+        if self.params.jitter_s > 0:
+            extra_jitter = rng.uniform(0.0, self.params.jitter_s)
+        detour = 0.0
+        if self.params.reorder_prob > 0 and rng.random() < self.params.reorder_prob:
+            detour = rng.uniform(0.0, self.params.reorder_delay_s)
+            self.stats.detoured += 1
+        arrival = self._tx_free_at + self.params.delay_s + extra_jitter + detour
+        self.sim.call_at(arrival, self._deliver, datagram, deliver)
+
+    def _deliver(self, datagram: Datagram, deliver: DeliverFn) -> None:
+        if not self.up:
+            return
+        self.stats.delivered_packets += 1
+        deliver(datagram)
+
+
+class Link:
+    """A bidirectional link between two nodes.
+
+    Both directions share :class:`LinkParams` by default but keep
+    independent transmitter state, random streams and statistics.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_a: int,
+        node_b: int,
+        params: LinkParams,
+        reverse_params: Optional[LinkParams] = None,
+    ) -> None:
+        if node_a == node_b:
+            raise NetworkError(f"link endpoints must differ, got {node_a}")
+        self.node_a = node_a
+        self.node_b = node_b
+        self.forward = _Direction(sim, params, f"link.{node_a}->{node_b}")
+        self.backward = _Direction(
+            sim, reverse_params or params, f"link.{node_b}->{node_a}"
+        )
+
+    def direction(self, from_node: int) -> _Direction:
+        if from_node == self.node_a:
+            return self.forward
+        if from_node == self.node_b:
+            return self.backward
+        raise NetworkError(
+            f"node {from_node} is not an endpoint of link "
+            f"({self.node_a},{self.node_b})"
+        )
+
+    @property
+    def up(self) -> bool:
+        return self.forward.up and self.backward.up
+
+    def set_up(self, up: bool) -> None:
+        """Bring both directions up or down (partition injection)."""
+        self.forward.up = up
+        self.backward.up = up
+
+    def stats(self) -> LinkStats:
+        """Aggregated two-direction statistics."""
+        total = LinkStats()
+        for direction in (self.forward, self.backward):
+            total.sent_packets += direction.stats.sent_packets
+            total.sent_bytes += direction.stats.sent_bytes
+            total.delivered_packets += direction.stats.delivered_packets
+            total.dropped_loss += direction.stats.dropped_loss
+            total.dropped_queue += direction.stats.dropped_queue
+            total.detoured += direction.stats.detoured
+            total.guaranteed_packets += direction.stats.guaranteed_packets
+        return total

@@ -1,0 +1,192 @@
+"""Network topology, routing and partition injection.
+
+The network is an undirected graph of :class:`~repro.net.node.Node`
+objects connected by :class:`~repro.net.link.Link` objects.  Datagrams
+are forwarded hop by hop along shortest paths (BFS on live links), so a
+multi-hop WAN path accumulates per-hop delay, jitter, queueing and loss
+naturally.  Partitions are injected by taking links down; routes are
+recomputed lazily.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.link import Link, LinkParams
+from repro.net.node import Node
+from repro.net.packet import Datagram
+from repro.sim.core import Simulator
+
+
+class Network:
+    """The simulated internetwork."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: List[Node] = []
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self._adjacency: Dict[int, List[int]] = {}
+        self._routes: Optional[Dict[int, Dict[int, int]]] = None
+        # Optional QoS manager (repro.net.qos.QosManager.install).
+        self.qos = None
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: Optional[str] = None) -> Node:
+        node_id = len(self.nodes)
+        node = Node(self, node_id, name or f"node{node_id}")
+        self.nodes.append(node)
+        self._adjacency[node_id] = []
+        self._routes = None
+        return node
+
+    def add_link(
+        self,
+        node_a: int,
+        node_b: int,
+        params: Optional[LinkParams] = None,
+        reverse_params: Optional[LinkParams] = None,
+    ) -> Link:
+        self._check_node(node_a)
+        self._check_node(node_b)
+        key = self._link_key(node_a, node_b)
+        if key in self._links:
+            raise NetworkError(f"link {key} already exists")
+        link = Link(self.sim, node_a, node_b, params or LinkParams(), reverse_params)
+        self._links[key] = link
+        self._adjacency[node_a].append(node_b)
+        self._adjacency[node_b].append(node_a)
+        self._routes = None
+        return link
+
+    def node(self, node_id: int) -> Node:
+        self._check_node(node_id)
+        return self.nodes[node_id]
+
+    def link(self, node_a: int, node_b: int) -> Link:
+        key = self._link_key(node_a, node_b)
+        link = self._links.get(key)
+        if link is None:
+            raise NetworkError(f"no link between {node_a} and {node_b}")
+        return link
+
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    # ------------------------------------------------------------------
+    # Partition injection
+    # ------------------------------------------------------------------
+    def set_link_state(self, node_a: int, node_b: int, up: bool) -> None:
+        self.link(node_a, node_b).set_up(up)
+        self._routes = None
+
+    def partition(self, side_a: Iterable[int], side_b: Iterable[int]) -> None:
+        """Cut every link that crosses between the two node sets."""
+        set_a, set_b = set(side_a), set(side_b)
+        for (u, v), link in self._links.items():
+            if (u in set_a and v in set_b) or (u in set_b and v in set_a):
+                link.set_up(False)
+        self._routes = None
+
+    def heal(self) -> None:
+        """Bring every link back up."""
+        for link in self._links.values():
+            link.set_up(True)
+        self._routes = None
+
+    def reachable(self, src: int, dst: int) -> bool:
+        return self._next_hop(src, dst) is not None or src == dst
+
+    # ------------------------------------------------------------------
+    # Datagram forwarding
+    # ------------------------------------------------------------------
+    def send(self, datagram: Datagram) -> None:
+        """Inject a datagram at its source node and route it."""
+        src_node = self.node(datagram.src.node)
+        if not src_node.alive:
+            return
+        self._forward(datagram, at_node=datagram.src.node)
+
+    def _forward(self, datagram: Datagram, at_node: int) -> None:
+        if at_node == datagram.dst.node:
+            self.node(at_node).deliver(datagram)
+            return
+        if datagram.hops_remaining <= 0:
+            return
+        next_hop = self._next_hop(at_node, datagram.dst.node)
+        if next_hop is None:
+            return  # unreachable: datagrams vanish, like real UDP
+        datagram.hops_remaining -= 1
+        link = self.link(at_node, next_hop)
+        guaranteed = (
+            self.qos is not None
+            and datagram.flow_id is not None
+            and self.qos.admit_packet(
+                at_node, next_hop, datagram.flow_id, datagram.wire_bytes()
+            )
+        )
+        link.direction(at_node).transmit(
+            datagram,
+            lambda dgram, hop=next_hop: self._on_hop(dgram, hop),
+            guaranteed=guaranteed,
+        )
+
+    def _on_hop(self, datagram: Datagram, node_id: int) -> None:
+        node = self.node(node_id)
+        if not node.alive and node_id != datagram.dst.node:
+            return  # routers that crashed blackhole traffic
+        self._forward(datagram, at_node=node_id)
+
+    # ------------------------------------------------------------------
+    # Routing (BFS shortest path over live links)
+    # ------------------------------------------------------------------
+    def _next_hop(self, src: int, dst: int) -> Optional[int]:
+        routes = self._routing_tables()
+        return routes.get(src, {}).get(dst)
+
+    def _routing_tables(self) -> Dict[int, Dict[int, int]]:
+        if self._routes is None:
+            self._routes = {
+                node.node_id: self._bfs_from(node.node_id) for node in self.nodes
+            }
+        return self._routes
+
+    def _bfs_from(self, src: int) -> Dict[int, int]:
+        """First hop from ``src`` toward every reachable destination."""
+        first_hop: Dict[int, int] = {}
+        visited = {src}
+        frontier = deque()
+        for neighbor in self._adjacency[src]:
+            if self._link_up(src, neighbor):
+                first_hop[neighbor] = neighbor
+                visited.add(neighbor)
+                frontier.append(neighbor)
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor in visited or not self._link_up(current, neighbor):
+                    continue
+                visited.add(neighbor)
+                first_hop[neighbor] = first_hop[current]
+                frontier.append(neighbor)
+        return first_hop
+
+    def _link_up(self, node_a: int, node_b: int) -> bool:
+        return self._links[self._link_key(node_a, node_b)].up
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _link_key(node_a: int, node_b: int) -> Tuple[int, int]:
+        return (node_a, node_b) if node_a < node_b else (node_b, node_a)
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < len(self.nodes):
+            raise NetworkError(f"unknown node id {node_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Network nodes={len(self.nodes)} links={len(self._links)}>"

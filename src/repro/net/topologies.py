@@ -1,0 +1,116 @@
+"""Canned topologies matching the paper's two test environments.
+
+* :func:`build_lan` — hosts on a 100 Mbps switched Ethernet: one switch,
+  star wiring, sub-millisecond latency, no loss, no jitter.  This is the
+  Section 6.1 environment.
+* :func:`build_wan` — two campuses seven router hops apart on the
+  Internet (Hebrew University <-> Tel Aviv University in the paper), with
+  per-hop jitter and a small loss probability and no QoS reservation.
+  This is the Section 6.2 environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import NetworkError
+from repro.net.link import LinkParams
+from repro.net.network import Network
+from repro.sim.core import Simulator
+
+#: Switched-Ethernet port: 100 Mbps, 100 us one-way, lossless, no jitter.
+LAN_LINK = LinkParams(
+    delay_s=0.0001, jitter_s=0.0, loss_prob=0.0, bandwidth_bps=100e6
+)
+
+#: One Internet backbone hop: 34 Mbps (an E3/ATM trunk of the era),
+#: a few ms propagation, per-hop jitter, a small loss probability so the
+#: end-to-end path loses a fraction of a percent of packets, and rare
+#: route-flap detours that reorder packets.
+WAN_HOP_LINK = LinkParams(
+    delay_s=0.004,
+    jitter_s=0.003,
+    loss_prob=0.0015,
+    bandwidth_bps=34e6,
+    reorder_prob=0.002,
+    reorder_delay_s=0.12,
+)
+
+
+@dataclass
+class Topology:
+    """A built network plus the roles of its nodes."""
+
+    network: Network
+    hosts: List[int] = field(default_factory=list)
+    infrastructure: List[int] = field(default_factory=list)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    def host(self, index: int) -> int:
+        """Node id of the index-th host."""
+        return self.hosts[index]
+
+
+def build_lan(
+    sim: Simulator, n_hosts: int, link: LinkParams = LAN_LINK
+) -> Topology:
+    """A switched Ethernet: ``n_hosts`` hosts in a star around one switch."""
+    if n_hosts < 1:
+        raise NetworkError(f"a LAN needs at least one host, got {n_hosts}")
+    network = Network(sim)
+    switch = network.add_node("switch")
+    topology = Topology(network=network, infrastructure=[switch.node_id])
+    for index in range(n_hosts):
+        host = network.add_node(f"host{index}")
+        network.add_link(host.node_id, switch.node_id, link)
+        topology.hosts.append(host.node_id)
+    return topology
+
+
+def build_wan(
+    sim: Simulator,
+    n_hosts_site_a: int,
+    n_hosts_site_b: int,
+    n_router_hops: int = 7,
+    lan_link: LinkParams = LAN_LINK,
+    wan_link: LinkParams = WAN_HOP_LINK,
+) -> Topology:
+    """Two LAN sites joined by a chain of ``n_router_hops`` WAN hops.
+
+    Site A's hosts come first in ``hosts``, then site B's.  The hop count
+    is the number of WAN links between the two site switches, mirroring
+    the paper's "seven hops apart on the Internet".
+    """
+    if n_hosts_site_a < 1 or n_hosts_site_b < 1:
+        raise NetworkError("each WAN site needs at least one host")
+    if n_router_hops < 1:
+        raise NetworkError(f"need at least one WAN hop, got {n_router_hops}")
+
+    network = Network(sim)
+    switch_a = network.add_node("switchA")
+    switch_b = network.add_node("switchB")
+    topology = Topology(
+        network=network, infrastructure=[switch_a.node_id, switch_b.node_id]
+    )
+
+    previous = switch_a.node_id
+    for index in range(n_router_hops - 1):
+        router = network.add_node(f"router{index}")
+        topology.infrastructure.append(router.node_id)
+        network.add_link(previous, router.node_id, wan_link)
+        previous = router.node_id
+    network.add_link(previous, switch_b.node_id, wan_link)
+
+    for index in range(n_hosts_site_a):
+        host = network.add_node(f"siteA-host{index}")
+        network.add_link(host.node_id, switch_a.node_id, lan_link)
+        topology.hosts.append(host.node_id)
+    for index in range(n_hosts_site_b):
+        host = network.add_node(f"siteB-host{index}")
+        network.add_link(host.node_id, switch_b.node_id, lan_link)
+        topology.hosts.append(host.node_id)
+    return topology

@@ -1,0 +1,24 @@
+"""The VoD server.
+
+Each server streams movies to the clients assigned to it, adjusts each
+client's transmission rate from flow-control feedback (with the decaying
+emergency quota of Section 4.1), shares per-client state in the movie
+groups every half second, and — on membership changes — deterministically
+re-distributes clients so that crashed or detached servers are replaced
+transparently and new servers pick up load.
+"""
+
+from repro.server.rate_controller import EmergencyConfig, RateController
+from repro.server.server import ServerConfig, VoDServer
+from repro.server.state import MovieState, rebalance
+from repro.server.streamer import ClientSession
+
+__all__ = [
+    "ClientSession",
+    "EmergencyConfig",
+    "MovieState",
+    "RateController",
+    "ServerConfig",
+    "VoDServer",
+    "rebalance",
+]

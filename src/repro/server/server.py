@@ -1,0 +1,524 @@
+"""The VoD server process.
+
+Responsibilities (paper Sections 3 and 5):
+
+* join the *server group* and answer client connect/catalog requests
+  addressed to the abstract group;
+* join one *movie group* per replicated movie, multicast per-client
+  state there every half second, and on every membership change run the
+  deterministic re-distribution so each client is served by exactly one
+  live replica;
+* per client, join the *session group*, stream frames over UDP at the
+  controlled rate, and react to flow-control and VCR commands;
+* take over clients of crashed/detached replicas from their last shared
+  offset and rate, and shed clients to newly started replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ServiceError
+from repro.gcs.domain import GcsDomain
+from repro.gcs.endpoint import GcsEndpoint, GroupListener
+from repro.gcs.view import ProcessId, View
+from repro.media.catalog import MovieCatalog
+from repro.net.address import VIDEO_PORT, Endpoint
+from repro.net.udp import UdpSocket
+from repro.server.rate_controller import EmergencyConfig
+from repro.server.state import MovieState, join_regime_order, rebalance
+from repro.server.streamer import ClientSession
+from repro.service.protocol import (
+    SERVER_GROUP,
+    ClientRecord,
+    ConnectRequest,
+    FlowControlMsg,
+    ListMoviesReply,
+    ListMoviesRequest,
+    StateSync,
+    VcrCommand,
+    VcrOp,
+    movie_group,
+)
+from repro.sim.process import Timer
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Server tunables, defaulted to the paper's prototype values."""
+
+    default_rate_fps: int = 30
+    min_rate_fps: int = 1
+    max_rate_fps: int = 60
+    sync_interval_s: float = 0.5  # "servers synchronize every 1/2 second"
+    emergency: EmergencyConfig = field(default_factory=EmergencyConfig)
+    # When true and the network has a QoS manager installed, each
+    # session reserves a CBR channel for the stream plus a VBR channel
+    # of 40% for emergency periods (the paper's Section 4.1 sizing and
+    # its Section 8 ATM plan).
+    use_qos: bool = False
+    qos_vbr_fraction: float = 0.4
+
+
+class VoDServer:
+    """One VoD server instance."""
+
+    def __init__(
+        self,
+        domain: GcsDomain,
+        node_id: int,
+        name: str,
+        catalog: MovieCatalog,
+        config: Optional[ServerConfig] = None,
+        endpoint: Optional[GcsEndpoint] = None,
+    ) -> None:
+        self.domain = domain
+        self.sim = domain.sim
+        self.name = name
+        self.catalog = catalog
+        self.config = config or ServerConfig()
+        self.endpoint = endpoint or domain.create_endpoint(node_id)
+        self.process = self.endpoint.process_id(name)
+        self.node_id = self.endpoint.daemon_id
+        self.running = True
+
+        self.video_socket = UdpSocket(
+            self.domain.network.node(self.node_id), VIDEO_PORT
+        )
+        self.sessions: Dict[ProcessId, ClientSession] = {}
+        self._session_handles: Dict[ProcessId, Any] = {}
+        self.movie_states: Dict[str, MovieState] = {}
+        self._movie_handles: Dict[str, Any] = {}
+        self._movie_views: Dict[str, View] = {}
+        # Deterministic client->server assignment, recomputed per view
+        # (and while the view is young, so joiners that receive state
+        # transfer converge) then extended incrementally for clients
+        # that connect mid-view.
+        self._assignments: Dict[str, Dict[ProcessId, ProcessId]] = {}
+        self._assignment_view: Dict[str, Any] = {}
+        self._assignment_settle_until: Dict[str, float] = {}
+        # The previous periodic sync per movie: re-multicast as state
+        # transfer when a new replica joins.  Deliberately one sync
+        # period stale — the paper's conservative handoff re-transmits
+        # the last ~0.5 s of frames rather than risk a gap.
+        self._last_sync: Dict[str, StateSync] = {}
+        self.video_bytes_sent = 0
+        self.video_frames_sent = 0
+        self.state_sync_bytes_sent = 0
+        self._sync_counter: Dict[str, int] = {}
+
+        self._server_group_handle = self.endpoint.join(
+            SERVER_GROUP,
+            name,
+            GroupListener(on_view=self._on_server_group_view),
+        )
+        self.endpoint.register_open_group_handler(
+            SERVER_GROUP, self._on_open_request
+        )
+        for title in catalog.movies_of(name):
+            self._join_movie_group(title)
+
+        self._sync_timer = Timer(
+            self.sim,
+            self.config.sync_interval_s,
+            self._sync_tick,
+            start_delay=self.sim.rng(f"server.sync.{name}").uniform(
+                0.0, self.config.sync_interval_s
+            ),
+        )
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    def add_movie(self, title: str) -> None:
+        """Start serving a replica of ``title`` ("added on the fly")."""
+        self.catalog.place_replica(title, self.name)
+        self._join_movie_group(title)
+
+    def shutdown(self) -> None:
+        """Graceful detach: leave all groups so peers react immediately."""
+        if not self.running:
+            return
+        self.running = False
+        for client in list(self.sessions):
+            self._end_session(client, departed=False)
+        self._sync_timer.cancel()
+        self.endpoint.shutdown()
+        if not self.video_socket.closed:
+            self.video_socket.close()
+
+    def crash(self) -> None:
+        """Fail-stop together with the hosting node."""
+        if not self.running:
+            return
+        self.running = False
+        for session in self.sessions.values():
+            session.stop()
+        self.sessions.clear()
+        self._sync_timer.cancel()
+        self.domain.network.node(self.node_id).crash()
+        self.endpoint.crash()
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.sessions)
+
+    # ==================================================================
+    # Video plane
+    # ==================================================================
+    def send_video(
+        self, endpoint: Endpoint, payload: Any, flow_id: int = None
+    ) -> None:
+        if not self.running or self.video_socket.closed:
+            return
+        size = payload.wire_bytes()
+        self.video_bytes_sent += size
+        self.video_frames_sent += 1
+        self.video_socket.sendto(endpoint, payload, size, flow_id=flow_id)
+
+    # ==================================================================
+    # Connect path (open-group requests to the server group)
+    # ==================================================================
+    def _on_server_group_view(self, view: View) -> None:
+        """Server-group membership is informational (connect fan-in and
+        catalog queries use it); per-movie logic lives in movie groups."""
+
+    def _on_open_request(self, sender: ProcessId, payload: Any) -> None:
+        if not self.running:
+            return
+        if isinstance(payload, ConnectRequest):
+            self._on_connect(payload)
+        elif isinstance(payload, ListMoviesRequest):
+            self._on_list_movies(payload)
+
+    def _on_list_movies(self, request: ListMoviesRequest) -> None:
+        # Exactly one member answers: the server-group coordinator.
+        view = self._server_group_handle.view
+        if view is None or view.coordinator != self.process:
+            return
+        reply = ListMoviesReply(tuple(self.catalog.titles()))
+        self.endpoint.send_p2p(
+            request.client, reply, reply.wire_bytes(), sender_name=self.name
+        )
+
+    def _on_connect(self, request: ConnectRequest) -> None:
+        title = request.movie
+        state = self.movie_states.get(title)
+        view = self._movie_views.get(title)
+        if state is None or view is None:
+            return  # we do not hold this movie
+        existing = state.record_of(request.client)
+        fresh = (
+            existing is not None
+            and self.sim.now - existing.updated_at
+            <= 3.0 * self.config.sync_interval_s
+        )
+        if fresh and existing.server in view.members:
+            return  # already being served; duplicate connect retry
+        chosen = self._assign_new_client(title, request.client)
+        if chosen != self.process:
+            return
+        record = ClientRecord(
+            client=request.client,
+            movie=title,
+            session=request.session,
+            video_endpoint=request.video_endpoint,
+            offset=max(1, request.resume_offset),
+            rate_fps=self.config.default_rate_fps,
+            quality_fps=request.quality_fps,
+            paused=False,
+            epoch=request.resume_epoch,
+            server=self.process,
+            updated_at=self.sim.now,
+        )
+        state.put_record(record, self.sim.now)
+        self._start_session(record)
+        self._sync_movie(title)  # propagate the new client promptly
+
+    def _assign_new_client(self, title: str, client: ProcessId) -> ProcessId:
+        """Deterministic admission: extend the cached assignment with a
+        new client at the least-loaded replica (ties to the lowest id).
+
+        Every replica that sees the connect request runs the same rule
+        over (converging) assignment state, so they agree on who serves
+        the newcomer without an explicit agreement round.
+        """
+        view = self._movie_views[title]
+        assignment = self._assignments.setdefault(title, {})
+        existing = assignment.get(client)
+        if existing is not None and existing in view.members:
+            return existing
+        if (
+            self.sim.now < self._assignment_settle_until.get(title, 0.0)
+            and view.joined
+        ):
+            # The view is still settling after a join: place the
+            # newcomer where the settle-window full recompute (join
+            # regime, round-robin newcomers-first) will put it, or the
+            # client bounces between the two answers.
+            known = sorted(
+                set(self.movie_states[title].records)
+                | set(assignment)
+                | {client}
+            )
+            order = join_regime_order(view.members, view.joined)
+            chosen = order[known.index(client) % len(order)]
+        else:
+            load = {member: 0 for member in view.members}
+            for server in assignment.values():
+                if server in load:
+                    load[server] += 1
+            chosen = min(view.members, key=lambda member: (load[member], member))
+        assignment[client] = chosen
+        return chosen
+
+    # ==================================================================
+    # Movie groups: state sharing and re-distribution
+    # ==================================================================
+    def _join_movie_group(self, title: str) -> None:
+        if title in self._movie_handles:
+            return
+        self.movie_states[title] = MovieState(title)
+        listener = GroupListener(
+            on_view=lambda view, t=title: self._on_movie_view(t, view),
+            on_message=lambda sender, payload, t=title: self._on_movie_message(
+                t, sender, payload
+            ),
+        )
+        self._movie_handles[title] = self.endpoint.join(
+            movie_group(title), self.name, listener
+        )
+
+    def _on_movie_view(self, title: str, view: View) -> None:
+        if not self.running:
+            return
+        self._movie_views[title] = view
+        joiners = set(view.joined)
+        if joiners and self.process not in joiners:
+            # State transfer to the newcomers: re-send the last periodic
+            # snapshot so they can compute the same assignment and
+            # resume clients from the last *shared* offset.
+            last_sync = self._last_sync.get(title)
+            handle = self._movie_handles.get(title)
+            if last_sync is not None and handle is not None and handle.is_member:
+                handle.multicast(last_sync, last_sync.wire_bytes())
+                self.state_sync_bytes_sent += last_sync.wire_bytes()
+        self._reevaluate(title)
+
+    def _on_movie_message(
+        self, title: str, sender: ProcessId, payload: Any
+    ) -> None:
+        if not self.running or sender == self.process:
+            return
+        if isinstance(payload, StateSync):
+            state = self.movie_states[title]
+            state.merge_sync(payload, self.sim.now)
+            self._reevaluate(title)
+
+    def _sync_tick(self) -> None:
+        if not self.running:
+            return
+        for title in list(self._movie_handles):
+            self._sync_movie(title)
+            # Periodic self-check: peers' syncs trigger re-evaluation,
+            # but a lone replica must still run the orphan repair.
+            self._reevaluate(title)
+
+    def _sync_movie(self, title: str) -> None:
+        state = self.movie_states[title]
+        own = []
+        for client, session in self.sessions.items():
+            if session.movie.title != title:
+                continue
+            record = session.record()
+            state.put_record(record, self.sim.now)
+            own.append(record)
+        # Periodically echo foreign records too (not only our own
+        # sessions): a record whose server lost it mid-churn must still
+        # reach new replicas, or the client would be orphaned forever.
+        # Peers merge by updated_at, so echoes never mask fresher
+        # state.  Echoing only every few periods keeps the paper's
+        # <1/1000 synchronization-bandwidth budget.
+        self._sync_counter[title] = self._sync_counter.get(title, 0) + 1
+        if self._sync_counter[title] % 4 == 0:
+            records = tuple(state.records.values())
+        else:
+            records = tuple(own)
+        sync = StateSync(
+            server=self.process,
+            movie=title,
+            records=records,
+            departed=state.recently_departed(),
+        )
+        handle = self._movie_handles.get(title)
+        if handle is not None and handle.is_member:
+            handle.multicast(sync, sync.wire_bytes())
+            self.state_sync_bytes_sent += sync.wire_bytes()
+            self._last_sync[title] = sync
+
+    def _reevaluate(self, title: str) -> None:
+        """Refresh the deterministic assignment; adjust sessions to match.
+
+        The assignment is recomputed from scratch at each new view
+        (with the commit-supplied joined set choosing between orphan
+        takeover and even re-distribution) and cached for the view's
+        lifetime; clients that appear mid-view extend it incrementally.
+        """
+        view = self._movie_views.get(title)
+        if view is None:
+            return
+        state = self.movie_states[title]
+        for client, session in self.sessions.items():
+            if session.movie.title == title:
+                state.put_record(session.record(), self.sim.now)
+
+        new_view = self._assignment_view.get(title) != view.view_id
+        settling = self.sim.now < self._assignment_settle_until.get(title, 0.0)
+        if new_view or settling:
+            # Full deterministic recompute.  During the settle window a
+            # joiner that receives the state transfer re-derives exactly
+            # the assignment the existing members computed.
+            assignment = rebalance(
+                list(state.records.values()), list(view.members), view.joined
+            )
+            self._assignments[title] = assignment
+            if new_view:
+                self._assignment_view[title] = view.view_id
+                self._assignment_settle_until[title] = (
+                    self.sim.now + 2.0 * self.config.sync_interval_s
+                )
+        else:
+            assignment = self._assignments[title]
+            for client in [c for c in assignment if c not in state.records]:
+                del assignment[client]
+            for client in sorted(set(state.records) - set(assignment)):
+                self._assign_new_client(title, client)
+
+        # Orphan repair: a served client's record is refreshed every
+        # sync period by its server; a record that has gone stale means
+        # nobody is serving the client (e.g. both old and new owner
+        # dropped it during back-to-back membership churn).  Re-admit
+        # stale clients through the deterministic least-loaded rule.
+        orphan_age = 3.0 * self.config.sync_interval_s
+        for client, record in state.records.items():
+            if client in self.sessions:
+                continue
+            if self.sim.now - record.updated_at <= orphan_age:
+                continue
+            assignment.pop(client, None)
+            self._assign_new_client(title, client)
+
+        for client, server in assignment.items():
+            if server == self.process and client not in self.sessions:
+                record = state.record_of(client)
+                if record is not None:
+                    self._take_over(record)
+            elif server != self.process and client in self.sessions:
+                if self.sessions[client].movie.title == title:
+                    self._end_session(client, departed=False)
+
+    # ==================================================================
+    # Sessions
+    # ==================================================================
+    def _start_session(self, record: ClientRecord) -> None:
+        movie = self.catalog.movie(record.movie)
+        session = ClientSession(
+            server=self,
+            movie=movie,
+            client=record.client,
+            session_name=record.session,
+            video_endpoint=record.video_endpoint,
+            start_offset=record.offset,
+            rate_fps=record.rate_fps,
+            quality_fps=record.quality_fps,
+            paused=record.paused,
+            epoch=record.epoch,
+        )
+        self.sessions[record.client] = session
+        listener = GroupListener(
+            on_view=lambda view, c=record.client: self._on_session_view(c, view),
+            on_message=lambda sender, payload, c=record.client: (
+                self._on_session_message(c, sender, payload)
+            ),
+        )
+        self._session_handles[record.client] = self.endpoint.join(
+            record.session, self.name, listener
+        )
+
+    def _take_over(self, record: ClientRecord) -> None:
+        """Resume a client "from the offset and transmission rate that
+        were last heard from the previous server"."""
+        self._start_session(record)
+
+    def _end_session(self, client: ProcessId, departed: bool) -> None:
+        session = self.sessions.pop(client, None)
+        if session is not None:
+            session.stop()
+            if departed:
+                state = self.movie_states.get(session.movie.title)
+                if state is not None:
+                    state.mark_departed(client, self.sim.now)
+        handle = self._session_handles.pop(client, None)
+        if handle is not None:
+            handle.leave()
+
+    def _on_session_view(self, client: ProcessId, view: View) -> None:
+        if not self.running:
+            return
+        session = self.sessions.get(client)
+        if session is None:
+            return
+        if client not in view.members:
+            # Only a present -> absent transition means the client is
+            # gone; a view without the client *before we ever saw it*
+            # is just our own join still converging with the client's
+            # side of the session group.
+            if session.saw_client_in_view:
+                self._end_session(client, departed=True)
+            return
+        session.saw_client_in_view = True
+        other_servers = sorted(
+            member
+            for member in view.members
+            if member != client and member != self.process
+        )
+        if other_servers and min([self.process] + other_servers) != self.process:
+            # Two replicas transiently serve the same client (connect
+            # race); the smallest process id keeps it.
+            self._end_session(client, departed=False)
+
+    def _on_session_message(
+        self, client: ProcessId, sender: ProcessId, payload: Any
+    ) -> None:
+        if not self.running or sender != client:
+            return
+        session = self.sessions.get(client)
+        if session is None:
+            return
+        if isinstance(payload, FlowControlMsg):
+            session.on_flow_message(payload)
+        elif isinstance(payload, VcrCommand):
+            self._on_vcr(session, payload)
+
+    def _on_vcr(self, session: ClientSession, command: VcrCommand) -> None:
+        if command.op == VcrOp.PAUSE:
+            session.pause()
+        elif command.op == VcrOp.RESUME:
+            session.resume()
+        elif command.op == VcrOp.SEEK:
+            if command.position_s is None:
+                raise ServiceError("SEEK command without a position")
+            session.seek(command.position_s, command.epoch)
+        elif command.op == VcrOp.QUALITY:
+            session.set_quality(command.quality_fps)
+        elif command.op == VcrOp.SPEED:
+            if command.speed is None:
+                raise ServiceError("SPEED command without a factor")
+            session.set_speed(command.speed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VoDServer {self.name} node={self.node_id} "
+            f"clients={len(self.sessions)} movies={sorted(self.movie_states)}>"
+        )

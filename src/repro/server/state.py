@@ -1,0 +1,142 @@
+"""Shared client state and the deterministic re-distribution rule.
+
+Every serving server multicasts its clients' records in the movie group
+twice a second; every replica merges what it hears into a
+:class:`MovieState`.  When the movie-group view changes (crash, detach,
+or a new server brought up), every member runs :func:`rebalance` on the
+same inputs — the sorted record set and the sorted view membership — and
+therefore reaches the same assignment without any extra agreement round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gcs.view import ProcessId
+from repro.service.protocol import ClientRecord, StateSync
+
+#: How long a departure tombstone suppresses stale records (seconds).
+TOMBSTONE_TTL = 5.0
+
+
+@dataclass
+class MovieState:
+    """One replica's knowledge about the clients watching one movie."""
+
+    movie: str
+    records: Dict[ProcessId, ClientRecord] = field(default_factory=dict)
+    _departed_at: Dict[ProcessId, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def put_record(self, record: ClientRecord, now: float) -> bool:
+        """Insert/refresh a record; returns True if it was accepted."""
+        departed_at = self._departed_at.get(record.client)
+        if departed_at is not None:
+            if record.updated_at <= departed_at:
+                return False
+            del self._departed_at[record.client]
+        existing = self.records.get(record.client)
+        if existing is not None and existing.updated_at > record.updated_at:
+            return False
+        self.records[record.client] = record
+        return True
+
+    def merge_sync(self, sync: StateSync, now: float) -> None:
+        for record in sync.records:
+            self.put_record(record, now)
+        for client in sync.departed:
+            self.mark_departed(client, now)
+        self._expire_tombstones(now)
+
+    def mark_departed(self, client: ProcessId, now: float) -> None:
+        record = self.records.get(client)
+        if record is not None and record.updated_at > now:
+            return
+        self.records.pop(client, None)
+        self._departed_at[client] = now
+
+    def _expire_tombstones(self, now: float) -> None:
+        expired = [
+            client
+            for client, at in self._departed_at.items()
+            if now - at > TOMBSTONE_TTL
+        ]
+        for client in expired:
+            del self._departed_at[client]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def record_of(self, client: ProcessId) -> Optional[ClientRecord]:
+        return self.records.get(client)
+
+    def clients(self) -> List[ProcessId]:
+        return sorted(self.records)
+
+    def recently_departed(self) -> Tuple[ProcessId, ...]:
+        return tuple(sorted(self._departed_at))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def join_regime_order(
+    members: Sequence[ProcessId], joined: Sequence[ProcessId]
+) -> List[ProcessId]:
+    """Server order for the even re-distribution: newcomers first."""
+    live = sorted(set(members))
+    newcomers = sorted(set(joined) & set(live))
+    return newcomers + [server for server in live if server not in newcomers]
+
+
+def rebalance(
+    records: Sequence[ClientRecord],
+    servers: Sequence[ProcessId],
+    joined: Sequence[ProcessId] = (),
+) -> Dict[ProcessId, ProcessId]:
+    """Deterministic client re-distribution at a membership change.
+
+    Two regimes, matching the paper's Section 5.2:
+
+    * **A server joined** ("new servers are brought up to alleviate the
+      load"): clients are evenly re-distributed round-robin over the
+      live servers, *newcomers first*, so a freshly started server picks
+      up load immediately — this is why the paper's single client
+      migrates to the new server at load-balance time.
+    * **Only failures/leaves** ("the remaining servers take over the
+      clients of the crashed server"): clients of surviving servers stay
+      put; orphans go to the least-loaded survivors.
+
+    All replicas call this with the same view (and the commit-supplied
+    ``joined`` set) and converging record sets, so they agree without an
+    extra protocol round.  Returns a client -> server mapping.
+    """
+    live = sorted(set(servers))
+    if not live:
+        return {}
+    ordered = sorted(records, key=lambda record: record.client)
+
+    if set(joined) & set(live):
+        order = join_regime_order(live, joined)
+        return {
+            record.client: order[position % len(order)]
+            for position, record in enumerate(ordered)
+        }
+
+    assignment: Dict[ProcessId, ProcessId] = {}
+    load = {server: 0 for server in live}
+    orphans: List[ClientRecord] = []
+    for record in ordered:
+        if record.server in load:
+            assignment[record.client] = record.server
+            load[record.server] += 1
+        else:
+            orphans.append(record)
+    for record in orphans:
+        target = min(live, key=lambda server: (load[server], server))
+        assignment[record.client] = target
+        load[target] += 1
+    return assignment

@@ -1,0 +1,246 @@
+"""Per-client streaming session at the server.
+
+A session owns the transmission timer for one client: one frame per
+``1/rate`` seconds, where the rate comes from the session's
+:class:`~repro.server.rate_controller.RateController` and therefore
+includes the decaying emergency quota.  Quality adaptation transmits all
+I frames and a deterministic subset of the incremental frames.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.gcs.view import ProcessId
+from repro.media.movie import Movie
+from repro.net.address import Endpoint
+from repro.server.rate_controller import RateController
+from repro.service.protocol import ClientRecord, EndOfStream, FramePacket
+from repro.sim.core import EventHandle, Simulator
+from repro.sim.process import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.server import VoDServer
+
+#: End-of-stream notices are repeated over raw UDP for loss tolerance.
+EOS_REPEATS = 3
+EOS_SPACING_S = 0.1
+
+
+class ClientSession:
+    """One server->client streaming relationship."""
+
+    def __init__(
+        self,
+        server: "VoDServer",
+        movie: Movie,
+        client: ProcessId,
+        session_name: str,
+        video_endpoint: Endpoint,
+        start_offset: int = 1,
+        rate_fps: Optional[int] = None,
+        quality_fps: Optional[int] = None,
+        paused: bool = False,
+        epoch: int = 0,
+    ) -> None:
+        self.server = server
+        self.sim: Simulator = server.sim
+        self.movie = movie
+        self.client = client
+        self.session_name = session_name
+        self.video_endpoint = video_endpoint
+        self.position = max(1, start_offset)
+        self.quality_fps = quality_fps
+        # VCR speed: the playhead covers positions at speed * rate; at
+        # speeds above 1 only a thinned subset of frames (always
+        # including I frames) is transmitted, like a VCR's cue mode.
+        self.speed = 1.0
+        self.paused = paused
+        self.epoch = epoch
+        self.finished = False
+        self.stopped = False
+        # Set by the server once a session-group view containing the
+        # client is seen; gates the departed-client detection.
+        self.saw_client_in_view = False
+        self.rate = RateController(
+            base_rate=rate_fps if rate_fps is not None else server.config.default_rate_fps,
+            min_rate=server.config.min_rate_fps,
+            max_rate=server.config.max_rate_fps,
+            emergency=server.config.emergency,
+            nominal_rate=server.config.default_rate_fps,
+        )
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.reservation = None
+        if server.config.use_qos:
+            self._reserve_qos()
+
+        self._send_handle: Optional[EventHandle] = None
+        self._decay_timer = Timer(self.sim, 1.0, self.rate.decay_tick)
+        if not self.paused:
+            self._schedule_next()
+
+    def _reserve_qos(self) -> None:
+        """Reserve CBR for the stream + VBR for emergencies (paper
+        Section 4.1: "an additional variable bit rate (VBR) channel for
+        emergency periods, varying to at most 40% of the constant bit
+        rate (CBR) channel")."""
+        qos = self.server.domain.network.qos
+        if qos is None:
+            return
+        cbr = self.movie.bitrate_bps() * 1.1  # stream + header slack
+        vbr = cbr * self.server.config.qos_vbr_fraction
+        self.reservation = qos.reserve(
+            self.server.node_id, self.video_endpoint.node, cbr, vbr
+        )
+
+    # ------------------------------------------------------------------
+    # Transmission loop
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        if self.stopped or self.finished or self.paused:
+            return
+        interval = 1.0 / (self.rate.current_rate() * self.speed)
+        self._send_handle = self.sim.call_after(interval, self._transmit_tick)
+
+    def _transmit_tick(self) -> None:
+        if self.stopped or self.finished or self.paused:
+            return
+        if self.position > len(self.movie):
+            self._finish()
+            return
+        frame = self.movie.frame(self.position)
+        if self._position_accepts(frame.index, frame.is_intra):
+            packet = FramePacket(
+                frame=frame,
+                epoch=self.epoch,
+                server=self.server.process,
+                sent_at=self.sim.now,
+            )
+            flow = self.reservation.flow_id if self.reservation else None
+            self.server.send_video(self.video_endpoint, packet, flow_id=flow)
+            self.frames_sent += 1
+            self.bytes_sent += frame.size_bytes
+        self.position += 1
+        self._schedule_next()
+
+    def _position_accepts(self, index: int, is_intra: bool) -> bool:
+        """Decide whether the frame at a covered position is sent.
+
+        Quality adaptation and fast playback thin the same way: all I
+        frames are kept, incremental frames are down-sampled so the
+        transmitted frame rate stays within the target (the client's
+        capability for quality, the nominal stream rate for speed)."""
+        fps = self.movie.fps
+        target = float(fps)
+        if self.quality_fps is not None and self.quality_fps < fps:
+            target = min(target, float(self.quality_fps))
+        if self.speed > 1.0:
+            target = min(target, fps / self.speed)
+        if target >= fps:
+            return True
+        if is_intra:
+            return True
+        return int(index * target) // fps != int((index - 1) * target) // fps
+
+    def _finish(self) -> None:
+        self.finished = True
+        for repeat in range(EOS_REPEATS):
+            self.sim.call_after(
+                repeat * EOS_SPACING_S,
+                self.server.send_video,
+                self.video_endpoint,
+                EndOfStream(self.movie.title, self.epoch),
+            )
+        self._decay_timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Control inputs
+    # ------------------------------------------------------------------
+    def on_flow_message(self, message) -> None:
+        was_emergency = self.rate.in_emergency
+        self.rate.on_flow_message(message, now=self.sim.now)
+        # An emergency raises the rate instantly: re-arm the send timer
+        # so the refill starts now rather than after the old interval.
+        if not was_emergency and self.rate.in_emergency:
+            self._rearm_now()
+
+    def pause(self) -> None:
+        if self.paused:
+            return
+        self.paused = True
+        if self._send_handle is not None:
+            self._send_handle.cancel()
+            self._send_handle = None
+
+    def resume(self) -> None:
+        if not self.paused:
+            return
+        self.paused = False
+        self._schedule_next()
+
+    def seek(self, position_s: float, epoch: int) -> None:
+        self.position = max(
+            1, min(int(position_s * self.movie.fps) + 1, len(self.movie))
+        )
+        self.epoch = epoch
+        self.finished = False
+        self._rearm_now()
+
+    def set_quality(self, quality_fps: Optional[int]) -> None:
+        self.quality_fps = quality_fps
+
+    def set_speed(self, speed: float) -> None:
+        """VCR speed control (1.0 = normal, 2.0 = double-speed cue,
+        0.5 = slow motion)."""
+        self.speed = max(0.1, min(8.0, float(speed)))
+        self._rearm_now()
+
+    def stop(self) -> None:
+        """Stop transmitting (hand-off or client departure)."""
+        self.stopped = True
+        if self._send_handle is not None:
+            self._send_handle.cancel()
+            self._send_handle = None
+        self._decay_timer.cancel()
+        if self.reservation is not None:
+            qos = self.server.domain.network.qos
+            if qos is not None:
+                qos.release(self.reservation)
+            self.reservation = None
+
+    def _rearm_now(self) -> None:
+        if self._send_handle is not None:
+            self._send_handle.cancel()
+        self._send_handle = None
+        if not (self.stopped or self.paused):
+            self._send_handle = self.sim.call_soon(self._transmit_tick)
+
+    # ------------------------------------------------------------------
+    # State sharing
+    # ------------------------------------------------------------------
+    def record(self) -> ClientRecord:
+        """Snapshot for the movie-group state sync.
+
+        The advertised rate is the *base* rate: a replica taking over
+        resumes at the last steady rate, not mid-emergency.
+        """
+        return ClientRecord(
+            client=self.client,
+            movie=self.movie.title,
+            session=self.session_name,
+            video_endpoint=self.video_endpoint,
+            offset=self.position,
+            rate_fps=self.rate.base_rate,
+            quality_fps=self.quality_fps,
+            paused=self.paused,
+            epoch=self.epoch,
+            server=self.server.process,
+            updated_at=self.sim.now,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ClientSession {self.client} {self.movie.title!r} "
+            f"pos={self.position} rate={self.rate.current_rate()}fps>"
+        )

@@ -1,0 +1,60 @@
+"""Service layer: deployments and scenario orchestration.
+
+A :class:`Deployment` wires the whole system together on a simulated
+topology — GCS domain, servers with replicated movies, clients — and a
+:class:`ScenarioController` schedules the events the paper's evaluation
+uses: server crashes, graceful detaches, bringing servers up on the fly,
+and network partitions.
+"""
+
+from repro.service.protocol import (
+    SERVER_GROUP,
+    ClientRecord,
+    ConnectRequest,
+    EmergencyLevel,
+    FlowControlMsg,
+    FlowKind,
+    FramePacket,
+    StateSync,
+    VcrCommand,
+    VcrOp,
+    movie_group,
+    session_group,
+)
+
+__all__ = [
+    "ClientRecord",
+    "ConnectRequest",
+    "Deployment",
+    "EmergencyLevel",
+    "FlowControlMsg",
+    "FlowKind",
+    "FramePacket",
+    "SERVER_GROUP",
+    "ScenarioController",
+    "ScenarioEvent",
+    "StateSync",
+    "VcrCommand",
+    "VcrOp",
+    "movie_group",
+    "session_group",
+]
+
+_LAZY_EXPORTS = {
+    "Deployment": ("repro.service.deployment", "Deployment"),
+    "ScenarioController": ("repro.service.controller", "ScenarioController"),
+    "ScenarioEvent": ("repro.service.controller", "ScenarioEvent"),
+}
+
+
+def __getattr__(name):
+    # Deployment imports the client and server packages, which in turn
+    # import repro.service.protocol; resolving it lazily (PEP 562)
+    # breaks that import cycle.
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    return getattr(module, target[1])

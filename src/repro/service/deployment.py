@@ -1,0 +1,142 @@
+"""Deployment builder: servers, clients and the catalog on a topology."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.client.player import ClientConfig, VoDClient
+from repro.errors import ServiceError
+from repro.gcs.domain import GcsDomain
+from repro.media.catalog import MovieCatalog
+from repro.net.topologies import Topology
+from repro.server.server import ServerConfig, VoDServer
+from repro.service.controller import ScenarioController
+
+
+class Deployment:
+    """A running VoD service on a simulated network.
+
+    Parameters
+    ----------
+    topology:
+        The network to deploy on (see :mod:`repro.net.topologies`).
+    catalog:
+        The movies.  When ``replicate_all`` is true every server gets a
+        replica of every movie; otherwise use
+        :meth:`MovieCatalog.place_replica` beforehand (or per server via
+        the ``movies=`` argument of :meth:`add_server`).
+    server_nodes:
+        Host indices (into ``topology.hosts``) that run servers at start.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        catalog: MovieCatalog,
+        server_nodes: Sequence[int] = (),
+        server_config: Optional[ServerConfig] = None,
+        client_config: Optional[ClientConfig] = None,
+        replicate_all: bool = True,
+        fd_timeout: Optional[float] = None,
+        enable_qos: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.network = topology.network
+        self.sim = topology.sim
+        self.catalog = catalog
+        self.server_config = server_config or ServerConfig()
+        self.client_config = client_config or ClientConfig()
+        self.replicate_all = replicate_all
+        self.domain = GcsDomain(self.sim, self.network, fd_timeout=fd_timeout)
+        self.qos = None
+        if enable_qos:
+            from repro.net.qos import QosManager
+
+            self.qos = QosManager(self.network)
+            self.qos.install()
+        self.servers: Dict[str, VoDServer] = {}
+        self.clients: Dict[str, VoDClient] = {}
+        self.controller = ScenarioController(self)
+        self._server_counter = 0
+        self._client_counter = 0
+        for host_index in server_nodes:
+            self.add_server(host_index)
+
+    # ------------------------------------------------------------------
+    # Servers
+    # ------------------------------------------------------------------
+    def add_server(
+        self,
+        host_index: int,
+        name: Optional[str] = None,
+        movies: Optional[Iterable[str]] = None,
+    ) -> VoDServer:
+        """Bring a server up on the fly on ``topology.hosts[host_index]``."""
+        if name is None:
+            name = f"server{self._server_counter}"
+        self._server_counter += 1
+        if name in self.servers:
+            raise ServiceError(f"server name {name!r} already in use")
+        if movies is not None:
+            for title in movies:
+                self.catalog.place_replica(title, name)
+        elif self.replicate_all:
+            for title in self.catalog.titles():
+                self.catalog.place_replica(title, name)
+        node_id = self.topology.host(host_index)
+        node = self.network.node(node_id)
+        if not node.alive:
+            node.restart()
+        server = VoDServer(
+            self.domain, node_id, name, self.catalog, self.server_config
+        )
+        self.servers[name] = server
+        return server
+
+    def server(self, name: str) -> VoDServer:
+        server = self.servers.get(name)
+        if server is None:
+            raise ServiceError(f"no server named {name!r}")
+        return server
+
+    def live_servers(self) -> List[VoDServer]:
+        return [server for server in self.servers.values() if server.running]
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def attach_client(
+        self,
+        host_index: int,
+        name: Optional[str] = None,
+        config: Optional[ClientConfig] = None,
+    ) -> VoDClient:
+        if name is None:
+            name = f"client{self._client_counter}"
+        self._client_counter += 1
+        if name in self.clients:
+            raise ServiceError(f"client name {name!r} already in use")
+        node_id = self.topology.host(host_index)
+        client = VoDClient(
+            self.domain, node_id, name, config or self.client_config
+        )
+        self.clients[name] = client
+        return client
+
+    def client(self, name: str) -> VoDClient:
+        client = self.clients.get(name)
+        if client is None:
+            raise ServiceError(f"no client named {name!r}")
+        return client
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def run_until(self, time: float) -> None:
+        self.sim.run_until(time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Deployment servers={sorted(self.servers)} "
+            f"clients={sorted(self.clients)}>"
+        )

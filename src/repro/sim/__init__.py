@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+The kernel provides a deterministic virtual clock, a cancellable event
+queue, periodic timers, generator-based processes and named random
+streams.  Every other subsystem in :mod:`repro` is driven by a single
+:class:`Simulator` instance, which makes whole-system experiments exactly
+reproducible from a seed.
+"""
+
+from repro.sim.core import EventHandle, Simulator
+from repro.sim.process import Process, Timer, sleep
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "EventHandle",
+    "Process",
+    "RngRegistry",
+    "Simulator",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+    "sleep",
+]

@@ -1,0 +1,225 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns a virtual clock and a priority queue of pending
+events.  Events scheduled for the same instant fire in the order they were
+scheduled (FIFO tie-breaking via a monotonically increasing sequence
+number), which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Cancellation is lazy: the queue entry stays in the heap but is skipped
+    when popped.  This keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled events do not pin large objects
+        # while they wait to be popped from the heap.
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named random streams (see
+        :class:`repro.sim.rng.RngRegistry`).
+    trace:
+        When true, a :class:`repro.sim.trace.Tracer` records every fired
+        event; useful in tests and when debugging protocol interleavings.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[EventHandle] = []
+        self._running = False
+        self._stopped = False
+        self.rngs = RngRegistry(seed)
+        self.tracer = Tracer(enabled=trace)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def rng(self, name: str):
+        """Return the named deterministic random stream."""
+        return self.rngs.stream(name)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``.
+
+        Scheduling in the past raises :class:`SimulationError`; scheduling
+        at the present instant is allowed and fires after already-queued
+        events for that instant.
+        """
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at time NaN")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def call_after(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at the current instant."""
+        return self.call_at(self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False if the queue is empty."""
+        handle = self._pop_next()
+        if handle is None:
+            return False
+        self._now = handle.time
+        self.tracer.record(self._now, handle.callback, handle.args)
+        handle.callback(*handle.args)
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains.  Returns the event count."""
+        count = 0
+        self._stopped = False
+        while not self._stopped:
+            if max_events is not None and count >= max_events:
+                break
+            if not self.step():
+                break
+            count += 1
+        return count
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Run events with timestamps ``<= time``; advance the clock to it.
+
+        The clock always ends at exactly ``time`` (even if the queue drains
+        earlier), so back-to-back ``run_until`` calls behave like a real
+        clock that keeps ticking.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run backwards to t={time:.6f} from t={self._now:.6f}"
+            )
+        count = 0
+        self._stopped = False
+        while not self._stopped:
+            if max_events is not None and count >= max_events:
+                break
+            nxt = self._peek_next()
+            if nxt is None or nxt.time > time:
+                break
+            self.step()
+            count += 1
+        if not self._stopped:
+            self._now = max(self._now, time)
+        return count
+
+    def stop(self) -> None:
+        """Stop the currently executing ``run``/``run_until`` loop."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) queued events."""
+        return sum(1 for handle in self._queue if not handle.cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the queue is empty."""
+        handle = self._peek_next()
+        return handle.time if handle is not None else None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _pop_next(self) -> Optional[EventHandle]:
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if not handle.cancelled:
+                return handle
+        return None
+
+    def _peek_next(self) -> Optional[EventHandle]:
+        while self._queue:
+            handle = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return handle
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator t={self._now:.6f} pending={self.pending_count()} "
+            f"seed={self.seed}>"
+        )

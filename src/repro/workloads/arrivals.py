@@ -1,0 +1,41 @@
+"""Arrival processes for client populations."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import ServiceError
+
+
+def poisson_arrivals(
+    rng: random.Random,
+    rate_per_s: float,
+    duration_s: float,
+    start_s: float = 0.0,
+    limit: int = 10_000,
+) -> List[float]:
+    """Exponentially spaced arrival times over ``duration_s`` seconds."""
+    if rate_per_s <= 0:
+        raise ServiceError(f"arrival rate must be positive, got {rate_per_s!r}")
+    times: List[float] = []
+    t = start_s
+    while len(times) < limit:
+        t += rng.expovariate(rate_per_s)
+        if t >= start_s + duration_s:
+            break
+        times.append(t)
+    return times
+
+
+def burst_arrivals(
+    rng: random.Random,
+    n_clients: int,
+    at_s: float,
+    spread_s: float = 2.0,
+) -> List[float]:
+    """Everyone shows up at once (prime-time premiere): ``n_clients``
+    arrivals uniformly inside ``[at_s, at_s + spread_s]``, sorted."""
+    if n_clients < 0:
+        raise ServiceError(f"negative client count {n_clients!r}")
+    return sorted(at_s + rng.uniform(0.0, spread_s) for _ in range(n_clients))

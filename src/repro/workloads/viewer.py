@@ -1,0 +1,58 @@
+"""Per-viewer behaviour profiles.
+
+A profile is a small distribution over what a viewer does after
+connecting: most watch through; some pause (doorbell), some skim with
+seeks, some abandon.  Behaviour scripts are generated up front from a
+seeded RNG so runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: One scripted action: (delay since previous action, op, argument).
+Action = Tuple[float, str, float]
+
+
+@dataclass(frozen=True)
+class ViewerProfile:
+    """Probabilities of viewer behaviours (the rest watch through)."""
+
+    pause_prob: float = 0.25
+    seek_prob: float = 0.2
+    abandon_prob: float = 0.1
+    pause_length_s: Tuple[float, float] = (3.0, 15.0)
+    actions_spacing_s: Tuple[float, float] = (10.0, 40.0)
+
+    def script(
+        self, rng: random.Random, movie_duration_s: float
+    ) -> List[Action]:
+        """Generate one viewer's action script."""
+        actions: List[Action] = []
+        # Abandonment preempts everything else.
+        if rng.random() < self.abandon_prob:
+            watch_for = rng.uniform(5.0, max(6.0, movie_duration_s * 0.4))
+            actions.append((watch_for, "stop", 0.0))
+            return actions
+        t = 0.0
+        while t < movie_duration_s * 0.7:
+            gap = rng.uniform(*self.actions_spacing_s)
+            t += gap
+            roll = rng.random()
+            if roll < self.pause_prob:
+                pause_for = rng.uniform(*self.pause_length_s)
+                actions.append((gap, "pause", 0.0))
+                actions.append((pause_for, "resume", 0.0))
+                t += pause_for
+            elif roll < self.pause_prob + self.seek_prob:
+                target = rng.uniform(0.0, movie_duration_s * 0.8)
+                actions.append((gap, "seek", target))
+            else:
+                actions.append((gap, "nothing", 0.0))
+        return actions
+
+
+COUCH_POTATO = ViewerProfile(pause_prob=0.1, seek_prob=0.05, abandon_prob=0.02)
+CHANNEL_SURFER = ViewerProfile(pause_prob=0.2, seek_prob=0.5, abandon_prob=0.25)

@@ -1,0 +1,141 @@
+"""Tests for the fault-tolerance baselines."""
+
+import pytest
+
+from repro.baselines.single_server import run_single_server_crash
+from repro.baselines.striped import StripedCluster, run_striped_crash
+from repro.errors import ServiceError
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.sim.core import Simulator
+
+
+class TestStripedPlacement:
+    def make(self):
+        sim = Simulator(seed=1)
+        topo = build_lan(sim, n_hosts=4)
+        movie = Movie.synthetic("m", duration_s=10.0)
+        cluster = StripedCluster(
+            sim, topo.network, movie, [topo.host(i) for i in range(3)],
+            stripe_frames=10,
+        )
+        return cluster
+
+    def test_stripes_rotate_across_servers(self):
+        cluster = self.make()
+        assert cluster.primary_of(1) == 0
+        assert cluster.primary_of(11) == 1
+        assert cluster.primary_of(21) == 2
+        assert cluster.primary_of(31) == 0
+
+    def test_mirror_is_next_server(self):
+        cluster = self.make()
+        assert cluster.mirror_of(1) == 1
+        assert cluster.mirror_of(21) == 0
+
+    def test_owner_falls_back_to_mirror(self):
+        cluster = self.make()
+        cluster.crash_server(0)
+        owner = cluster.owner_of(1)
+        assert owner is not None
+        assert owner.index == 1
+
+    def test_block_lost_when_primary_and_mirror_dead(self):
+        cluster = self.make()
+        cluster.crash_server(0)
+        cluster.crash_server(1)
+        assert cluster.owner_of(1) is None  # primary 0, mirror 1: both dead
+        assert cluster.owner_of(21) is not None  # primary 2 alive
+
+    def test_needs_two_servers(self):
+        sim = Simulator(seed=1)
+        topo = build_lan(sim, n_hosts=2)
+        with pytest.raises(ServiceError):
+            StripedCluster(
+                sim, topo.network, Movie.synthetic("m", duration_s=1.0),
+                [topo.host(0)],
+            )
+
+
+class TestStripedFaultEnvelope:
+    def test_healthy_cluster_plays_cleanly(self):
+        client, cluster = run_striped_crash(kills=0, duration_s=40.0)
+        assert client.stall_time_s < 1.0
+        assert client.skipped_total < 20
+
+    def test_one_failure_survived(self):
+        """Tiger's claim: one failure is masked by the mirrors."""
+        client, cluster = run_striped_crash(kills=1, duration_s=60.0)
+        assert client.stall_time_s < 1.0
+        assert cluster.lost_blocks == 0
+
+    def test_two_failures_lose_video(self):
+        """The paper's point: two failures break striping even when
+        they are not concurrent."""
+        client, cluster = run_striped_crash(kills=2, duration_s=60.0)
+        assert cluster.lost_blocks > 0
+        assert client.skipped_total > 100
+
+
+class TestSingleServer:
+    def test_crash_kills_the_stream(self):
+        client, _deployment = run_single_server_crash(
+            crash_at=20.0, duration_s=60.0
+        )
+        assert client.decoder.stats.stall_time_s > 20.0
+
+
+class TestDeclustering:
+    """Tiger's declustering factor: a failed cub's load fans out."""
+
+    def make(self, decluster):
+        sim = Simulator(seed=1)
+        topo = build_lan(sim, n_hosts=6)
+        movie = Movie.synthetic("m", duration_s=60.0)
+        return StripedCluster(
+            sim, topo.network, movie,
+            [topo.host(i) for i in range(5)],
+            stripe_frames=10, decluster=decluster,
+        )
+
+    def test_d1_dumps_everything_on_one_neighbour(self):
+        cluster = self.make(decluster=1)
+        shares = cluster.secondary_load_shares()
+        assert shares[1] == pytest.approx(1.0)
+        assert sum(shares[2:]) == 0.0
+
+    def test_d3_spreads_the_load(self):
+        cluster = self.make(decluster=3)
+        shares = cluster.secondary_load_shares()
+        for neighbour in (1, 2, 3):
+            assert shares[neighbour] == pytest.approx(1 / 3, abs=0.05)
+
+    def test_declustered_failover_still_serves_all_blocks(self):
+        cluster = self.make(decluster=3)
+        cluster.crash_server(0)
+        movie = cluster.movie
+        for frame in range(1, len(movie) + 1, cluster.stripe_frames):
+            assert cluster.owner_of(frame) is not None
+
+    def test_two_adjacent_failures_still_lose_blocks(self):
+        """Declustering spreads load but cannot survive two failures
+        that cover a block's primary and its mirror — the paper's
+        point stands regardless of d."""
+        cluster = self.make(decluster=2)
+        cluster.crash_server(0)
+        cluster.crash_server(1)
+        lost = [
+            frame
+            for frame in range(1, len(cluster.movie) + 1,
+                               cluster.stripe_frames)
+            if cluster.owner_of(frame) is None
+        ]
+        assert lost
+
+    def test_decluster_validation(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            self.make(decluster=0)
+        with pytest.raises(ServiceError):
+            self.make(decluster=5)

@@ -1,0 +1,120 @@
+"""Unit tests for the client software buffer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.buffers import InsertOutcome, SoftwareBuffer
+from repro.errors import MediaError
+from repro.media.frames import Frame, FrameType
+
+
+def frame(index, ftype=FrameType.P, size=1000):
+    return Frame("m", index, ftype, size)
+
+
+def test_insert_and_pop_in_display_order():
+    buffer = SoftwareBuffer(10)
+    for index in (3, 1, 2):
+        buffer.insert(frame(index))
+    assert [buffer.pop_next().index for _ in range(3)] == [1, 2, 3]
+
+
+def test_duplicate_detection():
+    buffer = SoftwareBuffer(10)
+    buffer.insert(frame(1))
+    assert buffer.insert(frame(1)).outcome == InsertOutcome.DUPLICATE
+    assert buffer.occupancy == 1
+
+
+def test_overflow_evicts_highest_non_intra():
+    buffer = SoftwareBuffer(3)
+    buffer.insert(frame(1, FrameType.I))
+    buffer.insert(frame(2, FrameType.B))
+    buffer.insert(frame(3, FrameType.B))
+    eviction = buffer.insert(frame(4, FrameType.B))
+    assert eviction.outcome == InsertOutcome.STORED_EVICTED
+    assert eviction.victim.index == 3  # the highest incremental frame
+    assert 4 in buffer
+    assert 1 in buffer  # the I frame survives
+
+
+def test_overflow_spares_i_frames():
+    buffer = SoftwareBuffer(3)
+    buffer.insert(frame(1, FrameType.I))
+    buffer.insert(frame(2, FrameType.I))
+    buffer.insert(frame(3, FrameType.B))
+    eviction = buffer.insert(frame(4, FrameType.P))
+    assert not eviction.victim.is_intra
+
+
+def test_overflow_with_all_i_frames_evicts_highest():
+    buffer = SoftwareBuffer(2)
+    buffer.insert(frame(1, FrameType.I))
+    buffer.insert(frame(2, FrameType.I))
+    eviction = buffer.insert(frame(3, FrameType.I))
+    assert eviction.victim.index == 2
+    assert 3 in buffer
+
+
+def test_peek_does_not_remove():
+    buffer = SoftwareBuffer(5)
+    buffer.insert(frame(7))
+    assert buffer.peek_next().index == 7
+    assert buffer.occupancy == 1
+
+
+def test_peek_empty_returns_none():
+    assert SoftwareBuffer(5).peek_next() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(MediaError):
+        SoftwareBuffer(5).pop_next()
+
+
+def test_clear():
+    buffer = SoftwareBuffer(5)
+    buffer.insert(frame(1))
+    buffer.insert(frame(2))
+    assert buffer.clear() == 2
+    assert buffer.occupancy == 0
+
+
+def test_is_full():
+    buffer = SoftwareBuffer(2)
+    buffer.insert(frame(1))
+    assert not buffer.is_full
+    buffer.insert(frame(2))
+    assert buffer.is_full
+
+
+def test_capacity_validation():
+    with pytest.raises(MediaError):
+        SoftwareBuffer(0)
+
+
+def test_indices_sorted():
+    buffer = SoftwareBuffer(5)
+    for index in (9, 2, 5):
+        buffer.insert(frame(index))
+    assert buffer.indices() == [2, 5, 9]
+
+
+@given(
+    indices=st.lists(
+        st.integers(min_value=1, max_value=100), min_size=1, max_size=60
+    ),
+    capacity=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_never_exceeds_capacity_and_stays_sorted(indices, capacity):
+    buffer = SoftwareBuffer(capacity)
+    gop = [FrameType.I, FrameType.B, FrameType.B, FrameType.P]
+    for index in indices:
+        buffer.insert(frame(index, gop[index % 4]))
+        assert buffer.occupancy <= capacity
+    drained = []
+    while buffer.peek_next() is not None:
+        drained.append(buffer.pop_next().index)
+    assert drained == sorted(set(drained))

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def lan(sim):
+    """A 6-host switched Ethernet."""
+    return build_lan(sim, n_hosts=6)
+
+
+@pytest.fixture(scope="session")
+def short_movie() -> Movie:
+    """A 30-second movie shared (read-only) across tests."""
+    return Movie.synthetic("short", duration_s=30.0)

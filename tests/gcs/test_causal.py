@@ -1,0 +1,145 @@
+"""Tests for causally-ordered multicast."""
+
+from repro.gcs import GcsDomain
+from repro.gcs.causal import CausalGroup
+from repro.net.link import LinkParams
+from repro.net.topologies import build_lan
+from repro.sim.core import Simulator
+
+
+def make_group(n, seed=1, link=None):
+    sim = Simulator(seed=seed)
+    kwargs = {"link": link} if link is not None else {}
+    topo = build_lan(sim, n_hosts=n, **kwargs)
+    domain = GcsDomain(sim, topo.network)
+    members = [
+        CausalGroup(domain.create_endpoint(topo.host(i)), "causal", f"p{i}")
+        for i in range(n)
+    ]
+    return sim, topo, domain, members
+
+
+def bodies(member):
+    return [body for _s, body in member.delivered]
+
+
+def test_single_sender_fifo():
+    sim, _t, _d, members = make_group(3)
+    sim.run_until(2.0)
+    for i in range(10):
+        members[0].multicast(i)
+    sim.run_until(3.0)
+    for m in members:
+        assert bodies(m) == list(range(10))
+
+
+def test_reply_after_delivery_is_causally_ordered():
+    """If B replies to A's message, nobody sees the reply first."""
+    sim, _t, _d, members = make_group(3)
+    sim.run_until(2.0)
+    members[1].on_deliver = (
+        lambda sender, body:
+        members[1].multicast(("reply", body))
+        if body == "question" else None
+    )
+    members[0].multicast("question")
+    sim.run_until(4.0)
+    for m in members:
+        seq = bodies(m)
+        assert "question" in seq and ("reply", "question") in seq
+        assert seq.index("question") < seq.index(("reply", "question"))
+
+
+def test_causal_chain_across_three_members():
+    sim, _t, _d, members = make_group(3)
+    sim.run_until(2.0)
+
+    def chain(member, trigger, emit):
+        original = member.on_deliver
+
+        def handler(sender, body):
+            if body == trigger:
+                member.multicast(emit)
+            original(sender, body)
+
+        member.on_deliver = handler
+
+    chain(members[1], "a", "b")
+    chain(members[2], "b", "c")
+    members[0].multicast("a")
+    sim.run_until(5.0)
+    for m in members:
+        seq = bodies(m)
+        assert seq.index("a") < seq.index("b") < seq.index("c")
+
+
+def test_concurrent_messages_all_delivered():
+    sim, _t, _d, members = make_group(4)
+    sim.run_until(2.0)
+    for i in range(12):
+        members[i % 4].multicast(("m", i))
+    sim.run_until(4.0)
+    expected = {("m", i) for i in range(12)}
+    for m in members:
+        assert set(bodies(m)) == expected
+
+
+def test_causality_preserved_under_loss():
+    lossy = LinkParams(delay_s=0.0005, loss_prob=0.1, bandwidth_bps=1e8)
+    sim, _t, _d, members = make_group(3, seed=5, link=lossy)
+    sim.run_until(3.0)
+    # A ping-pong conversation between p0 and p1; causal order must
+    # hold at the bystander p2 even with retransmission delays.
+    def echo(member, label):
+        def handler(sender, body):
+            if isinstance(body, int) and body < 10 and sender != member.process:
+                member.multicast(body + 1)
+        member.on_deliver = handler
+
+    echo(members[1], "B")
+    echo(members[0], "A")
+    members[0].multicast(0)
+    sim.run_until(10.0)
+    for m in members:
+        ints = [b for b in bodies(m) if isinstance(b, int)]
+        assert ints == sorted(ints)
+        assert len(ints) >= 10
+
+
+def test_vector_reflects_deliveries():
+    sim, _t, _d, members = make_group(2)
+    sim.run_until(2.0)
+    members[0].multicast("x")
+    members[0].multicast("y")
+    sim.run_until(3.0)
+    assert members[1].vector()[members[0].process] == 2
+
+
+def test_crash_of_sender_does_not_block_others():
+    sim, topo, _d, members = make_group(3, seed=9)
+    sim.run_until(2.0)
+    members[0].multicast("pre-crash")
+    sim.run_until(3.0)
+    topo.network.node(topo.host(0)).crash()
+    members[0].endpoint.crash()
+    sim.run_until(6.0)
+    members[1].multicast("post-crash")
+    sim.run_until(7.0)
+    for m in members[1:]:
+        assert "pre-crash" in bodies(m)
+        assert "post-crash" in bodies(m)
+
+
+def test_late_joiner_skips_history_but_gets_new_traffic():
+    sim, topo, domain, members = make_group(2, seed=3)
+    sim.run_until(2.0)
+    members[0].multicast("old")
+    sim.run_until(3.0)
+    node = topo.network.add_node("late-host")
+    topo.network.add_link(node.node_id, topo.infrastructure[0])
+    late = CausalGroup(domain.create_endpoint(node.node_id), "causal", "late")
+    sim.run_until(6.0)
+    members[0].multicast("new")
+    sim.run_until(8.0)
+    assert "old" not in bodies(late)
+    assert "new" in bodies(late)

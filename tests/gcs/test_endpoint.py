@@ -1,0 +1,135 @@
+"""Unit tests for the GCS daemon endpoint services."""
+
+import pytest
+
+from repro.errors import GroupError
+from repro.gcs import GcsDomain, GroupListener
+from repro.gcs.view import ProcessId
+from repro.net.topologies import build_lan
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator(seed=6)
+    topo = build_lan(sim, n_hosts=3)
+    domain = GcsDomain(sim, topo.network)
+    endpoints = [domain.create_endpoint(topo.host(i)) for i in range(3)]
+    return sim, topo, domain, endpoints
+
+
+def test_one_member_per_group_per_daemon(rig):
+    _sim, _topo, _domain, endpoints = rig
+    endpoints[0].join("g", "a", GroupListener())
+    with pytest.raises(GroupError):
+        endpoints[0].join("g", "b", GroupListener())
+
+
+def test_rejoin_after_leave_allowed(rig):
+    sim, _topo, _domain, endpoints = rig
+    endpoints[0].join("g", "a", GroupListener())
+    sim.run_until(1.0)
+    endpoints[0].leave_group("g")
+    endpoints[0].join("g", "a2", GroupListener())
+
+
+def test_duplicate_daemon_on_node_rejected(rig):
+    _sim, topo, domain, _endpoints = rig
+    with pytest.raises(ValueError):
+        domain.create_endpoint(topo.host(0))
+
+
+def test_daemon_recreate_after_crash(rig):
+    sim, topo, domain, endpoints = rig
+    endpoints[0].crash()
+    topo.network.node(topo.host(0)).restart()
+    fresh = domain.create_endpoint(topo.host(0))
+    assert not fresh.closed
+
+
+def test_group_view_lookup(rig):
+    sim, _topo, _domain, endpoints = rig
+    endpoints[0].join("g", "a", GroupListener())
+    endpoints[1].join("g", "b", GroupListener())
+    sim.run_until(2.0)
+    view = endpoints[0].group_view("g")
+    assert view is not None and len(view.members) == 2
+    assert endpoints[2].group_view("g") is None
+
+
+def test_shutdown_leaves_groups(rig):
+    sim, _topo, _domain, endpoints = rig
+    views = []
+    endpoints[0].join("g", "a", GroupListener(on_view=views.append))
+    endpoints[1].join("g", "b", GroupListener())
+    sim.run_until(2.0)
+    endpoints[1].shutdown()
+    sim.run_until(3.0)
+    assert len(views[-1].members) == 1
+    assert endpoints[1].closed
+
+
+def test_operations_on_closed_endpoint_raise(rig):
+    _sim, _topo, _domain, endpoints = rig
+    endpoints[0].shutdown()
+    with pytest.raises(GroupError):
+        endpoints[0].join("g", "a", GroupListener())
+    with pytest.raises(GroupError):
+        endpoints[0].send_to_group("g", "x")
+
+
+def test_open_group_send_without_members_is_harmless(rig):
+    sim, _topo, _domain, endpoints = rig
+    endpoints[0].send_to_group("empty-group", "hello")
+    sim.run_until(1.0)  # nobody joined: nothing happens, nothing crashes
+
+
+def test_open_group_local_delivery(rig):
+    sim, _topo, _domain, endpoints = rig
+    got = []
+    endpoints[0].join("g", "a", GroupListener())
+    endpoints[0].register_open_group_handler("g", lambda s, p: got.append(p))
+    sim.run_until(1.0)
+    endpoints[0].send_to_group("g", "self-call")
+    sim.run_until(2.0)
+    assert got == ["self-call"]
+
+
+def test_p2p_to_dead_daemon_gives_up(rig):
+    sim, topo, _domain, endpoints = rig
+    topo.network.node(topo.host(1)).crash()
+    endpoints[1].crash()
+    endpoints[0].send_p2p(ProcessId(topo.host(1), "ghost"), "hello")
+    sim.run_until(10.0)
+    assert endpoints[0]._p2p_pending == {}  # retries exhausted, cleaned up
+
+
+def test_p2p_handler_per_process_name(rig):
+    sim, _topo, _domain, endpoints = rig
+    got_a, got_b = [], []
+    endpoints[1].register_p2p_handler("a", lambda s, p: got_a.append(p))
+    endpoints[1].register_p2p_handler("b", lambda s, p: got_b.append(p))
+    endpoints[0].send_p2p(ProcessId(endpoints[1].daemon_id, "b"), "for-b")
+    sim.run_until(2.0)
+    assert got_a == []
+    assert got_b == ["for-b"]
+
+
+def test_control_traffic_accounted(rig):
+    sim, _topo, _domain, endpoints = rig
+    endpoints[0].join("g", "a", GroupListener())
+    endpoints[1].join("g", "b", GroupListener())
+    sim.run_until(3.0)
+    assert endpoints[0].control_bytes_sent > 0
+    assert endpoints[0].control_packets_sent > 0
+
+
+def test_heartbeats_only_to_co_members(rig):
+    sim, _topo, _domain, endpoints = rig
+    endpoints[0].join("g", "a", GroupListener())
+    endpoints[1].join("g", "b", GroupListener())
+    # endpoint 2 joins nothing shared.
+    sim.run_until(3.0)
+    targets = endpoints[0]._heartbeat_targets()
+    assert endpoints[1].daemon_id in targets
+    assert endpoints[2].daemon_id not in targets

@@ -1,0 +1,102 @@
+"""Unit tests for the heartbeat failure detector."""
+
+from repro.gcs.failure_detector import FailureDetector
+from repro.sim.core import Simulator
+
+
+def make_fd(sim, timeout=0.5):
+    suspects, trusts = [], []
+    fd = FailureDetector(
+        sim, timeout=timeout,
+        on_suspect=lambda d: suspects.append((sim.now, d)),
+        on_trust=lambda d: trusts.append((sim.now, d)),
+    )
+    return fd, suspects, trusts
+
+
+def test_silent_peer_suspected_after_timeout():
+    sim = Simulator()
+    fd, suspects, _ = make_fd(sim)
+    fd.watch(7)
+    sim.run_until(1.0)
+    fd.check()
+    assert fd.is_suspected(7)
+    assert suspects == [(1.0, 7)]
+
+
+def test_heartbeats_prevent_suspicion():
+    sim = Simulator()
+    fd, suspects, _ = make_fd(sim)
+    fd.watch(7)
+    for t in (0.2, 0.4, 0.6, 0.8):
+        sim.call_at(t, fd.heard_from, 7)
+    sim.run_until(1.0)
+    fd.check()
+    assert not fd.is_suspected(7)
+    assert suspects == []
+
+
+def test_trust_restored_on_new_heartbeat():
+    sim = Simulator()
+    fd, suspects, trusts = make_fd(sim)
+    fd.watch(7)
+    sim.run_until(1.0)
+    fd.check()
+    fd.heard_from(7)
+    assert not fd.is_suspected(7)
+    assert trusts == [(1.0, 7)]
+
+
+def test_grace_period_from_watch_time():
+    sim = Simulator()
+    fd, _, _ = make_fd(sim, timeout=0.5)
+    sim.run_until(10.0)
+    fd.watch(7)  # never heard from, but just started watching
+    fd.check()
+    assert not fd.is_suspected(7)
+
+
+def test_unwatched_peer_reported_suspected():
+    sim = Simulator()
+    fd, _, _ = make_fd(sim)
+    assert fd.is_suspected(99)  # unknown daemon: not trusted
+    assert 99 not in fd.suspected()  # ...but not in the watched-suspect set
+
+
+def test_unwatch_removes_peer():
+    sim = Simulator()
+    fd, suspects, _ = make_fd(sim)
+    fd.watch(7)
+    fd.unwatch(7)
+    sim.run_until(5.0)
+    fd.check()
+    assert suspects == []
+    assert fd.watched() == set()
+
+
+def test_suspected_set():
+    sim = Simulator()
+    fd, _, _ = make_fd(sim)
+    fd.watch(1)
+    fd.watch(2)
+    sim.run_until(1.0)
+    fd.heard_from(2)
+    fd.check()
+    assert fd.suspected() == {1}
+
+
+def test_no_duplicate_suspect_callbacks():
+    sim = Simulator()
+    fd, suspects, _ = make_fd(sim)
+    fd.watch(7)
+    sim.run_until(1.0)
+    fd.check()
+    fd.check()
+    assert len(suspects) == 1
+
+
+def test_heard_from_unwatched_is_ignored():
+    sim = Simulator()
+    fd, _, _ = make_fd(sim)
+    fd.heard_from(42)  # must not implicitly watch
+    assert fd.watched() == set()

@@ -1,0 +1,86 @@
+"""Wire-size sanity for every control message type.
+
+The T-sync claim depends on these estimates; they must be positive,
+bounded, and grow with their content.
+"""
+
+from repro.gcs.messages import (
+    FlushOk,
+    FlushVector,
+    Heartbeat,
+    JoinRequest,
+    LeaveRequest,
+    Multicast,
+    Nack,
+    OpenGroupSend,
+    PointToPoint,
+    PointToPointAck,
+    Presence,
+    Propose,
+    Retransmission,
+    ViewCommit,
+)
+from repro.gcs.view import ProcessId, ViewId
+
+A = ProcessId(1, "a")
+B = ProcessId(2, "b")
+VID = ViewId(3, A)
+
+
+def test_all_messages_have_positive_wire_size():
+    messages = [
+        Heartbeat(1, {"g": {A: 5}}),
+        JoinRequest("g", A),
+        LeaveRequest("g", A),
+        Multicast("g", A, 1, "x", 100),
+        Nack("g", A, 1, 5),
+        Propose("g", VID, (A, B), prior=(A,)),
+        FlushVector("g", VID, A, {A: 3}),
+        FlushOk("g", VID, A),
+        ViewCommit("g", VID, (A, B), {A: 3}, prior=(A,)),
+        Presence("g", VID, (A, B), A),
+        OpenGroupSend("g", A, "x", 64, 1),
+        PointToPoint(A, B, 1, "x", 64),
+        PointToPointAck(A, B, 1),
+        Retransmission(Multicast("g", A, 1, "x", 100)),
+    ]
+    for message in messages:
+        assert message.wire_bytes() > 0, message
+
+
+def test_multicast_size_includes_payload():
+    small = Multicast("g", A, 1, "x", 10)
+    large = Multicast("g", A, 1, "x", 10_000)
+    assert large.wire_bytes() - small.wire_bytes() == 9990
+
+
+def test_heartbeat_grows_with_vector_entries():
+    empty = Heartbeat(1, {})
+    loaded = Heartbeat(1, {"g": {A: 1, B: 2}, "h": {A: 3}})
+    assert loaded.wire_bytes() > empty.wire_bytes()
+
+
+def test_commit_grows_with_membership():
+    small = ViewCommit("g", VID, (A,), {})
+    large = ViewCommit("g", VID, (A, B), {A: 1, B: 2}, prior=(A, B))
+    assert large.wire_bytes() > small.wire_bytes()
+
+
+def test_retransmission_slightly_larger_than_original():
+    original = Multicast("g", A, 1, "x", 100)
+    assert Retransmission(original).wire_bytes() > original.wire_bytes()
+
+
+def test_control_messages_are_small():
+    """Everything except data-bearing messages stays under ~100 bytes
+    for typical group sizes — the control plane must stay negligible."""
+    small_messages = [
+        JoinRequest("g", A),
+        LeaveRequest("g", A),
+        Nack("g", A, 1, 5),
+        FlushOk("g", VID, A),
+        PointToPointAck(A, B, 1),
+        Presence("g", VID, (A, B), A),
+    ]
+    for message in small_messages:
+        assert message.wire_bytes() <= 100, message

@@ -1,0 +1,94 @@
+"""Property-based tests for GCS data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcs.messages import Multicast
+from repro.gcs.store import GroupStore
+from repro.gcs.view import ProcessId
+
+SENDERS = [ProcessId(i, f"s{i}") for i in range(3)]
+
+
+@st.composite
+def arrival_schedules(draw):
+    """A shuffled multiset of (sender, seq) arrivals with duplicates."""
+    events = []
+    for sender in SENDERS:
+        count = draw(st.integers(min_value=0, max_value=15))
+        seqs = list(range(1, count + 1))
+        duplicates = (
+            draw(st.lists(st.sampled_from(seqs), max_size=5)) if seqs else []
+        )
+        events.extend((sender, seq) for seq in seqs + duplicates)
+    return draw(st.permutations(events))
+
+
+@given(schedule=arrival_schedules())
+@settings(max_examples=100, deadline=None)
+def test_store_delivers_each_seq_once_in_fifo_order(schedule):
+    store = GroupStore("g")
+    delivered = {sender: [] for sender in SENDERS}
+    for step, (sender, seq) in enumerate(schedule):
+        for message in store.receive(
+            Multicast("g", sender, seq, None, 8), float(step)
+        ):
+            delivered[message.sender].append(message.seq)
+    for sender in SENDERS:
+        total = max(
+            [seq for s, seq in schedule if s == sender], default=0
+        )
+        # FIFO: exactly the full prefix 1..total, in order, no dups.
+        assert delivered[sender] == list(range(1, total + 1))
+
+
+@given(schedule=arrival_schedules())
+@settings(max_examples=50, deadline=None)
+def test_store_prefix_vector_matches_delivery(schedule):
+    store = GroupStore("g")
+    count = {sender: 0 for sender in SENDERS}
+    for step, (sender, seq) in enumerate(schedule):
+        count[sender] += len(
+            store.receive(Multicast("g", sender, seq, None, 8), float(step))
+        )
+    vector = store.known_prefix_vector()
+    for sender in SENDERS:
+        assert vector.get(sender, 0) == count[sender]
+
+
+@given(
+    cut=st.dictionaries(
+        st.sampled_from(SENDERS), st.integers(min_value=0, max_value=30),
+        max_size=3,
+    ),
+    received=st.dictionaries(
+        st.sampled_from(SENDERS), st.integers(min_value=0, max_value=30),
+        max_size=3,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_satisfies_cut_iff_no_deficits(cut, received):
+    store = GroupStore("g")
+    for sender, upto in received.items():
+        for seq in range(1, upto + 1):
+            store.receive(Multicast("g", sender, seq, None, 8), 0.0)
+    assert store.satisfies_cut(cut) == (not store.deficits(cut))
+
+
+@given(
+    baseline=st.integers(min_value=0, max_value=50),
+    extra=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_adopt_baseline_then_stream_continues(baseline, extra):
+    store = GroupStore("g")
+    sender = SENDERS[0]
+    store.adopt_baseline({sender: baseline})
+    delivered = []
+    for seq in range(baseline + 1, baseline + extra + 1):
+        delivered += [
+            m.seq for m in store.receive(
+                Multicast("g", sender, seq, None, 8), 0.0
+            )
+        ]
+    assert delivered == list(range(baseline + 1, baseline + extra + 1))

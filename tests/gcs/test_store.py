@@ -1,0 +1,162 @@
+"""Unit tests for the reliable-multicast store."""
+
+from repro.gcs.messages import Multicast
+from repro.gcs.store import GroupStore
+from repro.gcs.view import ProcessId
+
+A = ProcessId(1, "a")
+B = ProcessId(2, "b")
+
+
+def msg(sender, seq, payload=None):
+    return Multicast("g", sender, seq, payload or f"m{seq}", 16)
+
+
+def test_in_order_messages_deliver_immediately():
+    store = GroupStore("g")
+    assert [m.seq for m in store.receive(msg(A, 1), 0.0)] == [1]
+    assert [m.seq for m in store.receive(msg(A, 2), 0.0)] == [2]
+
+
+def test_gap_blocks_delivery_until_filled():
+    store = GroupStore("g")
+    assert store.receive(msg(A, 2), 0.0) == []
+    delivered = store.receive(msg(A, 1), 0.1)
+    assert [m.seq for m in delivered] == [1, 2]
+
+
+def test_duplicates_dropped():
+    store = GroupStore("g")
+    store.receive(msg(A, 1), 0.0)
+    assert store.receive(msg(A, 1), 0.1) == []
+
+
+def test_pending_duplicate_dropped():
+    store = GroupStore("g")
+    store.receive(msg(A, 2), 0.0)
+    assert store.receive(msg(A, 2), 0.1) == []
+
+
+def test_flows_are_per_sender():
+    store = GroupStore("g")
+    store.receive(msg(A, 2), 0.0)  # gap in A's flow
+    delivered = store.receive(msg(B, 1), 0.0)  # B unaffected
+    assert [m.sender for m in delivered] == [B]
+
+
+def test_gaps_reported_after_min_age():
+    store = GroupStore("g")
+    store.receive(msg(A, 3), 1.0)
+    assert store.gaps(now=1.01, min_age=0.05) == []
+    assert store.gaps(now=1.2, min_age=0.05) == [(A, 1, 2)]
+
+
+def test_gap_cleared_when_filled():
+    store = GroupStore("g")
+    store.receive(msg(A, 2), 1.0)
+    store.receive(msg(A, 1), 1.1)
+    assert store.gaps(now=5.0, min_age=0.01) == []
+
+
+def test_record_own_advances_delivered():
+    store = GroupStore("g")
+    store.record_own(msg(A, 1))
+    store.record_own(msg(A, 2))
+    assert store.delivered_seq(A) == 2
+    assert store.receive(msg(A, 1), 0.0) == []  # own copy not re-delivered
+
+
+def test_retained_range_returns_copies():
+    store = GroupStore("g")
+    for seq in range(1, 6):
+        store.receive(msg(A, seq), 0.0)
+    assert [m.seq for m in store.retained_range(A, 2, 4)] == [2, 3, 4]
+
+
+def test_retained_range_unknown_sender_empty():
+    store = GroupStore("g")
+    assert list(store.retained_range(A, 1, 3)) == []
+
+
+def test_known_prefix_vector():
+    store = GroupStore("g")
+    store.receive(msg(A, 1), 0.0)
+    store.receive(msg(B, 1), 0.0)
+    store.receive(msg(B, 3), 0.0)  # gap at 2
+    assert store.known_prefix_vector() == {A: 1, B: 1}
+
+
+def test_satisfies_cut():
+    store = GroupStore("g")
+    store.receive(msg(A, 1), 0.0)
+    assert store.satisfies_cut({A: 1})
+    assert not store.satisfies_cut({A: 2})
+    assert not store.satisfies_cut({B: 1})
+    assert store.satisfies_cut({})
+
+
+def test_deficits():
+    store = GroupStore("g")
+    store.receive(msg(A, 1), 0.0)
+    assert store.deficits({A: 3, B: 2}) == [(A, 2, 3), (B, 1, 2)]
+
+
+def test_adopt_baseline_skips_history():
+    store = GroupStore("g")
+    store.adopt_baseline({A: 10})
+    assert store.delivered_seq(A) == 10
+    # The next message continues the flow without a gap.
+    assert [m.seq for m in store.receive(msg(A, 11), 0.0)] == [11]
+
+
+def test_adopt_baseline_never_rewinds():
+    store = GroupStore("g")
+    for seq in (1, 2, 3):
+        store.receive(msg(A, seq), 0.0)
+    store.adopt_baseline({A: 2})
+    assert store.delivered_seq(A) == 3
+
+
+def test_adopt_baseline_discards_stale_pending():
+    store = GroupStore("g")
+    store.receive(msg(A, 3), 0.0)  # pending behind a gap
+    store.adopt_baseline({A: 5})
+    assert store.gaps(now=10.0, min_age=0.0) == []
+
+
+def test_eviction_requires_all_member_vectors():
+    store = GroupStore("g")
+    store.receive(msg(A, 1), 0.0)
+    store.update_peer_vector(A, {A: 1})
+    # B's vector unknown: nothing evicted.
+    assert store.evict_stable([A, B]) == 0
+    store.update_peer_vector(B, {A: 1})
+    assert store.evict_stable([A, B]) == 1
+    assert list(store.retained_range(A, 1, 1)) == []
+
+
+def test_eviction_keeps_undelivered():
+    store = GroupStore("g")
+    store.receive(msg(A, 1), 0.0)
+    store.receive(msg(A, 2), 0.0)
+    store.update_peer_vector(A, {A: 2})
+    store.update_peer_vector(B, {A: 1})  # B lags
+    store.evict_stable([A, B])
+    assert [m.seq for m in store.retained_range(A, 1, 2)] == [2]
+
+
+def test_forget_peer_removes_vector():
+    store = GroupStore("g")
+    store.receive(msg(A, 1), 0.0)
+    store.update_peer_vector(A, {A: 1})
+    store.update_peer_vector(B, {A: 1})
+    store.forget_peer(B)
+    assert store.evict_stable([A]) == 1  # only A's vector needed now
+
+
+def test_retain_limit_trims_oldest():
+    store = GroupStore("g", retain_limit=5)
+    for seq in range(1, 21):
+        store.receive(msg(A, seq), 0.0)
+    assert store.retained_count() == 5
+    assert [m.seq for m in store.retained_range(A, 1, 20)] == [16, 17, 18, 19, 20]

@@ -1,0 +1,163 @@
+"""GCS hardening: cascades, flapping links, concurrent churn."""
+
+from repro.gcs import GcsDomain, GroupListener
+from repro.net.link import LinkParams
+from repro.net.topologies import build_lan
+from repro.sim.core import Simulator
+
+
+class Member:
+    def __init__(self, domain, host, name):
+        self.name = name
+        self.endpoint = domain.create_endpoint(host)
+        self.views = []
+        self.messages = []
+        self.handle = self.endpoint.join(
+            "g", name,
+            GroupListener(
+                on_view=self.views.append,
+                on_message=lambda s, p: self.messages.append(p),
+            ),
+        )
+
+    @property
+    def process(self):
+        return self.handle.process
+
+    def members(self):
+        view = self.handle.view
+        return set(view.members) if view else set()
+
+
+def build(n, seed=1, link=None):
+    sim = Simulator(seed=seed)
+    kwargs = {"link": link} if link else {}
+    topo = build_lan(sim, n_hosts=n, **kwargs)
+    domain = GcsDomain(sim, topo.network)
+    members = [Member(domain, topo.host(i), f"p{i}") for i in range(n)]
+    return sim, topo, domain, members
+
+
+def crash(topo, member, index):
+    topo.network.node(topo.host(index)).crash()
+    member.endpoint.crash()
+
+
+def test_cascading_failures_until_one_remains():
+    sim, topo, domain, members = build(5, seed=21)
+    sim.run_until(3.0)
+    for index in range(4):
+        sim.run_until(3.0 + 5.0 * (index + 1))
+        crash(topo, members[index], index)
+    sim.run_until(30.0)
+    survivor = members[4]
+    assert survivor.members() == {survivor.process}
+    survivor.handle.multicast("alone", 8)
+    sim.run_until(31.0)
+    assert "alone" in survivor.messages
+
+
+def test_simultaneous_double_crash():
+    sim, topo, domain, members = build(4, seed=22)
+    sim.run_until(3.0)
+    crash(topo, members[0], 0)
+    crash(topo, members[1], 1)
+    sim.run_until(8.0)
+    expected = {members[2].process, members[3].process}
+    assert members[2].members() == expected
+    assert members[3].members() == expected
+
+
+def test_coordinator_crash_during_flush():
+    """Kill the coordinator right after a join triggers a flush."""
+    sim, topo, domain, members = build(3, seed=23)
+    sim.run_until(3.0)
+    coordinator = members[0].handle.view.coordinator
+    victim_index = next(
+        i for i, m in enumerate(members) if m.process == coordinator
+    )
+    # A new joiner's request makes the coordinator propose...
+    from tests.gcs.test_stress import Member as M  # self-import ok
+    sim.call_at(3.01, lambda: crash(topo, members[victim_index], victim_index))
+    sim.run_until(12.0)
+    survivors = [m for i, m in enumerate(members) if i != victim_index]
+    expected = {m.process for m in survivors}
+    for m in survivors:
+        assert m.members() == expected
+    survivors[0].handle.multicast("post", 8)
+    sim.run_until(13.0)
+    assert "post" in survivors[1].messages
+
+
+def test_flapping_link_converges_after_stabilizing():
+    sim, topo, domain, members = build(3, seed=24)
+    sim.run_until(3.0)
+    switch = topo.infrastructure[0]
+    flapped = topo.host(2)
+    # Flap host2's uplink 6 times over 6 seconds.
+    for i in range(6):
+        sim.call_at(3.0 + i, topo.network.set_link_state, switch, flapped,
+                    i % 2 == 1)
+    sim.call_at(9.5, topo.network.set_link_state, switch, flapped, True)
+    sim.run_until(25.0)
+    everyone = {m.process for m in members}
+    for m in members:
+        assert m.members() == everyone
+    members[2].handle.multicast("back", 8)
+    sim.run_until(26.0)
+    for m in members:
+        assert "back" in m.messages
+
+
+def test_churn_with_traffic_never_loses_messages_for_stable_members():
+    """Members that stay up throughout heavy churn agree on the set of
+    messages from stable senders."""
+    sim, topo, domain, members = build(6, seed=25)
+    sim.run_until(3.0)
+    # Members 0 and 1 are stable; 2..5 crash one by one while 0 streams.
+    for i in range(60):
+        sim.call_at(3.0 + i * 0.2, members[0].handle.multicast, ("m", i), 8)
+    for index in (2, 3, 4, 5):
+        sim.call_at(4.0 + index, lambda i=index: crash(topo, members[i], i))
+    sim.run_until(25.0)
+    stable_0 = [p for p in members[0].messages if isinstance(p, tuple)]
+    stable_1 = [p for p in members[1].messages if isinstance(p, tuple)]
+    assert stable_0 == [("m", i) for i in range(60)]
+    assert stable_1 == stable_0
+
+
+def test_rapid_join_leave_cycles():
+    """A third process joins and leaves repeatedly; the stable pair's
+    view always converges back to exactly the live membership."""
+    sim, topo, domain, members = build(3, seed=26)
+    sim.run_until(2.0)
+    cycler = members[2]
+    for cycle in range(3):
+        sim.run_until(2.0 + 4.0 * cycle + 2.0)
+        cycler.endpoint.leave_group("g")
+        sim.run_until(2.0 + 4.0 * cycle + 4.0)
+        assert members[0].members() == {
+            members[0].process, members[1].process
+        }
+        views = []
+        handle = cycler.endpoint.join(
+            "g", f"p2-cycle{cycle}", GroupListener(on_view=views.append)
+        )
+        sim.run_until(2.0 + 4.0 * (cycle + 1) + 1.0)
+        assert len(members[0].members()) == 3
+        assert views and len(views[-1].members) == 3
+        cycler.handle = handle
+
+
+def test_lossy_network_churn():
+    lossy = LinkParams(delay_s=0.0005, loss_prob=0.05, bandwidth_bps=1e8)
+    sim, topo, domain, members = build(4, seed=27, link=lossy)
+    sim.run_until(4.0)
+    crash(topo, members[3], 3)
+    sim.run_until(10.0)
+    for i in range(20):
+        sim.call_at(10.0 + i * 0.05, members[1].handle.multicast, i, 8)
+    sim.run_until(15.0)
+    for m in members[:3]:
+        ints = [p for p in m.messages if isinstance(p, int)]
+        assert ints == list(range(20))

@@ -1,0 +1,126 @@
+"""Tests for the agreed (totally ordered) multicast layer."""
+
+from repro.gcs import GcsDomain
+from repro.gcs.total_order import TotalOrderGroup
+from repro.net.link import LinkParams
+from repro.net.topologies import build_lan
+from repro.sim.core import Simulator
+
+
+def make_group(n, seed=1, link=None):
+    sim = Simulator(seed=seed)
+    kwargs = {"link": link} if link is not None else {}
+    topo = build_lan(sim, n_hosts=n, **kwargs)
+    domain = GcsDomain(sim, topo.network)
+    members = [
+        TotalOrderGroup(
+            domain.create_endpoint(topo.host(i)), "agreed", f"p{i}"
+        )
+        for i in range(n)
+    ]
+    return sim, topo, domain, members
+
+
+def orders(members):
+    return [[body for _s, body in m.delivered] for m in members]
+
+
+def test_single_sender_order_preserved():
+    sim, _t, _d, members = make_group(3)
+    sim.run_until(2.0)
+    for i in range(10):
+        members[0].multicast(i)
+    sim.run_until(4.0)
+    for seq in orders(members):
+        assert seq == list(range(10))
+
+
+def test_concurrent_senders_identical_order_everywhere():
+    sim, _t, _d, members = make_group(4)
+    sim.run_until(2.0)
+    # Interleave sends from all members at overlapping times.
+    for i in range(12):
+        sender = members[i % 4]
+        sim.call_at(2.0 + 0.01 * i, sender.multicast, f"m{i}")
+    sim.run_until(5.0)
+    sequences = orders(members)
+    assert all(len(seq) == 12 for seq in sequences)
+    assert all(seq == sequences[0] for seq in sequences)
+
+
+def test_total_order_under_loss():
+    lossy = LinkParams(delay_s=0.0005, loss_prob=0.08, bandwidth_bps=1e8)
+    sim, _t, _d, members = make_group(3, seed=9, link=lossy)
+    sim.run_until(3.0)
+    for i in range(30):
+        sim.call_at(3.0 + 0.02 * i, members[i % 3].multicast, i)
+    sim.run_until(10.0)
+    sequences = orders(members)
+    assert all(len(seq) == 30 for seq in sequences)
+    assert all(seq == sequences[0] for seq in sequences)
+
+
+def test_sequencer_crash_order_continues():
+    sim, topo, _d, members = make_group(3, seed=4)
+    sim.run_until(2.0)
+    for i in range(5):
+        members[1].multicast(("pre", i))
+    sim.run_until(3.0)
+    # Crash the sequencer (the view coordinator).
+    coordinator = members[0].view.coordinator
+    victim_index = next(
+        i for i, m in enumerate(members) if m.process == coordinator
+    )
+    topo.network.node(topo.host(victim_index)).crash()
+    members[victim_index].endpoint.crash()
+    sim.run_until(6.0)
+    survivors = [m for i, m in enumerate(members) if i != victim_index]
+    for i in range(5):
+        survivors[0].multicast(("post", i))
+    sim.run_until(8.0)
+    sequences = orders(survivors)
+    assert sequences[0] == sequences[1]
+    assert [b for b in sequences[0] if b[0] == "post"] == [
+        ("post", i) for i in range(5)
+    ]
+
+
+def test_message_sent_during_view_change_survives():
+    sim, topo, domain, members = make_group(3, seed=2)
+    sim.run_until(2.0)
+    # Crash a non-coordinator member and multicast during the change.
+    coordinator = members[0].view.coordinator
+    victim_index = next(
+        i for i, m in enumerate(members) if m.process != coordinator
+    )
+    topo.network.node(topo.host(victim_index)).crash()
+    members[victim_index].endpoint.crash()
+    sender = next(
+        m for i, m in enumerate(members)
+        if i != victim_index
+    )
+    sim.call_at(2.2, sender.multicast, "mid-change")
+    sim.run_until(6.0)
+    survivors = [m for i, m in enumerate(members) if i != victim_index]
+    for m in survivors:
+        assert "mid-change" in [b for _s, b in m.delivered]
+
+
+def test_delivery_includes_sender_identity():
+    sim, _t, _d, members = make_group(2)
+    seen = []
+    members[1].on_deliver = lambda sender, body: seen.append((sender, body))
+    sim.run_until(2.0)
+    members[0].multicast("hello")
+    sim.run_until(3.0)
+    assert seen == [(members[0].process, "hello")]
+
+
+def test_no_duplicates_in_agreed_stream():
+    sim, _t, _d, members = make_group(3, seed=7)
+    sim.run_until(2.0)
+    for i in range(20):
+        members[i % 3].multicast(i)
+    sim.run_until(5.0)
+    for seq in orders(members):
+        assert len(seq) == len(set(seq)) == 20

@@ -1,0 +1,68 @@
+"""Unit tests for process ids and views."""
+
+from repro.gcs.view import ProcessId, View, ViewId
+
+
+def pid(node, name="p"):
+    return ProcessId(node, name)
+
+
+def test_process_id_total_order():
+    assert pid(1, "a") < pid(1, "b") < pid(2, "a")
+
+
+def test_process_id_str():
+    assert str(pid(3, "server0")) == "server0@3"
+
+
+def test_view_id_ordering():
+    a, b = pid(1), pid(2)
+    assert ViewId(1, a) < ViewId(1, b) < ViewId(2, a)
+    assert ViewId(2, a) <= ViewId(2, a)
+
+
+def test_view_id_next_increments_counter():
+    vid = ViewId(3, pid(1)).next(pid(2))
+    assert vid.counter == 4
+    assert vid.proposer == pid(2)
+
+
+def test_view_members_sorted():
+    view = View("g", ViewId(1, pid(2)), (pid(3), pid(1), pid(2)))
+    assert view.members == (pid(1), pid(2), pid(3))
+
+
+def test_view_coordinator_is_smallest_member():
+    view = View("g", ViewId(1, pid(2)), (pid(3), pid(1)))
+    assert view.coordinator == pid(1)
+
+
+def test_view_contains_and_len():
+    view = View("g", ViewId(1, pid(1)), (pid(1), pid(2)))
+    assert pid(1) in view
+    assert pid(9) not in view
+    assert len(view) == 2
+
+
+def test_joined_derived_from_prior():
+    view = View(
+        "g", ViewId(2, pid(1)), (pid(1), pid(2), pid(3)), prior=(pid(1), pid(2))
+    )
+    assert view.joined == (pid(3),)
+    assert view.departed == ()
+
+
+def test_departed_derived_from_prior():
+    view = View("g", ViewId(2, pid(1)), (pid(1),), prior=(pid(1), pid(2)))
+    assert view.departed == (pid(2),)
+    assert view.joined == ()
+
+
+def test_empty_prior_means_everyone_joined():
+    view = View("g", ViewId(1, pid(1)), (pid(1), pid(2)))
+    assert view.joined == (pid(1), pid(2))
+
+
+def test_prior_is_sorted_too():
+    view = View("g", ViewId(1, pid(1)), (pid(1),), prior=(pid(3), pid(2)))
+    assert view.prior == (pid(2), pid(3))

@@ -1,0 +1,111 @@
+"""Unit tests for the hardware decoder model."""
+
+import pytest
+
+from repro.errors import MediaError
+from repro.media.decoder import HardwareDecoder
+from repro.media.frames import Frame, FrameType
+
+
+def frame(index, size=1000):
+    return Frame("m", index, FrameType.P, size)
+
+
+def test_push_and_consume_fifo():
+    decoder = HardwareDecoder(10_000)
+    decoder.push(frame(1))
+    decoder.push(frame(2))
+    assert decoder.consume_one(0.0).index == 1
+    assert decoder.consume_one(0.1).index == 2
+
+
+def test_occupancy_tracking():
+    decoder = HardwareDecoder(10_000)
+    decoder.push(frame(1, 3000))
+    decoder.push(frame(2, 2000))
+    assert decoder.occupancy_bytes == 5000
+    assert decoder.occupancy_frames == 2
+    decoder.consume_one(0.0)
+    assert decoder.occupancy_bytes == 2000
+
+
+def test_has_space_for():
+    decoder = HardwareDecoder(2500)
+    decoder.push(frame(1, 2000))
+    assert not decoder.has_space_for(frame(2, 1000))
+    assert decoder.has_space_for(frame(2, 500))
+
+
+def test_overflow_push_raises():
+    decoder = HardwareDecoder(1500)
+    decoder.push(frame(1, 1000))
+    with pytest.raises(MediaError):
+        decoder.push(frame(2, 1000))
+
+
+def test_out_of_order_push_raises():
+    decoder = HardwareDecoder(10_000)
+    decoder.push(frame(5))
+    with pytest.raises(MediaError):
+        decoder.push(frame(3))
+    with pytest.raises(MediaError):
+        decoder.push(frame(5))  # same index again
+
+
+def test_display_gap_counts_skipped():
+    decoder = HardwareDecoder(10_000)
+    decoder.push(frame(1))
+    decoder.push(frame(4))  # 2 and 3 never arrived
+    decoder.consume_one(0.0)
+    decoder.consume_one(0.1)
+    assert decoder.stats.skipped_gaps == 2
+    assert decoder.stats.displayed == 2
+    assert decoder.stats.last_displayed_index == 4
+
+
+def test_stall_accounting():
+    decoder = HardwareDecoder(10_000)
+    assert decoder.consume_one(1.0) is None  # stall starts
+    assert decoder.is_stalled
+    assert decoder.stats.stall_events == 1
+    decoder.push(frame(1))
+    decoder.consume_one(3.5)  # stall ends
+    assert decoder.stats.stall_time_s == pytest.approx(2.5)
+    assert not decoder.is_stalled
+
+
+def test_consecutive_dry_ticks_are_one_stall():
+    decoder = HardwareDecoder(10_000)
+    decoder.consume_one(1.0)
+    decoder.consume_one(2.0)
+    decoder.consume_one(3.0)
+    assert decoder.stats.stall_events == 1
+    assert decoder.stats.stall_starts == [1.0]
+
+
+def test_end_stall_closes_open_interval():
+    decoder = HardwareDecoder(10_000)
+    decoder.consume_one(1.0)
+    decoder.end_stall(4.0)
+    assert decoder.stats.stall_time_s == pytest.approx(3.0)
+    decoder.end_stall(9.0)  # idempotent
+    assert decoder.stats.stall_time_s == pytest.approx(3.0)
+
+
+def test_flush_and_reposition_for_seek():
+    decoder = HardwareDecoder(10_000)
+    decoder.push(frame(1))
+    decoder.push(frame(2))
+    assert decoder.flush() == 2
+    assert decoder.occupancy_bytes == 0
+    decoder.reposition(100)
+    decoder.push(frame(100))
+    consumed = decoder.consume_one(0.0)
+    assert consumed.index == 100
+    # No skip is charged for the jump: reposition reset the base.
+    assert decoder.stats.skipped_gaps == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(MediaError):
+        HardwareDecoder(0)

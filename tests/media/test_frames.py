@@ -1,0 +1,56 @@
+"""Unit tests for frame types and GOP patterns."""
+
+import pytest
+
+from repro.errors import MediaError
+from repro.media.frames import Frame, FrameType, GopPattern
+
+
+def test_frame_types():
+    assert FrameType.I.is_intra
+    assert not FrameType.P.is_intra
+    assert not FrameType.B.is_intra
+
+
+def test_frame_validation():
+    with pytest.raises(MediaError):
+        Frame("m", 0, FrameType.I, 100)
+    with pytest.raises(MediaError):
+        Frame("m", 1, FrameType.I, 0)
+
+
+def test_frame_is_intra_shortcut():
+    assert Frame("m", 1, FrameType.I, 100).is_intra
+    assert not Frame("m", 2, FrameType.B, 100).is_intra
+
+
+def test_default_gop_pattern():
+    gop = GopPattern()
+    assert gop.pattern == "IBBPBBPBBPBB"
+    assert len(gop) == 12
+
+
+def test_gop_frame_type_cycles():
+    gop = GopPattern("IBBP")
+    assert gop.frame_type(1) == FrameType.I
+    assert gop.frame_type(2) == FrameType.B
+    assert gop.frame_type(4) == FrameType.P
+    assert gop.frame_type(5) == FrameType.I  # next GOP starts
+
+
+def test_gop_must_start_with_i_frame():
+    with pytest.raises(MediaError):
+        GopPattern("BBI")
+
+
+def test_gop_rejects_garbage():
+    with pytest.raises(MediaError):
+        GopPattern("IXZ")
+    with pytest.raises(MediaError):
+        GopPattern("")
+
+
+def test_mean_weight():
+    gop = GopPattern("IB")
+    expected = (5.0 + 1.0) / 2
+    assert gop.mean_weight() == pytest.approx(expected)

@@ -1,0 +1,86 @@
+"""Property-based tests for the media model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media.decoder import HardwareDecoder
+from repro.media.frames import Frame, FrameType, GopPattern
+from repro.media.movie import Movie
+
+
+@given(
+    duration=st.floats(min_value=0.5, max_value=60.0),
+    fps=st.integers(min_value=5, max_value=60),
+    bitrate=st.floats(min_value=1e5, max_value=1e7),
+)
+@settings(max_examples=40, deadline=None)
+def test_synthetic_movie_invariants(duration, fps, bitrate):
+    movie = Movie.synthetic("p", duration_s=duration, fps=fps,
+                            bitrate_bps=bitrate)
+    assert len(movie) == int(round(duration * fps))
+    assert movie.frame(1).ftype == FrameType.I
+    indices = [frame.index for frame in movie.frames]
+    assert indices == list(range(1, len(movie) + 1))
+    # Calibration holds once the movie spans whole GOPs (a fragment of
+    # a GOP over-weights the large I frame) and sizes clear the floor.
+    if bitrate / (8 * fps) > 500 and len(movie) >= 36:
+        assert movie.bitrate_bps() == pytest.approx(bitrate, rel=0.1)
+
+
+@given(
+    pattern=st.sampled_from(["I", "IP", "IBBP", "IBBPBBPBBPBB", "IPPPP"]),
+    index=st.integers(min_value=1, max_value=500),
+)
+@settings(max_examples=100, deadline=None)
+def test_gop_cycles_consistently(pattern, index):
+    gop = GopPattern(pattern)
+    assert gop.frame_type(index) == gop.frame_type(index + len(gop))
+
+
+@st.composite
+def decoder_traffic(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=100, max_value=8000),
+            min_size=count, max_size=count,
+        )
+    )
+    # Ascending, possibly gapped indices.
+    steps = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=4),
+            min_size=count, max_size=count,
+        )
+    )
+    indices = []
+    current = 0
+    for step in steps:
+        current += step
+        indices.append(current)
+    return list(zip(indices, sizes))
+
+
+@given(traffic=decoder_traffic())
+@settings(max_examples=100, deadline=None)
+def test_decoder_conservation(traffic):
+    """pushed == displayed + still queued; bytes never exceed capacity;
+    displayed indices strictly increase; gaps accounted exactly."""
+    decoder = HardwareDecoder(capacity_bytes=10**9)
+    pushed = 0
+    for index, size in traffic:
+        frame = Frame("m", index, FrameType.P, size)
+        decoder.push(frame)
+        pushed += 1
+    displayed = []
+    t = 0.0
+    while decoder.occupancy_frames:
+        t += 0.033
+        frame = decoder.consume_one(t)
+        displayed.append(frame.index)
+    assert len(displayed) + decoder.occupancy_frames == pushed
+    assert displayed == sorted(displayed)
+    total_gap = sum(b - a - 1 for a, b in zip(displayed, displayed[1:]))
+    first_gap = displayed[0] - 1 if displayed else 0
+    assert decoder.stats.skipped_gaps == total_gap + first_gap

@@ -1,0 +1,82 @@
+"""Unit tests for synthetic movies."""
+
+import pytest
+
+from repro.errors import MediaError
+from repro.media.frames import FrameType
+from repro.media.movie import Movie
+
+
+def test_frame_count_matches_duration():
+    movie = Movie.synthetic("m", duration_s=10.0, fps=30)
+    assert len(movie) == 300
+    assert movie.duration_s == pytest.approx(10.0)
+
+
+def test_bitrate_calibration():
+    movie = Movie.synthetic("m", duration_s=60.0, bitrate_bps=1.4e6)
+    assert movie.bitrate_bps() == pytest.approx(1.4e6, rel=0.05)
+
+
+def test_mean_frame_size_near_nominal():
+    movie = Movie.synthetic("m", duration_s=30.0)
+    assert movie.mean_frame_bytes() == pytest.approx(1.4e6 / 8 / 30, rel=0.05)
+
+
+def test_gop_structure_followed():
+    movie = Movie.synthetic("m", duration_s=2.0, gop="IBBP")
+    assert movie.frame(1).ftype == FrameType.I
+    assert movie.frame(2).ftype == FrameType.B
+    assert movie.frame(4).ftype == FrameType.P
+    assert movie.frame(5).ftype == FrameType.I
+
+
+def test_i_frames_larger_than_b_frames():
+    movie = Movie.synthetic("m", duration_s=30.0)
+    i_sizes = [f.size_bytes for f in movie.frames if f.ftype == FrameType.I]
+    b_sizes = [f.size_bytes for f in movie.frames if f.ftype == FrameType.B]
+    mean_i = sum(i_sizes) / len(i_sizes)
+    mean_b = sum(b_sizes) / len(b_sizes)
+    assert mean_i > 3 * mean_b
+
+
+def test_deterministic_in_title():
+    a = Movie.synthetic("same", duration_s=5.0)
+    b = Movie.synthetic("same", duration_s=5.0)
+    assert [f.size_bytes for f in a.frames] == [f.size_bytes for f in b.frames]
+
+
+def test_different_titles_differ():
+    a = Movie.synthetic("one", duration_s=5.0)
+    b = Movie.synthetic("two", duration_s=5.0)
+    assert [f.size_bytes for f in a.frames] != [f.size_bytes for f in b.frames]
+
+
+def test_frame_accessor_is_one_based():
+    movie = Movie.synthetic("m", duration_s=1.0)
+    assert movie.frame(1).index == 1
+    with pytest.raises(MediaError):
+        movie.frame(0)
+    with pytest.raises(MediaError):
+        movie.frame(len(movie) + 1)
+
+
+def test_index_at_clamps():
+    movie = Movie.synthetic("m", duration_s=10.0, fps=30)
+    assert movie.index_at(0.0) == 1
+    assert movie.index_at(1.0) == 31
+    assert movie.index_at(999.0) == 300
+
+
+def test_validation():
+    with pytest.raises(MediaError):
+        Movie.synthetic("m", duration_s=0)
+    with pytest.raises(MediaError):
+        Movie.synthetic("m", duration_s=1.0, fps=0)
+    with pytest.raises(MediaError):
+        Movie.synthetic("m", duration_s=1.0, size_variation=1.5)
+
+
+def test_minimum_frame_size_floor():
+    movie = Movie.synthetic("m", duration_s=5.0, bitrate_bps=1000)
+    assert all(f.size_bytes >= 64 for f in movie.frames)

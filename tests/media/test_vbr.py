@@ -1,0 +1,89 @@
+"""Tests for variable-bitrate movies and playback over them."""
+
+import pytest
+
+from repro.media.catalog import MovieCatalog
+from repro.media.frames import FrameType
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+def windowed_bitrates(movie, window_s=3.0):
+    window = int(window_s * movie.fps)
+    rates = []
+    for start in range(0, len(movie) - window, window):
+        chunk = movie.frames[start:start + window]
+        rates.append(sum(f.size_bytes for f in chunk) * 8 / window_s)
+    return rates
+
+
+class TestVbrGenerator:
+    def test_scene_variability(self):
+        movie = Movie.synthetic_vbr("v", duration_s=120)
+        rates = windowed_bitrates(movie)
+        assert max(rates) / min(rates) > 1.8  # real scene swings
+
+    def test_cbr_generator_is_much_flatter(self):
+        movie = Movie.synthetic("c", duration_s=120)
+        rates = windowed_bitrates(movie)
+        assert max(rates) / min(rates) < 1.3
+
+    def test_gop_structure_preserved(self):
+        movie = Movie.synthetic_vbr("v", duration_s=10)
+        assert movie.frame(1).ftype == FrameType.I
+        assert movie.frame(13).ftype == FrameType.I  # 12-frame GOP
+
+    def test_deterministic_in_title(self):
+        a = Movie.synthetic_vbr("same", duration_s=10)
+        b = Movie.synthetic_vbr("same", duration_s=10)
+        assert [f.size_bytes for f in a.frames] == [
+            f.size_bytes for f in b.frames
+        ]
+
+    def test_frame_count_matches_duration(self):
+        movie = Movie.synthetic_vbr("v", duration_s=30, fps=30)
+        assert len(movie) == 900
+
+    def test_validation(self):
+        from repro.errors import MediaError
+
+        with pytest.raises(MediaError):
+            Movie.synthetic_vbr("v", duration_s=0)
+
+
+class TestVbrPlayback:
+    def test_flow_control_rides_scene_changes(self):
+        """The frame-counted flow control keeps playback smooth while
+        the byte-bounded hardware buffer breathes with the scenes."""
+        sim = Simulator(seed=19)
+        topology = build_lan(sim, n_hosts=3)
+        movie = Movie.synthetic_vbr("vbr-feature", duration_s=120)
+        catalog = MovieCatalog([movie])
+        deployment = Deployment(topology, catalog, server_nodes=[0])
+        client = deployment.attach_client(1)
+        client.request_movie("vbr-feature")
+        sim.run_until(135.0)
+        assert client.finished
+        assert client.decoder.stats.stall_time_s <= 0.5
+        # Display lost at most a small fraction of frames.
+        assert client.skipped_total < 0.03 * len(movie)
+
+    def test_vbr_failover_still_transparent(self):
+        sim = Simulator(seed=19)
+        topology = build_lan(sim, n_hosts=4)
+        catalog = MovieCatalog([Movie.synthetic_vbr("vbr", duration_s=90)])
+        deployment = Deployment(topology, catalog, server_nodes=[0, 1])
+        client = deployment.attach_client(2)
+        client.request_movie("vbr")
+
+        def crash_serving():
+            for server in deployment.live_servers():
+                if server.process == client.serving_server:
+                    server.crash()
+
+        sim.call_at(40.0, crash_serving)
+        sim.run_until(80.0)
+        assert client.serving_server is not None
+        assert client.decoder.stats.stall_time_s <= 0.5

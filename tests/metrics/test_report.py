@@ -1,0 +1,44 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.metrics.collector import TimeSeries
+from repro.metrics.report import Table, format_series_summary
+
+
+def test_table_renders_header_and_rows():
+    table = Table("Title", ["a", "b"])
+    table.add_row(1, "x")
+    table.add_row(2.5, "yy")
+    text = table.render()
+    assert "Title" in text
+    assert "a" in text and "b" in text
+    assert "2.5" in text and "yy" in text
+
+
+def test_table_wrong_arity_rejected():
+    table = Table("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_table_float_formatting_trims_zeros():
+    table = Table("t", ["v"])
+    table.add_row(1.5)
+    table.add_row(2.0)
+    lines = [line.strip() for line in table.render().splitlines()]
+    assert "1.5" in lines
+    assert "2" in lines  # 2.0 rendered without a trailing ".0"
+
+
+def test_series_summary_samples():
+    series = TimeSeries("s")
+    for t in range(0, 101, 10):
+        series.record(float(t), float(t * 2))
+    text = format_series_summary(series, sample_every=50.0)
+    assert "t=    0.0s" in text
+    assert "200.0" in text
+
+
+def test_series_summary_empty():
+    assert "(empty)" in format_series_summary(TimeSeries("s"))

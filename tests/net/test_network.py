@@ -1,0 +1,174 @@
+"""Unit tests for topology, routing and partitions."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.address import Endpoint
+from repro.net.link import LinkParams
+from repro.net.network import Network
+from repro.net.udp import UdpSocket
+from repro.sim.core import Simulator
+
+FAST = LinkParams(delay_s=0.001, bandwidth_bps=1e9)
+
+
+def chain(sim, n):
+    """n nodes in a line: 0 - 1 - ... - n-1."""
+    net = Network(sim)
+    for _ in range(n):
+        net.add_node()
+    for i in range(n - 1):
+        net.add_link(i, i + 1, FAST)
+    return net
+
+
+def send_and_collect(sim, net, src, dst, count=1):
+    got = []
+    UdpSocket(net.node(dst), 9, on_receive=lambda d: got.append(d))
+    sock = UdpSocket(net.node(src), 9)
+    for i in range(count):
+        sock.sendto(Endpoint(dst, 9), i, 100)
+    sim.run()
+    return got
+
+
+def test_single_hop_delivery(sim):
+    net = chain(sim, 2)
+    got = send_and_collect(sim, net, 0, 1)
+    assert [d.payload for d in got] == [0]
+
+
+def test_multi_hop_delivery_accumulates_delay(sim):
+    net = chain(sim, 5)
+    got = []
+    UdpSocket(net.node(4), 9, on_receive=lambda d: got.append(sim.now))
+    UdpSocket(net.node(0), 9).sendto(Endpoint(4, 9), "x", 100)
+    sim.run()
+    assert got and got[0] > 4 * 0.001  # four hops of propagation
+
+
+def test_unreachable_destination_drops_silently(sim):
+    net = Network(sim)
+    net.add_node()
+    net.add_node()  # no link between them
+    got = send_and_collect(sim, net, 0, 1)
+    assert got == []
+
+
+def test_partition_cuts_cross_traffic(sim):
+    net = chain(sim, 4)
+    net.partition([0, 1], [2, 3])
+    assert send_and_collect(sim, net, 0, 3) == []
+
+
+def test_partition_keeps_same_side_traffic(sim):
+    net = chain(sim, 4)
+    net.partition([0, 1], [2, 3])
+    assert len(send_and_collect(sim, net, 0, 1)) == 1
+
+
+def test_heal_restores_routes(sim):
+    net = chain(sim, 3)
+    net.partition([0], [1, 2])
+    net.heal()
+    assert len(send_and_collect(sim, net, 0, 2)) == 1
+
+
+def test_reachable_reflects_link_state(sim):
+    net = chain(sim, 3)
+    assert net.reachable(0, 2)
+    net.set_link_state(1, 2, False)
+    assert not net.reachable(0, 2)
+    assert net.reachable(0, 1)
+
+
+def test_routing_prefers_shortest_path(sim):
+    # Square with a diagonal: 0-1-2 and 0-2 direct.
+    net = Network(sim)
+    for _ in range(3):
+        net.add_node()
+    net.add_link(0, 1, FAST)
+    net.add_link(1, 2, FAST)
+    net.add_link(0, 2, FAST)
+    got = []
+    UdpSocket(net.node(2), 9, on_receive=lambda d: got.append(sim.now))
+    UdpSocket(net.node(0), 9).sendto(Endpoint(2, 9), "x", 100)
+    sim.run()
+    # One hop of propagation, not two.
+    assert got[0] < 0.002
+
+
+def test_route_recomputed_after_link_failure(sim):
+    net = Network(sim)
+    for _ in range(3):
+        net.add_node()
+    net.add_link(0, 1, FAST)
+    net.add_link(1, 2, FAST)
+    net.add_link(0, 2, FAST)
+    net.set_link_state(0, 2, False)
+    assert len(send_and_collect(sim, net, 0, 2)) == 1  # via node 1
+
+
+def test_crashed_destination_drops(sim):
+    net = chain(sim, 2)
+    got = []
+    UdpSocket(net.node(1), 9, on_receive=lambda d: got.append(d))
+    net.node(1).crash()
+    UdpSocket(net.node(0), 9).sendto(Endpoint(1, 9), "x", 100)
+    sim.run()
+    assert got == []
+
+
+def test_crashed_router_blackholes(sim):
+    net = chain(sim, 3)
+    got = []
+    UdpSocket(net.node(2), 9, on_receive=lambda d: got.append(d))
+    sock = UdpSocket(net.node(0), 9)
+    net.node(1).crash()  # the middle router
+    sock.sendto(Endpoint(2, 9), "x", 100)
+    sim.run()
+    assert got == []
+
+
+def test_crashed_source_cannot_send(sim):
+    net = chain(sim, 2)
+    sock = UdpSocket(net.node(0), 9)
+    net.node(0).alive = False  # simulate mid-crash state
+    sock.sendto(Endpoint(1, 9), "x", 100)
+    # Datagram is dropped at the source without error.
+    sim.run()
+
+
+def test_duplicate_link_rejected(sim):
+    net = chain(sim, 2)
+    with pytest.raises(NetworkError):
+        net.add_link(0, 1, FAST)
+    with pytest.raises(NetworkError):
+        net.add_link(1, 0, FAST)
+
+
+def test_unknown_node_rejected(sim):
+    net = chain(sim, 2)
+    with pytest.raises(NetworkError):
+        net.node(5)
+    with pytest.raises(NetworkError):
+        net.add_link(0, 5, FAST)
+
+
+def test_hop_limit_prevents_infinite_forwarding(sim):
+    net = chain(sim, 2)
+    got = []
+    UdpSocket(net.node(1), 9, on_receive=lambda d: got.append(d))
+    sock = UdpSocket(net.node(0), 9)
+    datagram = sock.sendto(Endpoint(1, 9), "x", 100)
+    assert datagram.hops_remaining <= 64
+    sim.run()
+    assert len(got) == 1
+
+
+def test_node_restart_after_crash(sim):
+    net = chain(sim, 2)
+    net.node(1).crash()
+    net.node(1).restart()
+    got = send_and_collect(sim, net, 0, 1)
+    assert len(got) == 1

@@ -1,0 +1,62 @@
+"""Tests for process-scheduling delivery noise on nodes."""
+
+from repro.net.address import Endpoint
+from repro.net.link import LinkParams
+from repro.net.network import Network
+from repro.net.udp import UdpSocket
+from repro.sim.core import Simulator
+
+
+def build_pair(sim, noise=0.0):
+    net = Network(sim)
+    net.add_node()
+    net.add_node()
+    net.add_link(0, 1, LinkParams(delay_s=0.001, bandwidth_bps=1e9))
+    net.node(1).scheduling_noise_s = noise
+    return net
+
+
+def latencies(sim, net, count=50):
+    arrivals = []
+    UdpSocket(net.node(1), 9, on_receive=lambda d: arrivals.append(sim.now))
+    sock = UdpSocket(net.node(0), 9)
+    for i in range(count):
+        sim.call_at(i * 0.1, sock.sendto, Endpoint(1, 9), i, 100)
+    sim.run()
+    return [t - i * 0.1 for i, t in enumerate(arrivals)]
+
+
+def test_no_noise_is_deterministic_latency():
+    sim = Simulator(seed=1)
+    values = latencies(sim, build_pair(sim))
+    assert max(values) - min(values) < 1e-9
+
+
+def test_noise_spreads_latency_within_bound():
+    sim = Simulator(seed=1)
+    values = latencies(sim, build_pair(sim, noise=0.02))
+    assert max(values) - min(values) > 0.005
+    assert all(v <= 0.001 + 0.02 + 1e-6 for v in values)
+
+
+def test_all_packets_still_delivered():
+    sim = Simulator(seed=2)
+    net = build_pair(sim, noise=0.05)
+    got = []
+    UdpSocket(net.node(1), 9, on_receive=lambda d: got.append(d.payload))
+    sock = UdpSocket(net.node(0), 9)
+    for i in range(100):
+        sim.call_at(i * 0.01, sock.sendto, Endpoint(1, 9), i, 100)
+    sim.run()
+    assert sorted(got) == list(range(100))
+
+
+def test_crash_during_noise_window_drops():
+    sim = Simulator(seed=3)
+    net = build_pair(sim, noise=0.5)
+    got = []
+    UdpSocket(net.node(1), 9, on_receive=lambda d: got.append(d))
+    UdpSocket(net.node(0), 9).sendto(Endpoint(1, 9), "x", 100)
+    sim.call_at(0.002, net.node(1).crash)  # arrives, then node dies
+    sim.run()
+    assert got == []

@@ -1,0 +1,104 @@
+"""Property-based tests for the network substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.address import Endpoint
+from repro.net.link import Link, LinkParams
+from repro.net.network import Network
+from repro.net.packet import Datagram
+from repro.net.udp import UdpSocket
+from repro.sim.core import Simulator
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=20_000), min_size=1,
+                   max_size=50),
+    loss=st.floats(min_value=0.0, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=50, deadline=None)
+def test_delivered_is_subset_of_sent(sizes, loss, seed):
+    """No link ever invents or duplicates packets."""
+    sim = Simulator(seed=seed)
+    link = Link(sim, 0, 1, LinkParams(loss_prob=loss))
+    delivered = []
+    for i, size in enumerate(sizes):
+        datagram = Datagram(Endpoint(0, 1), Endpoint(1, 1), i, size)
+        sim.call_at(
+            i * 0.001,
+            link.forward.transmit,
+            datagram,
+            lambda d: delivered.append(d.payload),
+        )
+    sim.run()
+    assert len(delivered) <= len(sizes)
+    assert sorted(set(delivered)) == sorted(delivered)  # no duplicates
+    assert set(delivered) <= set(range(len(sizes)))
+
+
+@given(
+    spacing=st.floats(min_value=0.0, max_value=0.01),
+    count=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=50, deadline=None)
+def test_jitterless_link_preserves_fifo(spacing, count, seed):
+    """Without jitter/detours a link is FIFO regardless of load."""
+    sim = Simulator(seed=seed)
+    link = Link(sim, 0, 1, LinkParams(jitter_s=0.0, reorder_prob=0.0))
+    order = []
+    for i in range(count):
+        datagram = Datagram(Endpoint(0, 1), Endpoint(1, 1), i, 500)
+        sim.call_at(
+            i * spacing,
+            link.forward.transmit,
+            datagram,
+            lambda d: order.append(d.payload),
+        )
+    sim.run()
+    assert order == sorted(order)
+
+
+@given(
+    n_nodes=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_lossless_chain_delivers_everything(n_nodes, seed):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    for _ in range(n_nodes):
+        net.add_node()
+    for i in range(n_nodes - 1):
+        net.add_link(i, i + 1, LinkParams(delay_s=0.001, bandwidth_bps=1e9))
+    got = []
+    UdpSocket(net.node(n_nodes - 1), 9, on_receive=lambda d: got.append(d))
+    sock = UdpSocket(net.node(0), 9)
+    for i in range(20):
+        sim.call_at(i * 0.01, sock.sendto, Endpoint(n_nodes - 1, 9), i, 100)
+    sim.run()
+    assert len(got) == 20
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_identical_seeds_identical_outcomes(seed):
+    """Whole-network runs are reproducible from the seed."""
+
+    def run():
+        sim = Simulator(seed=seed)
+        link = Link(sim, 0, 1, LinkParams(loss_prob=0.5, jitter_s=0.01))
+        arrived = []
+        for i in range(50):
+            datagram = Datagram(Endpoint(0, 1), Endpoint(1, 1), i, 200)
+            sim.call_at(
+                i * 0.002,
+                link.forward.transmit,
+                datagram,
+                lambda d: arrived.append((round(sim.now, 9), d.payload)),
+            )
+        sim.run()
+        return arrived
+
+    assert run() == run()

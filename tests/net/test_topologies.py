@@ -1,0 +1,91 @@
+"""Unit tests for the canned LAN/WAN topologies."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.address import Endpoint
+from repro.net.topologies import build_lan, build_wan
+from repro.net.udp import UdpSocket
+from repro.sim.core import Simulator
+
+
+def test_lan_structure(sim):
+    topo = build_lan(sim, n_hosts=4)
+    assert len(topo.hosts) == 4
+    assert len(topo.infrastructure) == 1
+    assert len(topo.network.nodes) == 5
+
+
+def test_lan_any_pair_communicates(sim):
+    topo = build_lan(sim, n_hosts=3)
+    got = []
+    UdpSocket(topo.network.node(topo.host(2)), 7,
+              on_receive=lambda d: got.append(sim.now))
+    UdpSocket(topo.network.node(topo.host(0)), 7).sendto(
+        Endpoint(topo.host(2), 7), "x", 1000
+    )
+    sim.run()
+    assert got and got[0] < 0.001  # sub-millisecond on the LAN
+
+
+def test_lan_requires_a_host(sim):
+    with pytest.raises(NetworkError):
+        build_lan(sim, n_hosts=0)
+
+
+def test_wan_structure(sim):
+    topo = build_wan(sim, 2, 3, n_router_hops=7)
+    assert len(topo.hosts) == 5
+    # 2 switches + 6 routers between the 7 hops.
+    assert len(topo.infrastructure) == 8
+
+
+def test_wan_cross_site_latency_larger_than_lan(sim):
+    topo = build_wan(sim, 1, 1, n_router_hops=7)
+    got = []
+    UdpSocket(topo.network.node(topo.host(1)), 7,
+              on_receive=lambda d: got.append(sim.now))
+    UdpSocket(topo.network.node(topo.host(0)), 7).sendto(
+        Endpoint(topo.host(1), 7), "x", 1000
+    )
+    sim.run()
+    # Either lost (small loss prob) or delayed by >= 7 hops * 4 ms.
+    if got:
+        assert got[0] > 0.025
+
+
+def test_wan_same_site_stays_fast(sim):
+    topo = build_wan(sim, 2, 1)
+    got = []
+    UdpSocket(topo.network.node(topo.host(1)), 7,
+              on_receive=lambda d: got.append(sim.now))
+    UdpSocket(topo.network.node(topo.host(0)), 7).sendto(
+        Endpoint(topo.host(1), 7), "x", 1000
+    )
+    sim.run()
+    assert got and got[0] < 0.001
+
+
+def test_wan_exhibits_loss(sim):
+    topo = build_wan(sim, 1, 1)
+    got = []
+    UdpSocket(topo.network.node(topo.host(1)), 7,
+              on_receive=lambda d: got.append(d))
+    sock = UdpSocket(topo.network.node(topo.host(0)), 7)
+    for i in range(2000):
+        sim.call_at(i * 0.005, sock.sendto, Endpoint(topo.host(1), 7), i, 500)
+    sim.run()
+    assert 0 < 2000 - len(got) < 200  # ~1% end-to-end loss
+
+
+def test_wan_validation(sim):
+    with pytest.raises(NetworkError):
+        build_wan(sim, 0, 1)
+    with pytest.raises(NetworkError):
+        build_wan(sim, 1, 1, n_router_hops=0)
+
+
+def test_host_accessor(sim):
+    topo = build_lan(sim, n_hosts=2)
+    assert topo.host(0) == topo.hosts[0]
+    assert topo.sim is sim

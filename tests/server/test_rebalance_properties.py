@@ -1,0 +1,94 @@
+"""Property-based tests for the deterministic redistribution rule."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcs.view import ProcessId
+from repro.net.address import Endpoint
+from repro.server.state import rebalance
+from repro.service.protocol import ClientRecord
+
+SERVERS = [ProcessId(i, f"server{i}") for i in range(1, 6)]
+CLIENTS = [ProcessId(20 + i, f"client{i}") for i in range(12)]
+
+
+def record(client, server):
+    return ClientRecord(
+        client=client,
+        movie="m",
+        session=f"s.{client.name}",
+        video_endpoint=Endpoint(client.node, 8000),
+        offset=1,
+        rate_fps=30,
+        quality_fps=None,
+        paused=False,
+        epoch=0,
+        server=server,
+        updated_at=0.0,
+    )
+
+
+@st.composite
+def situations(draw):
+    n_servers = draw(st.integers(min_value=1, max_value=5))
+    live = SERVERS[:n_servers]
+    n_joined = draw(st.integers(min_value=0, max_value=n_servers))
+    joined = live[:n_joined]
+    n_clients = draw(st.integers(min_value=0, max_value=12))
+    records = [
+        record(CLIENTS[i], draw(st.sampled_from(SERVERS)))
+        for i in range(n_clients)
+    ]
+    return records, live, joined
+
+
+@given(situation=situations())
+@settings(max_examples=200, deadline=None)
+def test_every_client_assigned_to_a_live_server(situation):
+    records, live, joined = situation
+    assignment = rebalance(records, live, joined)
+    assert set(assignment) == {r.client for r in records}
+    assert set(assignment.values()) <= set(live)
+
+
+@given(situation=situations())
+@settings(max_examples=200, deadline=None)
+def test_deterministic_and_input_order_independent(situation):
+    records, live, joined = situation
+    a = rebalance(records, live, joined)
+    b = rebalance(list(reversed(records)), list(reversed(live)),
+                  list(reversed(joined)))
+    assert a == b
+
+
+@given(situation=situations())
+@settings(max_examples=200, deadline=None)
+def test_join_regime_is_even(situation):
+    records, live, joined = situation
+    if not joined or not records:
+        return
+    assignment = rebalance(records, live, joined)
+    loads = {server: 0 for server in live}
+    for server in assignment.values():
+        loads[server] += 1
+    assert max(loads.values()) - min(loads.values()) <= 1
+
+
+@given(situation=situations())
+@settings(max_examples=200, deadline=None)
+def test_failure_regime_keeps_survivor_clients(situation):
+    records, live, _joined = situation
+    assignment = rebalance(records, live, joined=())
+    for rec in records:
+        if rec.server in live:
+            assert assignment[rec.client] == rec.server
+
+
+@given(situation=situations())
+@settings(max_examples=100, deadline=None)
+def test_failure_regime_idempotent(situation):
+    records, live, _joined = situation
+    first = rebalance(records, live, joined=())
+    re_records = [record(c, s) for c, s in first.items()]
+    second = rebalance(re_records, live, joined=())
+    assert first == second

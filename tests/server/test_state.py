@@ -1,0 +1,142 @@
+"""Unit tests for shared state merging and the redistribution rule."""
+
+from repro.gcs.view import ProcessId
+from repro.net.address import Endpoint
+from repro.server.state import MovieState, rebalance
+from repro.service.protocol import ClientRecord, StateSync
+
+S1 = ProcessId(1, "server1")
+S2 = ProcessId(2, "server2")
+S3 = ProcessId(3, "server3")
+C = [ProcessId(10 + i, f"client{i}") for i in range(6)]
+
+
+def record(client, server, offset=1, updated_at=0.0):
+    return ClientRecord(
+        client=client,
+        movie="m",
+        session=f"session.{client.name}",
+        video_endpoint=Endpoint(client.node, 8000),
+        offset=offset,
+        rate_fps=30,
+        quality_fps=None,
+        paused=False,
+        epoch=0,
+        server=server,
+        updated_at=updated_at,
+    )
+
+
+class TestMovieState:
+    def test_put_and_get(self):
+        state = MovieState("m")
+        assert state.put_record(record(C[0], S1), now=0.0)
+        assert state.record_of(C[0]).server == S1
+
+    def test_newer_record_wins(self):
+        state = MovieState("m")
+        state.put_record(record(C[0], S1, offset=10, updated_at=1.0), now=1.0)
+        assert not state.put_record(
+            record(C[0], S2, offset=5, updated_at=0.5), now=1.1
+        )
+        assert state.record_of(C[0]).offset == 10
+
+    def test_merge_sync(self):
+        state = MovieState("m")
+        sync = StateSync(S1, "m", (record(C[0], S1), record(C[1], S1)))
+        state.merge_sync(sync, now=0.0)
+        assert len(state) == 2
+
+    def test_departed_removes_and_tombstones(self):
+        state = MovieState("m")
+        state.put_record(record(C[0], S1, updated_at=1.0), now=1.0)
+        state.mark_departed(C[0], now=2.0)
+        assert state.record_of(C[0]) is None
+        # Stale records do not resurrect a departed client.
+        assert not state.put_record(record(C[0], S2, updated_at=1.5), now=2.1)
+
+    def test_reconnect_after_departure(self):
+        state = MovieState("m")
+        state.mark_departed(C[0], now=2.0)
+        assert state.put_record(record(C[0], S2, updated_at=3.0), now=3.0)
+
+    def test_tombstones_expire(self):
+        state = MovieState("m")
+        state.mark_departed(C[0], now=0.0)
+        state.merge_sync(StateSync(S1, "m", ()), now=100.0)
+        assert state.recently_departed() == ()
+
+    def test_clients_sorted(self):
+        state = MovieState("m")
+        state.put_record(record(C[2], S1), now=0.0)
+        state.put_record(record(C[0], S1), now=0.0)
+        assert state.clients() == [C[0], C[2]]
+
+
+class TestRebalanceFailureRegime:
+    def test_orphans_go_to_survivors(self):
+        records = [record(C[0], S1), record(C[1], S2)]
+        assignment = rebalance(records, [S2])
+        assert assignment == {C[0]: S2, C[1]: S2}
+
+    def test_survivor_clients_stay_put(self):
+        records = [record(C[0], S1), record(C[1], S2), record(C[2], S1)]
+        assignment = rebalance(records, [S1, S2])
+        assert assignment[C[0]] == S1
+        assert assignment[C[1]] == S2
+        assert assignment[C[2]] == S1
+
+    def test_orphans_spread_by_load(self):
+        records = [
+            record(C[0], S1), record(C[1], S1),  # S1 loaded
+            record(C[2], S3), record(C[3], S3),  # orphans (S3 dead)
+        ]
+        assignment = rebalance(records, [S1, S2])
+        assert assignment[C[2]] == S2
+        assert assignment[C[3]] == S2
+
+    def test_empty_server_set(self):
+        assert rebalance([record(C[0], S1)], []) == {}
+
+    def test_idempotent_on_own_output(self):
+        records = [record(C[i], S3) for i in range(5)]
+        first = rebalance(records, [S1, S2])
+        re_records = [record(c, s) for c, s in first.items()]
+        second = rebalance(re_records, [S1, S2])
+        assert first == second
+
+
+class TestRebalanceJoinRegime:
+    def test_single_client_migrates_to_newcomer(self):
+        """The paper's load-balance scenario: the one client moves to
+        the freshly started server."""
+        records = [record(C[0], S1)]
+        assignment = rebalance(records, [S1, S2], joined=[S2])
+        assert assignment[C[0]] == S2
+
+    def test_round_robin_even_spread(self):
+        records = [record(C[i], S1) for i in range(6)]
+        assignment = rebalance(records, [S1, S2, S3], joined=[S3])
+        loads = {}
+        for server in assignment.values():
+            loads[server] = loads.get(server, 0) + 1
+        assert set(loads.values()) == {2}
+
+    def test_newcomers_take_load_first(self):
+        records = [record(C[0], S1), record(C[1], S1), record(C[2], S1)]
+        assignment = rebalance(records, [S1, S2], joined=[S2])
+        loads = {}
+        for server in assignment.values():
+            loads[server] = loads.get(server, 0) + 1
+        assert loads[S2] == 2  # newcomer first in the round-robin order
+
+    def test_joined_ignored_if_not_live(self):
+        records = [record(C[0], S1)]
+        assignment = rebalance(records, [S1], joined=[S3])
+        assert assignment[C[0]] == S1
+
+    def test_deterministic_across_replicas(self):
+        records = [record(C[i], S1) for i in range(5)]
+        a = rebalance(list(records), [S1, S2], joined=[S2])
+        b = rebalance(list(reversed(records)), [S2, S1], joined=[S2])
+        assert a == b

@@ -1,0 +1,75 @@
+"""Unit tests for the scenario controller."""
+
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+def make(n_hosts=5, seed=2):
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=n_hosts)
+    catalog = MovieCatalog([Movie.synthetic("m", duration_s=60)])
+    deployment = Deployment(topology, catalog, server_nodes=[0, 1])
+    return sim, topology, deployment
+
+
+def test_crash_server_at():
+    sim, topo, deployment = make()
+    deployment.controller.crash_server_at(5.0, "server0")
+    sim.run_until(6.0)
+    assert not deployment.server("server0").running
+    events = deployment.controller.events_of("crash")
+    assert len(events) == 1 and events[0].time == 5.0
+
+
+def test_detach_server_at():
+    sim, topo, deployment = make()
+    deployment.controller.detach_server_at(5.0, "server1")
+    sim.run_until(6.0)
+    assert not deployment.server("server1").running
+    assert deployment.controller.events_of("detach")[0].detail == "server1"
+
+
+def test_start_server_at():
+    sim, topo, deployment = make()
+    deployment.controller.start_server_at(5.0, 2, "late-server")
+    sim.run_until(6.0)
+    assert deployment.server("late-server").running
+    assert deployment.controller.events_of("server-up")
+
+
+def test_partition_and_heal_at():
+    sim, topo, deployment = make()
+    switch = topo.infrastructure[0]
+    deployment.controller.partition_at(
+        5.0, [topo.host(0)], [switch] + [topo.host(i) for i in (1, 2, 3)]
+    )
+    deployment.controller.heal_at(10.0)
+    sim.run_until(6.0)
+    assert not deployment.network.reachable(topo.host(0), topo.host(1))
+    sim.run_until(11.0)
+    assert deployment.network.reachable(topo.host(0), topo.host(1))
+    kinds = [event.kind for event in deployment.controller.events]
+    assert kinds == ["partition", "heal"]
+
+
+def test_link_state_at():
+    sim, topo, deployment = make()
+    deployment.controller.link_state_at(
+        5.0, topo.host(0), topo.infrastructure[0], False
+    )
+    sim.run_until(6.0)
+    assert not deployment.network.link(
+        topo.host(0), topo.infrastructure[0]
+    ).up
+
+
+def test_event_log_ordered_by_time():
+    sim, topo, deployment = make()
+    deployment.controller.crash_server_at(7.0, "server0")
+    deployment.controller.start_server_at(3.0, 2)
+    sim.run_until(10.0)
+    times = [event.time for event in deployment.controller.events]
+    assert times == sorted(times)

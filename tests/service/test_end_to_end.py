@@ -1,0 +1,285 @@
+"""End-to-end tests of the full VoD service."""
+
+import pytest
+
+from repro.client.player import ClientConfig
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+def make_service(n_servers=2, n_clients=1, movie_s=60.0, seed=11,
+                 replicate_all=True):
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=n_servers + n_clients + 2)
+    catalog = MovieCatalog([Movie.synthetic("feature", duration_s=movie_s)])
+    deployment = Deployment(
+        topology, catalog, server_nodes=list(range(n_servers)),
+        replicate_all=replicate_all,
+    )
+    clients = [
+        deployment.attach_client(n_servers + i) for i in range(n_clients)
+    ]
+    return sim, deployment, clients
+
+
+class TestConnect:
+    def test_client_connects_and_receives_video(self):
+        sim, deployment, (client,) = make_service()
+        client.request_movie("feature")
+        sim.run_until(10.0)
+        assert client.serving_server is not None
+        assert client.stats.received > 200
+        assert client.displayed_total > 150
+
+    def test_client_is_served_by_exactly_one_server(self):
+        sim, deployment, (client,) = make_service()
+        client.request_movie("feature")
+        sim.run_until(10.0)
+        serving = [s for s in deployment.servers.values() if s.n_clients]
+        assert len(serving) == 1
+
+    def test_playback_completes(self):
+        sim, deployment, (client,) = make_service(movie_s=20.0)
+        client.request_movie("feature")
+        sim.run_until(35.0)
+        assert client.finished
+        assert client.displayed_total > 19 * 30
+
+    def test_unknown_movie_never_connects(self):
+        sim, deployment, (client,) = make_service()
+        client.request_movie("no-such-movie")
+        sim.run_until(5.0)
+        assert client.serving_server is None
+
+    def test_list_movies(self):
+        sim, deployment, (client,) = make_service()
+        sim.run_until(2.0)  # let the server group form
+        got = []
+        client.list_movies(got.append)
+        sim.run_until(5.0)
+        assert got == [("feature",)]
+
+    def test_two_clients_balanced_across_servers(self):
+        sim, deployment, clients = make_service(n_servers=2, n_clients=2)
+        for client in clients:
+            client.request_movie("feature")
+        sim.run_until(10.0)
+        loads = sorted(s.n_clients for s in deployment.servers.values())
+        assert loads == [1, 1]
+
+
+class TestCrashFailover:
+    def test_client_migrates_transparently(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(20.0)
+        first = client.serving_server
+        for server in deployment.servers.values():
+            if server.process == first:
+                server.crash()
+        sim.run_until(40.0)
+        assert client.serving_server is not None
+        assert client.serving_server != first
+        # The viewer never saw a freeze.
+        assert client.decoder.stats.stall_time_s == 0.0
+
+    def test_takeover_resumes_near_last_offset(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(20.0)
+        victim = next(
+            s for s in deployment.servers.values()
+            if s.process == client.serving_server
+        )
+        position_at_crash = list(victim.sessions.values())[0].position
+        victim.crash()
+        sim.run_until(25.0)
+        survivor = next(
+            s for s in deployment.servers.values() if s.n_clients == 1
+        )
+        new_position = list(survivor.sessions.values())[0].position
+        # Resumed within a few sync periods' worth of the crash position.
+        assert abs(new_position - position_at_crash) < 150
+
+    def test_duplicates_counted_late_after_takeover(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(20.0)
+        late_before = client.late_total
+        for server in deployment.servers.values():
+            if server.process == client.serving_server:
+                server.crash()
+        sim.run_until(30.0)
+        assert client.late_total > late_before  # conservative overlap
+
+    def test_k_replicas_tolerate_k_minus_1_failures(self):
+        sim, deployment, (client,) = make_service(n_servers=3, movie_s=120.0)
+        client.request_movie("feature")
+
+        def crash_serving():
+            for server in deployment.live_servers():
+                if server.process == client.serving_server:
+                    server.crash()
+                    return
+
+        sim.call_at(20.0, crash_serving)
+        sim.call_at(40.0, crash_serving)
+        sim.run_until(70.0)
+        assert client.decoder.stats.stall_time_s <= 1.0
+        assert len(deployment.live_servers()) == 1
+        assert client.serving_server is not None
+
+    def test_all_replicas_dead_stalls_playback(self):
+        sim, deployment, (client,) = make_service(n_servers=1, movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(20.0)
+        deployment.server("server0").crash()
+        sim.run_until(60.0)
+        client.decoder.end_stall(sim.now)
+        assert client.decoder.stats.stall_time_s > 10.0
+
+
+class TestGracefulDetach:
+    def test_detach_migrates_without_fd_timeout(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(20.0)
+        first = client.serving_server
+        victim = next(
+            s for s in deployment.servers.values() if s.process == first
+        )
+        victim.shutdown()
+        sim.run_until(23.0)
+        assert client.serving_server is not None
+        assert client.serving_server != first
+        assert client.decoder.stats.stall_time_s == 0.0
+
+
+class TestLoadBalancing:
+    def test_new_server_takes_the_client(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(20.0)
+        deployment.add_server(3, "serverNew")
+        sim.run_until(30.0)
+        assert deployment.server("serverNew").n_clients == 1
+        assert client.decoder.stats.stall_time_s == 0.0
+
+    def test_load_spreads_over_new_server(self):
+        sim, deployment, clients = make_service(
+            n_servers=1, n_clients=2, movie_s=90.0
+        )
+        for client in clients:
+            client.request_movie("feature")
+        sim.run_until(15.0)
+        assert deployment.server("server0").n_clients == 2
+        deployment.add_server(4, "serverNew")
+        sim.run_until(30.0)
+        assert deployment.server("server0").n_clients == 1
+        assert deployment.server("serverNew").n_clients == 1
+
+
+class TestClientDeparture:
+    def test_client_crash_cleans_up_sessions(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(20.0)
+        deployment.network.node(client.node_id).crash()
+        client.endpoint.crash()
+        sim.run_until(30.0)
+        assert all(s.n_clients == 0 for s in deployment.servers.values())
+
+    def test_client_stop_leaves_gracefully(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(20.0)
+        client.stop()
+        sim.run_until(25.0)
+        assert all(s.n_clients == 0 for s in deployment.servers.values())
+
+
+class TestVcr:
+    def test_pause_and_resume(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(10.0)
+        client.pause()
+        sim.run_until(12.0)
+        received_paused = client.stats.received
+        displayed_paused = client.displayed_total
+        sim.run_until(20.0)
+        # A trickle may land from in-flight frames, then silence.
+        assert client.stats.received - received_paused < 40
+        assert client.displayed_total == displayed_paused
+        client.resume()
+        sim.run_until(30.0)
+        assert client.displayed_total > displayed_paused + 200
+
+    def test_seek_forward(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(10.0)
+        client.seek(60.0)
+        sim.run_until(20.0)
+        assert client.decoder.stats.last_displayed_index > 60 * 30
+
+    def test_seek_backward(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(30.0)
+        client.seek(5.0)
+        sim.run_until(32.0)
+        index = client.decoder.stats.last_displayed_index
+        assert 5 * 30 <= index <= 12 * 30
+
+    def test_stale_epoch_frames_dropped_after_seek(self):
+        sim, deployment, (client,) = make_service(movie_s=90.0)
+        client.request_movie("feature")
+        sim.run_until(10.0)
+        client.seek(60.0)
+        sim.run_until(12.0)
+        assert client.stats.stale_epoch >= 0  # counted, not displayed
+        assert client.epoch == 1
+
+    def test_quality_adaptation_reduces_rate_keeps_i_frames(self):
+        config = ClientConfig()
+        sim, deployment, (client,) = make_service(movie_s=60.0)
+        client.request_movie("feature", quality_fps=10)
+        sim.run_until(30.0)
+        # Received far less than full rate...
+        assert client.stats.received < 30 * 22
+        # ...but playback progressed in real time (positions advance).
+        assert client.decoder.stats.last_displayed_index > 25 * 30
+        del config
+
+    def test_set_quality_mid_stream(self):
+        sim, deployment, (client,) = make_service(movie_s=60.0)
+        client.request_movie("feature")
+        sim.run_until(10.0)
+        client.set_quality(10)
+        sim.run_until(12.0)
+        received_before = client.stats.received
+        sim.run_until(22.0)
+        assert client.stats.received - received_before < 10 * 22
+
+
+class TestVcrErrors:
+    def test_vcr_before_connect_raises(self):
+        from repro.errors import SessionError
+
+        sim, deployment, (client,) = make_service()
+        with pytest.raises(SessionError):
+            client.pause()
+        with pytest.raises(SessionError):
+            client.seek(1.0)
+
+    def test_double_request_movie_raises(self):
+        from repro.errors import SessionError
+
+        sim, deployment, (client,) = make_service()
+        client.request_movie("feature")
+        with pytest.raises(SessionError):
+            client.request_movie("feature")

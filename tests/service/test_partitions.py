@@ -1,0 +1,100 @@
+"""Service behaviour under network partitions (the paper §2: "Our VoD
+service tolerates failures and network partitions")."""
+
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.topologies import build_wan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+def make_two_site_service(seed=9):
+    """A server and a client at each site, seven hops apart."""
+    sim = Simulator(seed=seed)
+    topology = build_wan(sim, n_hosts_site_a=2, n_hosts_site_b=2)
+    catalog = MovieCatalog([Movie.synthetic("m", duration_s=240.0)])
+    deployment = Deployment(topology, catalog, server_nodes=[0, 2])
+    client_a = deployment.attach_client(1, "client-a")
+    client_b = deployment.attach_client(3, "client-b")
+    client_a.request_movie("m")
+    client_b.request_movie("m")
+    trunk = (topology.infrastructure[0], topology.infrastructure[2])
+    return sim, topology, deployment, client_a, client_b, trunk
+
+
+def test_both_sides_keep_playing_through_a_partition():
+    sim, topo, deployment, a, b, trunk = make_two_site_service()
+    sim.run_until(15.0)
+    deployment.network.set_link_state(*trunk, False)
+    sim.run_until(60.0)
+    # Both clients still watch, each from a server in its component.
+    assert a.decoder.stats.stall_time_s <= 1.0
+    assert b.decoder.stats.stall_time_s <= 1.0
+    assert a.displayed_total > 50 * 30 * 0.9
+    assert b.displayed_total > 50 * 30 * 0.9
+
+
+def test_clients_converge_to_local_servers_in_partition():
+    sim, topo, deployment, a, b, trunk = make_two_site_service()
+    sim.run_until(15.0)
+    deployment.network.set_link_state(*trunk, False)
+    sim.run_until(45.0)
+    # Whoever serves each client must be reachable from it.
+    for client in (a, b):
+        serving = client.serving_server
+        assert serving is not None
+        assert deployment.network.reachable(client.node_id, serving.node)
+
+
+def test_partition_heals_into_one_movie_group():
+    from repro.service.protocol import movie_group
+
+    sim, topo, deployment, a, b, trunk = make_two_site_service()
+    sim.run_until(15.0)
+    deployment.network.set_link_state(*trunk, False)
+    sim.run_until(45.0)
+    deployment.network.set_link_state(*trunk, True)
+    sim.run_until(70.0)
+    views = [
+        server.endpoint.group_view(movie_group("m"))
+        for server in deployment.live_servers()
+    ]
+    assert all(view is not None for view in views)
+    assert all(len(view.members) == 2 for view in views)
+    assert views[0].view_id == views[1].view_id
+
+
+def test_playback_smooth_across_heal():
+    sim, topo, deployment, a, b, trunk = make_two_site_service()
+    sim.run_until(15.0)
+    deployment.network.set_link_state(*trunk, False)
+    sim.run_until(40.0)
+    deployment.network.set_link_state(*trunk, True)
+    sim.run_until(90.0)
+    for client in (a, b):
+        assert client.decoder.stats.stall_time_s <= 1.0
+        assert client.serving_server is not None
+
+
+def test_client_cut_off_from_all_servers_recovers_on_heal():
+    """Both servers at site A; the client at site B loses everything
+    during the partition and resumes after the heal."""
+    sim = Simulator(seed=13)
+    topology = build_wan(sim, n_hosts_site_a=2, n_hosts_site_b=1)
+    catalog = MovieCatalog([Movie.synthetic("m", duration_s=240.0)])
+    deployment = Deployment(topology, catalog, server_nodes=[0, 1])
+    client = deployment.attach_client(2)
+    client.request_movie("m")
+    sim.run_until(15.0)
+    trunk = (topology.infrastructure[0], topology.infrastructure[2])
+    deployment.network.set_link_state(*trunk, False)
+    sim.run_until(35.0)
+    displayed_blackout = client.displayed_total
+    deployment.network.set_link_state(*trunk, True)
+    sim.run_until(70.0)
+    client.decoder.end_stall(sim.now)
+    # The blackout itself stalls playback (nothing can prevent that)...
+    assert client.decoder.stats.stall_time_s > 5.0
+    # ...but service resumes after the heal and playback continues.
+    assert client.displayed_total > displayed_blackout + 20 * 30 * 0.8
+    assert client.serving_server is not None

@@ -1,0 +1,92 @@
+"""Unit tests for the VoD protocol message definitions."""
+
+from repro.gcs.view import ProcessId
+from repro.net.address import Endpoint
+from repro.service.protocol import (
+    SERVER_GROUP,
+    ClientRecord,
+    ConnectRequest,
+    EmergencyLevel,
+    EndOfStream,
+    FlowControlMsg,
+    FlowKind,
+    FramePacket,
+    ListMoviesReply,
+    StateSync,
+    VcrCommand,
+    VcrOp,
+    movie_group,
+    session_group,
+)
+
+CLIENT = ProcessId(5, "client0")
+SERVER = ProcessId(1, "server0")
+
+
+def make_record(offset=10):
+    return ClientRecord(
+        client=CLIENT, movie="m", session="s",
+        video_endpoint=Endpoint(5, 8000),
+        offset=offset, rate_fps=30, quality_fps=None, paused=False,
+        epoch=0, server=SERVER, updated_at=1.0,
+    )
+
+
+def test_group_name_helpers_are_distinct():
+    assert movie_group("casablanca") != movie_group("metropolis")
+    assert session_group("a") != session_group("b")
+    assert movie_group("x") != session_group("x")
+    assert SERVER_GROUP not in (movie_group("x"), session_group("x"))
+
+
+def test_record_is_a_few_dozen_bytes():
+    """The §5.2 claim anchors the sync-overhead arithmetic."""
+    assert 24 <= make_record().wire_bytes() <= 64
+
+
+def test_state_sync_size_scales_with_records():
+    one = StateSync(SERVER, "m", (make_record(),))
+    three = StateSync(SERVER, "m", tuple(make_record(i) for i in (1, 2, 3)))
+    assert three.wire_bytes() - one.wire_bytes() == 2 * make_record().wire_bytes()
+
+
+def test_flow_control_message_is_tiny():
+    message = FlowControlMsg(FlowKind.EMERGENCY, EmergencyLevel.SEVERE, 12)
+    assert message.wire_bytes() <= 24
+
+
+def test_vcr_command_kinds():
+    for op in VcrOp:
+        command = VcrCommand(op, position_s=1.0, quality_fps=10, speed=2.0)
+        assert command.wire_bytes() > 0
+
+
+def test_frame_packet_dominated_by_frame_payload():
+    from repro.media.frames import Frame, FrameType
+
+    frame = Frame("m", 1, FrameType.I, 12_000)
+    packet = FramePacket(frame, 0, SERVER, 0.0)
+    assert packet.wire_bytes() - frame.size_bytes <= 32
+
+
+def test_connect_request_carries_resume_point():
+    request = ConnectRequest(
+        client=CLIENT, movie="m",
+        video_endpoint=Endpoint(5, 8000), session="s",
+        resume_offset=777, resume_epoch=3,
+    )
+    assert request.resume_offset == 777
+    assert request.resume_epoch == 3
+
+
+def test_messages_are_immutable():
+    import dataclasses
+
+    import pytest
+
+    message = EndOfStream("m", 0)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        message.movie = "other"
+    reply = ListMoviesReply(("a",))
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        reply.titles = ("b",)

@@ -1,0 +1,109 @@
+"""End-to-end tests for VCR speed control (fast forward / slow motion)."""
+
+import pytest
+
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+def make_service(seed=14, movie_s=120.0):
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=4)
+    catalog = MovieCatalog([Movie.synthetic("m", duration_s=movie_s)])
+    deployment = Deployment(topology, catalog, server_nodes=[0, 1])
+    client = deployment.attach_client(2)
+    client.request_movie("m")
+    return sim, deployment, client
+
+
+def position_covered(client, window_s, run):
+    """Movie positions traversed per second over a window."""
+    sim, start = run
+    begin = client.decoder.stats.last_displayed_index
+    sim.run_until(start + window_s)
+    end = client.decoder.stats.last_displayed_index
+    return (end - begin) / window_s
+
+
+def test_fast_forward_doubles_position_rate():
+    sim, deployment, client = make_service()
+    sim.run_until(20.0)
+    normal = position_covered(client, 10.0, (sim, 20.0))
+    client.set_speed(2.0)
+    sim.run_until(35.0)  # settle
+    fast = position_covered(client, 10.0, (sim, 35.0))
+    assert normal == pytest.approx(30, abs=3)
+    # Flow control trims the wire rate a little under fast playback, so
+    # coverage settles between 1.5x and 2.2x of normal.
+    assert 45 <= fast <= 66
+
+
+def test_fast_forward_keeps_wire_rate_bounded():
+    sim, deployment, client = make_service()
+    sim.run_until(20.0)
+    client.set_speed(2.0)
+    sim.run_until(25.0)
+    received_before = client.stats.received
+    sim.run_until(35.0)
+    wire_rate = (client.stats.received - received_before) / 10.0
+    # Positions covered at 60/s but frames on the wire stay ~<= 35/s.
+    assert wire_rate < 40
+
+
+def test_fast_forward_keeps_i_frames():
+    sim, deployment, client = make_service()
+    sim.run_until(10.0)
+    client.set_speed(4.0)
+    sim.run_until(30.0)
+    # At 4x only ~1/4 of incremental frames fit, but the display still
+    # progresses through I frames (no long display gaps > 1 GOP).
+    assert client.decoder.stats.last_displayed_index > 40 * 30
+
+
+def test_slow_motion_halves_position_rate():
+    sim, deployment, client = make_service()
+    sim.run_until(20.0)
+    client.set_speed(0.5)
+    sim.run_until(25.0)
+    slow = position_covered(client, 10.0, (sim, 25.0))
+    assert slow == pytest.approx(15, abs=3)
+
+
+def test_return_to_normal_speed():
+    sim, deployment, client = make_service()
+    sim.run_until(15.0)
+    client.set_speed(2.0)
+    sim.run_until(25.0)
+    client.set_speed(1.0)
+    sim.run_until(32.0)
+    normal_again = position_covered(client, 8.0, (sim, 32.0))
+    assert normal_again == pytest.approx(30, abs=4)
+
+
+def test_speed_survives_failover():
+    sim, deployment, client = make_service()
+    sim.run_until(15.0)
+    client.set_speed(2.0)
+    sim.run_until(25.0)
+    for server in deployment.live_servers():
+        if server.process == client.serving_server:
+            server.crash()
+    sim.run_until(32.0)
+    # The takeover resumes the session; the client re-issues its state
+    # through the session group... the *offset* carried over:
+    survivor = next(s for s in deployment.live_servers() if s.n_clients)
+    session = list(survivor.sessions.values())[0]
+    assert session.position > 25 * 30  # well past normal-speed coverage
+
+
+def test_speed_clamped_to_sane_range():
+    sim, deployment, client = make_service()
+    sim.run_until(10.0)
+    client.set_speed(100.0)
+    sim.run_until(12.0)
+    survivor = next(s for s in deployment.live_servers() if s.n_clients)
+    session = list(survivor.sessions.values())[0]
+    assert session.speed <= 8.0

@@ -1,0 +1,49 @@
+"""Unit tests for named random streams."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_returns_same_stream():
+    registry = RngRegistry(1)
+    assert registry.stream("a") is registry.stream("a")
+
+
+def test_streams_are_deterministic_in_master_seed():
+    a = RngRegistry(42).stream("net.loss")
+    b = RngRegistry(42).stream("net.loss")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_are_independent():
+    registry = RngRegistry(42)
+    a = [registry.stream("a").random() for _ in range(10)]
+    b = [registry.stream("b").random() for _ in range(10)]
+    assert a != b
+
+
+def test_different_master_seeds_differ():
+    a = RngRegistry(1).stream("x").random()
+    b = RngRegistry(2).stream("x").random()
+    assert a != b
+
+
+def test_stream_independent_of_creation_order():
+    forward = RngRegistry(9)
+    forward.stream("first").random()  # draw before creating "second"
+    value_forward = forward.stream("second").random()
+
+    backward = RngRegistry(9)
+    value_backward = backward.stream("second").random()
+    assert value_forward == value_backward
+
+
+def test_names_listing_sorted():
+    registry = RngRegistry(1)
+    registry.stream("zeta")
+    registry.stream("alpha")
+    assert registry.names() == ["alpha", "zeta"]
+
+
+def test_simulator_exposes_rng(sim):
+    stream = sim.rng("anything")
+    assert 0.0 <= stream.random() < 1.0

@@ -1,0 +1,92 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Simulator
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1, max_size=100,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.call_after(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=1, max_size=60,
+    ),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=60),
+)
+@settings(max_examples=100, deadline=None)
+def test_cancelled_events_never_fire(delays, cancel_mask):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for i, delay in enumerate(delays):
+        handles.append(sim.call_after(delay, fired.append, i))
+    cancelled = set()
+    for i, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+        if cancel:
+            handle.cancel()
+            cancelled.add(i)
+    sim.run()
+    assert set(fired) == set(range(len(delays))) - cancelled
+
+
+@given(
+    same_time_count=st.integers(min_value=2, max_value=50),
+    at=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_simultaneous_events_fire_in_scheduling_order(same_time_count, at):
+    sim = Simulator()
+    fired = []
+    for i in range(same_time_count):
+        sim.call_at(at, fired.append, i)
+    sim.run()
+    assert fired == list(range(same_time_count))
+
+
+@given(
+    cut=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1, max_size=50,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_run_until_partitions_events_exactly(cut, delays):
+    sim = Simulator()
+    early, late = [], []
+    for delay in delays:
+        sim.call_after(
+            delay,
+            lambda d=delay: (early if d <= cut else late).append(d),
+        )
+    sim.run_until(cut)
+    assert len(early) == sum(1 for d in delays if d <= cut)
+    assert late == []
+    sim.run()
+    assert len(late) == sum(1 for d in delays if d > cut)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_named_streams_disjoint_from_each_other(seed):
+    sim = Simulator(seed=seed)
+    a = [sim.rng("alpha").random() for _ in range(5)]
+    b = [sim.rng("beta").random() for _ in range(5)]
+    assert a != b  # astronomically unlikely to collide

@@ -1,0 +1,123 @@
+"""Tests for the fault-injection toolkit."""
+
+from repro.gcs import GcsDomain, GroupListener
+from repro.gcs.messages import Multicast, ViewCommit
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.address import Endpoint
+from repro.net.topologies import build_lan
+from repro.net.udp import UdpSocket
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+from repro.testing import (
+    MessageDropper,
+    crash_serving_server,
+    flap_link,
+    payload_type_is,
+)
+
+
+class TestMessageDropper:
+    def test_drops_exactly_n(self, sim, lan):
+        net = lan.network
+        got = []
+        UdpSocket(net.node(lan.host(1)), 9, on_receive=lambda d: got.append(d))
+        sock = UdpSocket(net.node(lan.host(0)), 9)
+        dropper = MessageDropper(
+            net, lan.host(0), lan.infrastructure[0], max_drops=2
+        ).install()
+        for i in range(5):
+            sock.sendto(Endpoint(lan.host(1), 9), i, 64)
+        sim.run()
+        assert len(dropper.dropped) == 2
+        assert [d.payload for d in got] == [2, 3, 4]
+
+    def test_predicate_filters(self, sim, lan):
+        net = lan.network
+        domain = GcsDomain(sim, net)
+        a = domain.create_endpoint(lan.host(0))
+        b = domain.create_endpoint(lan.host(1))
+        got = []
+        a.join("g", "a", GroupListener())
+        b.join("g", "b", GroupListener(on_message=lambda s, p: got.append(p)))
+        sim.run_until(2.0)
+        dropper = MessageDropper(
+            net, lan.host(0), lan.infrastructure[0],
+            predicate=payload_type_is(Multicast), max_drops=1,
+        ).install()
+        a._members["g"].multicast("lost-once", 16)
+        sim.run_until(4.0)
+        # Dropped once but recovered by the GCS reliability machinery.
+        assert len(dropper.dropped) == 1
+        assert isinstance(dropper.dropped[0].payload, Multicast)
+        assert "lost-once" in got
+
+    def test_remove_restores(self, sim, lan):
+        net = lan.network
+        got = []
+        UdpSocket(net.node(lan.host(1)), 9, on_receive=lambda d: got.append(d))
+        sock = UdpSocket(net.node(lan.host(0)), 9)
+        dropper = MessageDropper(
+            net, lan.host(0), lan.infrastructure[0], max_drops=None
+        ).install()
+        sock.sendto(Endpoint(lan.host(1), 9), "lost", 64)
+        dropper.remove()
+        sock.sendto(Endpoint(lan.host(1), 9), "kept", 64)
+        sim.run()
+        assert [d.payload for d in got] == ["kept"]
+
+    def test_commit_drop_scenario(self, sim, lan):
+        """The toolkit reproduces the lost-ViewCommit regression in
+        three lines."""
+        net = lan.network
+        domain = GcsDomain(sim, net)
+        a = domain.create_endpoint(lan.host(0))
+        a.join("g", "a", GroupListener())
+        sim.run_until(1.0)
+        dropper = MessageDropper(
+            net, lan.host(0), lan.infrastructure[0],
+            predicate=payload_type_is(ViewCommit), max_drops=1,
+        ).install()
+        views = []
+        b = domain.create_endpoint(lan.host(1))
+        b.join("g", "b", GroupListener(on_view=views.append))
+        sim.run_until(5.0)
+        assert len(dropper.dropped) == 1
+        assert views and len(views[-1].members) == 2  # recovered
+
+
+class TestFlapAndCrashHelpers:
+    def test_flap_link_schedules_cycles(self, sim, lan):
+        net = lan.network
+        flap_link(sim, net, lan.host(0), lan.infrastructure[0],
+                  start_s=1.0, flaps=2, period_s=0.5)
+        sim.run_until(1.2)
+        assert not net.link(lan.host(0), lan.infrastructure[0]).up
+        sim.run_until(1.7)
+        assert net.link(lan.host(0), lan.infrastructure[0]).up
+        sim.run_until(2.2)
+        assert not net.link(lan.host(0), lan.infrastructure[0]).up
+        sim.run_until(3.0)
+        assert net.link(lan.host(0), lan.infrastructure[0]).up
+
+    def test_crash_serving_server(self):
+        sim = Simulator(seed=3)
+        topology = build_lan(sim, n_hosts=3)
+        catalog = MovieCatalog([Movie.synthetic("m", duration_s=30)])
+        deployment = Deployment(topology, catalog, server_nodes=[0, 1])
+        client = deployment.attach_client(2)
+        client.request_movie("m")
+        sim.run_until(10.0)
+        serving_before = client.serving_server
+        crashed = crash_serving_server(deployment, client)
+        assert crashed is not None
+        assert not crashed.running
+        assert crashed.process == serving_before
+
+    def test_crash_serving_server_none_when_unserved(self):
+        sim = Simulator(seed=3)
+        topology = build_lan(sim, n_hosts=3)
+        catalog = MovieCatalog([Movie.synthetic("m", duration_s=30)])
+        deployment = Deployment(topology, catalog, server_nodes=[0])
+        client = deployment.attach_client(2)
+        assert crash_serving_server(deployment, client) is None

@@ -1,0 +1,90 @@
+"""End-to-end tests of the workload driver on a live deployment."""
+
+import pytest
+
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.driver import WorkloadDriver
+from repro.workloads.popularity import ZipfCatalogSampler
+from repro.workloads.viewer import ViewerProfile
+
+
+def make_rig(n_hosts=8, n_servers=2, seed=33, movie_s=90.0):
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=n_servers + n_hosts)
+    titles = [f"movie{i}" for i in range(4)]
+    catalog = MovieCatalog(
+        [Movie.synthetic(t, duration_s=movie_s) for t in titles]
+    )
+    deployment = Deployment(
+        topology, catalog, server_nodes=list(range(n_servers))
+    )
+    sampler = ZipfCatalogSampler(titles)
+    driver = WorkloadDriver(
+        deployment,
+        client_hosts=list(range(n_servers, n_servers + n_hosts)),
+        sampler=sampler,
+    )
+    return sim, deployment, driver
+
+
+def test_population_attaches_and_plays():
+    sim, deployment, driver = make_rig()
+    arrivals = poisson_arrivals(sim.rng("arrivals"), 0.2, 30.0, start_s=1.0)
+    driver.schedule_arrivals(arrivals)
+    sim.run_until(60.0)
+    stats = driver.stats()
+    assert stats.n_viewers == len(arrivals)
+    assert stats.total_displayed > 0
+    assert sum(stats.requests_per_title.values()) == stats.n_viewers
+
+
+def test_busy_signal_when_hosts_exhausted():
+    sim, deployment, driver = make_rig(n_hosts=2)
+    driver.schedule_arrivals([1.0, 1.1, 1.2, 1.3])
+    sim.run_until(10.0)
+    assert len(driver.clients) == 2
+    assert driver.skipped_arrivals == 2
+
+
+def test_abandoner_frees_host_for_later_arrival():
+    sim, deployment, driver = make_rig(n_hosts=1)
+    driver.profile = ViewerProfile(abandon_prob=1.0)
+    driver.schedule_arrivals([1.0, 40.0])
+    sim.run_until(80.0)
+    assert len(driver.clients) == 2  # the second arrival found a host
+    assert driver.stats().n_abandoned >= 1
+
+
+def test_popularity_respected_by_requests():
+    sim, deployment, driver = make_rig(n_hosts=60, seed=35)
+    # Instant arrivals, no behaviour noise.
+    driver.profile = ViewerProfile(
+        pause_prob=0.0, seek_prob=0.0, abandon_prob=0.0
+    )
+    driver.schedule_arrivals([1.0 + 0.2 * i for i in range(60)])
+    sim.run_until(20.0)
+    requests = driver.requests_per_title
+    assert requests.get("movie0", 0) > requests.get("movie3", 0)
+
+
+def test_population_survives_server_crash():
+    sim, deployment, driver = make_rig(n_hosts=6, seed=37)
+    driver.profile = ViewerProfile(
+        pause_prob=0.1, seek_prob=0.1, abandon_prob=0.0
+    )
+    driver.schedule_arrivals([1.0 + i for i in range(6)])
+    sim.call_at(
+        30.0,
+        lambda: max(
+            deployment.live_servers(), key=lambda s: s.n_clients
+        ).crash(),
+    )
+    sim.run_until(70.0)
+    stats = driver.stats()
+    assert stats.viewers_with_visible_stall == 0
+    assert stats.worst_stall_s <= 1.0

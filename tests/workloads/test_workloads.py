@@ -1,0 +1,125 @@
+"""Tests for the workload generation package."""
+
+import random
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.workloads.arrivals import burst_arrivals, poisson_arrivals
+from repro.workloads.popularity import ZipfCatalogSampler
+from repro.workloads.viewer import (
+    CHANNEL_SURFER,
+    COUCH_POTATO,
+    ViewerProfile,
+)
+
+
+class TestArrivals:
+    def test_poisson_rate_approximately_honoured(self):
+        rng = random.Random(1)
+        times = poisson_arrivals(rng, rate_per_s=2.0, duration_s=500.0)
+        assert 800 < len(times) < 1200  # ~1000 expected
+        assert all(0 <= t < 500.0 for t in times)
+        assert times == sorted(times)
+
+    def test_poisson_deterministic_per_seed(self):
+        a = poisson_arrivals(random.Random(7), 1.0, 100.0)
+        b = poisson_arrivals(random.Random(7), 1.0, 100.0)
+        assert a == b
+
+    def test_poisson_start_offset(self):
+        times = poisson_arrivals(random.Random(1), 1.0, 10.0, start_s=50.0)
+        assert all(50.0 <= t < 60.0 for t in times)
+
+    def test_poisson_limit(self):
+        times = poisson_arrivals(random.Random(1), 100.0, 1e9, limit=50)
+        assert len(times) == 50
+
+    def test_poisson_validation(self):
+        with pytest.raises(ServiceError):
+            poisson_arrivals(random.Random(1), 0.0, 10.0)
+
+    def test_burst_within_spread(self):
+        times = burst_arrivals(random.Random(3), 20, at_s=100.0, spread_s=2.0)
+        assert len(times) == 20
+        assert all(100.0 <= t <= 102.0 for t in times)
+        assert times == sorted(times)
+
+
+class TestZipf:
+    def test_head_dominates(self):
+        sampler = ZipfCatalogSampler([f"m{i}" for i in range(20)], alpha=1.0)
+        rng = random.Random(5)
+        histogram = sampler.histogram(sampler.sample_many(rng, 5000))
+        assert histogram["m0"] > histogram["m10"] > 0
+        # Top-3 titles take a disproportionate share.
+        top3 = histogram["m0"] + histogram["m1"] + histogram["m2"]
+        assert top3 > 0.4 * 5000
+
+    def test_alpha_zero_is_uniform(self):
+        sampler = ZipfCatalogSampler(["a", "b", "c", "d"], alpha=0.0)
+        rng = random.Random(5)
+        histogram = sampler.histogram(sampler.sample_many(rng, 8000))
+        for count in histogram.values():
+            assert 1700 < count < 2300
+
+    def test_expected_share_sums_to_one(self):
+        sampler = ZipfCatalogSampler([f"m{i}" for i in range(10)])
+        total = sum(sampler.expected_share(t) for t in sampler.titles)
+        assert total == pytest.approx(1.0)
+
+    def test_empirical_matches_analytic(self):
+        sampler = ZipfCatalogSampler([f"m{i}" for i in range(8)], alpha=0.8)
+        rng = random.Random(11)
+        histogram = sampler.histogram(sampler.sample_many(rng, 20_000))
+        for title in sampler.titles:
+            expected = sampler.expected_share(title)
+            observed = histogram[title] / 20_000
+            assert observed == pytest.approx(expected, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            ZipfCatalogSampler([])
+        with pytest.raises(ServiceError):
+            ZipfCatalogSampler(["a"], alpha=-1)
+
+
+class TestViewerScripts:
+    def test_scripts_deterministic(self):
+        profile = ViewerProfile()
+        a = profile.script(random.Random(9), 120.0)
+        b = profile.script(random.Random(9), 120.0)
+        assert a == b
+
+    def test_abandoner_stops_early(self):
+        profile = ViewerProfile(abandon_prob=1.0)
+        script = profile.script(random.Random(1), 120.0)
+        assert len(script) == 1
+        assert script[0][1] == "stop"
+        assert script[0][0] < 120.0 * 0.5
+
+    def test_pause_always_followed_by_resume(self):
+        profile = ViewerProfile(pause_prob=1.0, seek_prob=0.0, abandon_prob=0.0)
+        script = profile.script(random.Random(2), 200.0)
+        ops = [op for _d, op, _a in script]
+        for i, op in enumerate(ops):
+            if op == "pause":
+                assert ops[i + 1] == "resume"
+
+    def test_seeks_target_inside_movie(self):
+        profile = ViewerProfile(pause_prob=0.0, seek_prob=1.0, abandon_prob=0.0)
+        script = profile.script(random.Random(3), 100.0)
+        for _d, op, arg in script:
+            if op == "seek":
+                assert 0.0 <= arg <= 100.0
+
+    def test_presets_differ(self):
+        def activity(profile, seeds):
+            total = 0
+            for seed in seeds:
+                script = profile.script(random.Random(seed), 300.0)
+                total += sum(1 for _d, op, _a in script if op != "nothing")
+            return total
+
+        seeds = range(20)
+        assert activity(CHANNEL_SURFER, seeds) > activity(COUCH_POTATO, seeds)
