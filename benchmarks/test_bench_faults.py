@@ -9,6 +9,7 @@ plain single server that tolerates none.
 from conftest import show
 
 from repro.experiments.faults import fault_matrix_table, run_fault_matrix
+from repro.faulting.chaos import chaos_table, run_chaos_sweep, total_violations
 
 
 def test_fault_tolerance_matrix(benchmark):
@@ -35,3 +36,22 @@ def test_fault_tolerance_matrix(benchmark):
     assert ours_2.survived
     # And it beats striping on the 2-failure case by a wide margin.
     assert ours_2.skipped < striped_2.skipped / 5
+
+
+def test_chaos_sweep(benchmark):
+    """Twenty seeded random fault plans; the invariant checker must stay
+    silent on every one (the plans are recoverable by construction)."""
+    results = benchmark.pedantic(
+        lambda: run_chaos_sweep(n_plans=20, base_seed=1000, duration_s=90.0),
+        rounds=1,
+        iterations=1,
+    )
+    show(chaos_table(results).render())
+
+    violations = total_violations(results)
+    assert violations == [], "\n".join(str(v) for v in violations)
+    # The sweep must actually exercise failover, not dodge it.
+    assert sum(r.crashes for r in results) >= 10
+    assert sum(r.takeovers for r in results) >= 10
+    # Every client keeps a watchable stream on every seed.
+    assert all(r.displayed > 0 for r in results)

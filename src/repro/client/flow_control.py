@@ -108,7 +108,7 @@ class FlowControlPolicy:
         self, occupancy: int, sw_occupancy: Optional[int] = None
     ) -> Optional[FlowControlMsg]:
         self._frames_since_message += 1
-        if self._frames_since_message < self._current_period(occupancy):
+        if self._frames_since_message < self._current_period(occupancy, sw_occupancy):
             return None
         message = self.decide(occupancy, sw_occupancy)
         self._frames_since_message = 0
@@ -130,6 +130,14 @@ class FlowControlPolicy:
         """
         if sw_occupancy is None:
             sw_occupancy = occupancy
+        # The rows are exclusive along one occupancy axis in the paper;
+        # with split buffers the overflow row must win over the
+        # emergency row: a client whose *combined* buffers sit above the
+        # high-water mark is over-supplied even while the hardware
+        # buffer starves the software buffer of frames, and asking for
+        # an emergency refill would only force overflow discards.
+        if occupancy >= self.high_water:
+            return FlowControlMsg(FlowKind.DECREASE, occupancy=occupancy)
         if sw_occupancy < self.critical_mild:
             level = (
                 EmergencyLevel.SEVERE
@@ -139,8 +147,6 @@ class FlowControlPolicy:
             return FlowControlMsg(FlowKind.EMERGENCY, level, occupancy)
         if occupancy < self.low_water:
             return FlowControlMsg(FlowKind.INCREASE, occupancy=occupancy)
-        if occupancy >= self.high_water:
-            return FlowControlMsg(FlowKind.DECREASE, occupancy=occupancy)
         # Between the water marks: steer by the occupancy trend.
         previous = self.previous_occupancy
         if previous is None or occupancy == previous:
@@ -152,7 +158,17 @@ class FlowControlPolicy:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _current_period(self, occupancy: int) -> int:
+    def _current_period(
+        self, occupancy: int, sw_occupancy: Optional[int] = None
+    ) -> int:
+        if sw_occupancy is None:
+            sw_occupancy = occupancy
+        # The critical band is keyed off the *software* buffer (the
+        # emergency rows of Figure 2): a drained software buffer must
+        # report at the urgent cadence even while the combined occupancy
+        # still sits between the water marks.
+        if sw_occupancy < self.critical_mild:
+            return self.config.urgent_every_frames
         if self.low_water <= occupancy < self.high_water:
             return self.config.normal_every_frames
         return self.config.urgent_every_frames

@@ -44,6 +44,10 @@ class UnknownMovieError(MediaError):
     """A movie title was requested that the catalog does not hold."""
 
 
+class FaultError(ReproError):
+    """Fault-injection errors (malformed plan, unresolvable target, ...)."""
+
+
 class ServiceError(ReproError):
     """VoD service-layer errors (no server for movie, bad session, ...)."""
 

@@ -13,6 +13,9 @@ from typing import List
 
 from repro.baselines.single_server import run_single_server_crash
 from repro.baselines.striped import run_striped_crash
+from repro.faulting.injector import FaultInjector
+from repro.faulting.invariants import InvariantChecker
+from repro.faulting.plan import FaultPlan
 from repro.media.catalog import MovieCatalog
 from repro.media.movie import Movie
 from repro.metrics.report import Table
@@ -29,11 +32,22 @@ class FaultTrial:
     stall_time_s: float
     skipped: int
     displayed: int
+    # Runtime invariant violations (group-service trials only; the
+    # baselines have no GCS to check).
+    violations: int = 0
 
     @property
     def survived(self) -> bool:
         """Playback continuity survived: no human-visible freeze (>1 s)."""
         return self.stall_time_s <= 1.0
+
+
+def kill_plan(kills: int, first_at: float = 30.0, gap_s: float = 15.0) -> FaultPlan:
+    """``kills`` non-concurrent crashes of the serving server."""
+    plan = FaultPlan(name=f"kill-{kills}")
+    for kill in range(kills):
+        plan = plan.crash_serving(first_at + gap_s * kill)
+    return plan
 
 
 def run_group_service_trial(
@@ -44,19 +58,15 @@ def run_group_service_trial(
     topology = build_lan(sim, n_hosts=k + 1)
     catalog = MovieCatalog([Movie.synthetic("feature", duration_s=duration_s)])
     deployment = Deployment(topology, catalog, server_nodes=list(range(k)))
+    checker = InvariantChecker(deployment).install()
     client = deployment.attach_client(k)
     client.request_movie("feature")
 
-    def crash_serving() -> None:
-        serving = client.serving_server
-        for server in deployment.live_servers():
-            if server.process == serving:
-                server.crash()
-                return
-
-    for kill in range(kills):
-        sim.call_at(30.0 + 15.0 * kill, crash_serving)
+    injector = FaultInjector(deployment, kill_plan(kills), client=client)
+    injector.start()
     sim.run_until(duration_s)
+    checker.final_check()
+    checker.stop()
     client.decoder.end_stall(sim.now)
     return FaultTrial(
         system="group-communication VoD",
@@ -65,6 +75,7 @@ def run_group_service_trial(
         stall_time_s=client.decoder.stats.stall_time_s,
         skipped=client.skipped_total,
         displayed=client.displayed_total,
+        violations=len(checker.violations),
     )
 
 
@@ -113,7 +124,15 @@ def run_fault_matrix(duration_s: float = 90.0) -> List[FaultTrial]:
 def fault_matrix_table(trials: List[FaultTrial]) -> Table:
     table = Table(
         "T-ft — failures tolerated (3 servers unless noted, kills 15 s apart)",
-        ["system", "servers", "kills", "stall (s)", "skipped", "survived"],
+        [
+            "system",
+            "servers",
+            "kills",
+            "stall (s)",
+            "skipped",
+            "survived",
+            "violations",
+        ],
     )
     for trial in trials:
         table.add_row(
@@ -123,5 +142,6 @@ def fault_matrix_table(trials: List[FaultTrial]) -> Table:
             f"{trial.stall_time_s:.1f}",
             trial.skipped,
             "yes" if trial.survived else "NO",
+            trial.violations if "group" in trial.system else "-",
         )
     return table

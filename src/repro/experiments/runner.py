@@ -9,6 +9,7 @@ Regenerates any table or figure of the paper from the terminal::
     repro-vod emergency
     repro-vod takeover --trials 5
     repro-vod faults
+    repro-vod chaos --plans 20
     repro-vod ablations
     repro-vod all
 """
@@ -115,6 +116,25 @@ def _print_faults(args: argparse.Namespace) -> None:
     print(fault_matrix_table(run_fault_matrix()).render())
 
 
+def _print_chaos(args: argparse.Namespace) -> None:
+    from repro.faulting.chaos import (
+        chaos_table,
+        run_chaos_sweep,
+        total_violations,
+    )
+
+    base_seed = args.seed if args.seed is not None else 1000
+    results = run_chaos_sweep(n_plans=args.plans, base_seed=base_seed)
+    print(chaos_table(results).render())
+    violations = total_violations(results)
+    if violations:
+        print(f"\n{len(violations)} invariant violation(s):")
+        for violation in violations:
+            print(f"  {violation}")
+    else:
+        print(f"\nall {len(results)} seeded plans held every invariant")
+
+
 def _print_ablations(args: argparse.Namespace) -> None:
     from repro.experiments.ablations import (
         ablate_buffer_size,
@@ -193,6 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("gcs", parents=[common],
                    help="T-gcs: view agreement latency scaling")
     sub.add_parser("faults", parents=[common], help="T-ft comparison matrix")
+    p = sub.add_parser("chaos", parents=[common],
+                       help="seeded random fault plans vs the invariant "
+                            "checker (--seed sets the base seed)")
+    p.add_argument("--plans", type=int, default=20)
     sub.add_parser("ablations", parents=[common],
                    help="A-1..A-5 parameter sweeps")
     sub.add_parser("all", parents=[common], help="everything")
@@ -210,6 +234,7 @@ _DISPATCH = {
     "capacity": _print_capacity,
     "gcs": _print_gcs,
     "faults": _print_faults,
+    "chaos": _print_chaos,
     "ablations": _print_ablations,
     "all": _print_all,
 }
@@ -218,7 +243,13 @@ _DISPATCH = {
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     # Subparsers may not define every attribute; default the common ones.
-    defaults = (("clients", 4), ("trials", 5), ("seed", None), ("json", None))
+    defaults = (
+        ("clients", 4),
+        ("trials", 5),
+        ("plans", 20),
+        ("seed", None),
+        ("json", None),
+    )
     for attribute, default in defaults:
         if not hasattr(args, attribute):
             setattr(args, attribute, default)

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.client.player import ClientConfig, VoDClient
+from repro.faulting.injector import FaultInjector
+from repro.faulting.plan import FaultPlan
 from repro.media.catalog import MovieCatalog
 from repro.media.movie import Movie
 from repro.net.topologies import Topology, build_lan, build_wan
@@ -28,7 +30,13 @@ from repro.sim.core import Simulator
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A declarative description of a measurement run."""
+    """A declarative description of a measurement run.
+
+    Faults come either from ``schedule`` — the compact legacy
+    ``(time, action)`` tuples — or from an explicit ``plan`` built with
+    the full :class:`~repro.faulting.plan.FaultPlan` DSL; ``plan`` wins
+    when both are set.
+    """
 
     name: str
     network: str  # "lan" | "wan"
@@ -37,6 +45,7 @@ class ScenarioSpec:
     n_initial_servers: int = 2
     # (time, action) pairs; action is "crash-serving" or "server-up".
     schedule: Tuple[Tuple[float, str], ...] = ()
+    plan: Optional[FaultPlan] = None
     seed: int = 11
     client_config: Optional[ClientConfig] = None
     server_config: Optional[ServerConfig] = None
@@ -70,6 +79,9 @@ class ScenarioResult:
     sim: Simulator
     deployment: Deployment
     client: VoDClient
+    # The executed fault plan and injector (fire log, resolved targets).
+    plan: Optional[FaultPlan] = None
+    injector: Optional[FaultInjector] = None
     # Times at which schedule actions actually fired.
     crash_times: List[float] = field(default_factory=list)
     server_up_times: List[float] = field(default_factory=list)
@@ -105,6 +117,11 @@ class ScenarioResult:
                 "schedule": list(self.spec.schedule),
                 "run_duration_s": self.spec.run_duration_s,
             },
+            "plan": list(self.plan.describe()) if self.plan else [],
+            "fired": [
+                {"t": t, "action": note}
+                for t, note in (self.injector.fired if self.injector else [])
+            ],
             "events": {
                 "crash": list(self.crash_times),
                 "server_up": list(self.server_up_times),
@@ -168,6 +185,31 @@ def build_topology(spec: ScenarioSpec, sim: Simulator) -> Topology:
     raise ValueError(f"unknown network kind {spec.network!r}")
 
 
+def plan_for_spec(spec: ScenarioSpec) -> FaultPlan:
+    """The :class:`FaultPlan` a spec describes.
+
+    An explicit ``spec.plan`` is returned as-is.  Legacy ``schedule``
+    tuples are translated action by action; ``server-up`` entries pin
+    the host slot explicitly (``n_initial_servers``, then the next slot,
+    and so on) to preserve the historical "new servers claim fresh
+    hosts" semantics rather than the injector's default refill-vacancy
+    policy.
+    """
+    if spec.plan is not None:
+        return spec.plan
+    plan = FaultPlan(name=spec.name, seed=spec.seed)
+    next_server_slot = spec.n_initial_servers
+    for at, action in spec.schedule:
+        if action == "crash-serving":
+            plan = plan.crash_serving(at)
+        elif action == "server-up":
+            plan = plan.server_up(at, host=next_server_slot)
+            next_server_slot += 1
+        else:
+            raise ValueError(f"unknown scenario action {action!r}")
+    return plan
+
+
 def run_scenario(
     spec: ScenarioSpec, seed: Optional[int] = None
 ) -> ScenarioResult:
@@ -188,36 +230,11 @@ def run_scenario(
     client = deployment.attach_client(client_host)
     client.request_movie("feature")
 
-    result = ScenarioResult(spec, sim, deployment, client)
-    next_server_slot = [spec.n_initial_servers]
-
-    def fire(action: str) -> None:
-        if action == "crash-serving":
-            _crash_serving_server(deployment, client)
-            result.crash_times.append(sim.now)
-        elif action == "server-up":
-            deployment.add_server(next_server_slot[0])
-            next_server_slot[0] += 1
-            result.server_up_times.append(sim.now)
-        else:
-            raise ValueError(f"unknown scenario action {action!r}")
-
-    for time, action in spec.schedule:
-        sim.call_at(time, fire, action)
+    plan = plan_for_spec(spec)
+    injector = FaultInjector(deployment, plan, client=client).start()
+    result = ScenarioResult(spec, sim, deployment, client, plan, injector)
 
     sim.run_until(spec.run_duration_s)
+    result.crash_times = list(injector.crash_times)
+    result.server_up_times = list(injector.server_up_times)
     return result
-
-
-def _crash_serving_server(deployment: Deployment, client: VoDClient) -> None:
-    """Terminate "the server transmitting this movie" (paper Section 6)."""
-    serving = client.serving_server
-    for server in deployment.servers.values():
-        if serving is not None and server.process == serving:
-            server.crash()
-            return
-    # Fallback: crash any live server that has the client.
-    for server in deployment.live_servers():
-        if client.process in server.sessions:
-            server.crash()
-            return

@@ -1,0 +1,71 @@
+"""Deterministic fault injection and invariant checking.
+
+This package turns the ad-hoc fault scripting of the experiments into a
+first-class subsystem:
+
+* :mod:`repro.faulting.plan` — the :class:`FaultPlan` DSL: immutable,
+  seeded, replayable schedules of crashes, restarts, partitions, link
+  impairments and false suspicions.
+* :mod:`repro.faulting.injector` — :class:`FaultInjector` applies a
+  plan to a running deployment, resolving symbolic targets at fire
+  time.
+* :mod:`repro.faulting.invariants` — :class:`InvariantChecker` asserts
+  the paper's fault-tolerance contract at runtime (exactly-one
+  adoption, offset continuity within the 0.5 s staleness bound, no
+  double delivery, every underrun recorded as a glitch).
+* :mod:`repro.faulting.chaos` — seeded random sweeps: N plans, zero
+  expected violations.
+"""
+
+from repro.faulting.chaos import (
+    ChaosResult,
+    chaos_table,
+    run_chaos_sweep,
+    run_chaos_trial,
+    total_violations,
+)
+from repro.faulting.injector import FaultInjector
+from repro.faulting.invariants import InvariantChecker, Violation
+from repro.faulting.plan import (
+    ClearImpairments,
+    CrashServer,
+    CrashServing,
+    FalseSuspicion,
+    FaultAction,
+    FaultPlan,
+    HealAll,
+    HealHost,
+    ImpairHost,
+    ImpairLink,
+    IsolateHost,
+    Partition,
+    RestartServer,
+    ServerUp,
+    StopServer,
+)
+
+__all__ = [
+    "ChaosResult",
+    "ClearImpairments",
+    "CrashServer",
+    "CrashServing",
+    "FalseSuspicion",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "HealAll",
+    "HealHost",
+    "ImpairHost",
+    "ImpairLink",
+    "InvariantChecker",
+    "IsolateHost",
+    "Partition",
+    "RestartServer",
+    "ServerUp",
+    "StopServer",
+    "Violation",
+    "chaos_table",
+    "run_chaos_sweep",
+    "run_chaos_trial",
+    "total_violations",
+]

@@ -1,0 +1,147 @@
+"""Randomized chaos sweeps: many seeded fault plans, zero violations.
+
+Each trial deploys the standard k-replica LAN service, generates a
+recoverable random :class:`~repro.faulting.plan.FaultPlan` from the
+trial seed, runs it under an
+:class:`~repro.faulting.invariants.InvariantChecker`, and reports every
+violation.  Because plans are recoverable by construction (crashes are
+replaced, partitions heal, the run ends with a settle window), the
+expected violation count is zero for *every* seed — any non-empty
+report is a bug in either the service or the invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.faulting.injector import FaultInjector
+from repro.faulting.invariants import InvariantChecker, Violation
+from repro.faulting.plan import FaultPlan
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.metrics.report import Table
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one seeded chaos trial."""
+
+    seed: int
+    plan: FaultPlan
+    violations: List[Violation]
+    fired: List[Tuple[float, str]]
+    takeovers: int
+    crashes: int
+    stall_time_s: float
+    skipped: int
+    displayed: int
+    samples: int = 0
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_chaos_trial(
+    seed: int,
+    duration_s: float = 90.0,
+    k: int = 3,
+    intensity: float = 1.0,
+    plan: Optional[FaultPlan] = None,
+) -> ChaosResult:
+    """Run one seeded chaos plan against a k-replica LAN deployment."""
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=k + 1)
+    catalog = MovieCatalog(
+        [Movie.synthetic("feature", duration_s=duration_s + 60.0)]
+    )
+    deployment = Deployment(topology, catalog, server_nodes=list(range(k)))
+    checker = InvariantChecker(deployment).install()
+    client = deployment.attach_client(k)
+    client.request_movie("feature")
+
+    if plan is None:
+        plan = FaultPlan.random(
+            seed=seed,
+            duration_s=duration_s,
+            server_hosts=list(range(k)),
+            client_host=k,
+            intensity=intensity,
+        )
+    injector = FaultInjector(deployment, plan, client=client).start()
+
+    sim.run_until(duration_s)
+    checker.final_check()
+    checker.stop()
+    client.decoder.end_stall(sim.now)
+
+    return ChaosResult(
+        seed=seed,
+        plan=plan,
+        violations=list(checker.violations),
+        fired=list(injector.fired),
+        takeovers=len(checker.takeovers),
+        crashes=len(injector.crash_times),
+        stall_time_s=client.decoder.stats.stall_time_s,
+        skipped=client.skipped_total,
+        displayed=client.displayed_total,
+        samples=checker.samples,
+        events=[f"t={t:7.2f}s  {note}" for t, note in injector.fired],
+    )
+
+
+def run_chaos_sweep(
+    n_plans: int = 20,
+    base_seed: int = 1000,
+    duration_s: float = 90.0,
+    k: int = 3,
+    intensity: float = 1.0,
+) -> List[ChaosResult]:
+    """Run ``n_plans`` seeded chaos trials (seeds ``base_seed + i``)."""
+    return [
+        run_chaos_trial(
+            seed=base_seed + index,
+            duration_s=duration_s,
+            k=k,
+            intensity=intensity,
+        )
+        for index in range(n_plans)
+    ]
+
+
+def chaos_table(results: List[ChaosResult]) -> Table:
+    """The sweep report: one row per seed, violations called out."""
+    table = Table(
+        "Chaos sweep — seeded random fault plans vs service invariants",
+        [
+            "seed",
+            "actions",
+            "crashes",
+            "takeovers",
+            "stall (s)",
+            "skipped",
+            "displayed",
+            "violations",
+        ],
+    )
+    for result in results:
+        table.add_row(
+            result.seed,
+            len(result.plan),
+            result.crashes,
+            result.takeovers,
+            f"{result.stall_time_s:.1f}",
+            result.skipped,
+            result.displayed,
+            len(result.violations) if result.violations else "none",
+        )
+    return table
+
+
+def total_violations(results: List[ChaosResult]) -> List[Violation]:
+    return [violation for result in results for violation in result.violations]

@@ -1,0 +1,467 @@
+"""The fault-plan DSL: declarative, deterministic fault schedules.
+
+A :class:`FaultPlan` is an immutable description of *what goes wrong and
+when*: server crashes and restarts, network partitions and merges, link
+impairments (drop / delay / duplication via
+:class:`~repro.net.link.LinkFault`) and false failure-detector
+suspicions.  Plans are pure data — they never touch a simulator — so the
+same plan can be printed, compared, replayed against different
+deployments, or regenerated bit-for-bit from a seed.
+
+Two ways to build a plan:
+
+* the fluent builder API (each call returns a new plan)::
+
+      plan = (FaultPlan(name="figure5")
+              .server_up(at=25.0)
+              .crash_serving(at=47.0))
+
+* :meth:`FaultPlan.random` — a seeded generator that composes a
+  recoverable chaos schedule (every crash is followed by a replacement
+  server, every partition heals, the plan ends with a settle window), so
+  the service-level invariants are expected to hold for *every* seed.
+
+All node-valued fields hold **host indices** into
+``Topology.hosts`` — not raw node ids — so plans stay meaningful across
+topologies of the same shape.  The
+:class:`~repro.faulting.injector.FaultInjector` resolves them at fire
+time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import FaultError
+from repro.net.link import LinkFault
+
+
+# ======================================================================
+# Actions
+# ======================================================================
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled action; ``at`` is virtual time in seconds."""
+
+    at: float
+
+    def validate(self) -> None:
+        if not isinstance(self.at, (int, float)) or not self.at >= 0.0:
+            raise FaultError(f"action time must be >= 0, got {self.at!r}")
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}"
+
+
+@dataclass(frozen=True)
+class CrashServing(FaultAction):
+    """Crash whichever live server currently serves ``client``.
+
+    ``client`` is a client name from the deployment; None means the
+    injector's default client (the first one attached)."""
+
+    client: Optional[str] = None
+
+    def describe(self) -> str:
+        target = self.client or "<default client>"
+        return f"crash server serving {target}"
+
+
+@dataclass(frozen=True)
+class CrashServer(FaultAction):
+    """Fail-stop a named server together with its host node."""
+
+    server: str = ""
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.server:
+            raise FaultError("CrashServer needs a server name")
+
+    def describe(self) -> str:
+        return f"crash {self.server}"
+
+
+@dataclass(frozen=True)
+class StopServer(FaultAction):
+    """Gracefully shut a named server down (it leaves its groups)."""
+
+    server: str = ""
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.server:
+            raise FaultError("StopServer needs a server name")
+
+    def describe(self) -> str:
+        return f"shutdown {self.server}"
+
+
+@dataclass(frozen=True)
+class ServerUp(FaultAction):
+    """Start a new server.
+
+    ``host`` is a host index; None lets the injector pick — the host of
+    the earliest crashed/stopped server that has no live replacement
+    yet, else a fresh host slot."""
+
+    host: Optional[int] = None
+
+    def describe(self) -> str:
+        where = "auto host" if self.host is None else f"host {self.host}"
+        return f"server up on {where}"
+
+
+@dataclass(frozen=True)
+class RestartServer(FaultAction):
+    """Bring a server back up on the host where ``server`` ran."""
+
+    server: str = ""
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.server:
+            raise FaultError("RestartServer needs a server name")
+
+    def describe(self) -> str:
+        return f"restart host of {self.server}"
+
+
+@dataclass(frozen=True)
+class Partition(FaultAction):
+    """Cut every direct link between two sets of hosts."""
+
+    side_a: Tuple[int, ...] = ()
+    side_b: Tuple[int, ...] = ()
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.side_a or not self.side_b:
+            raise FaultError("Partition needs two non-empty sides")
+        if set(self.side_a) & set(self.side_b):
+            raise FaultError("Partition sides overlap")
+
+    def describe(self) -> str:
+        return f"partition {list(self.side_a)} | {list(self.side_b)}"
+
+
+@dataclass(frozen=True)
+class IsolateHost(FaultAction):
+    """Take down every link terminating at one host (NIC dies)."""
+
+    host: int = 0
+
+    def describe(self) -> str:
+        return f"isolate host {self.host}"
+
+
+@dataclass(frozen=True)
+class HealHost(FaultAction):
+    """Undo :class:`IsolateHost`: restore the host's links."""
+
+    host: int = 0
+
+    def describe(self) -> str:
+        return f"heal host {self.host}"
+
+
+@dataclass(frozen=True)
+class HealAll(FaultAction):
+    """Merge all partitions: every link back up."""
+
+    def describe(self) -> str:
+        return "heal all partitions"
+
+
+@dataclass(frozen=True)
+class ImpairLink(FaultAction):
+    """Install a :class:`LinkFault` on the direct link between two
+    hosts (None clears it)."""
+
+    host_a: int = 0
+    host_b: int = 0
+    fault: Optional[LinkFault] = None
+
+    def validate(self) -> None:
+        super().validate()
+        if self.fault is not None:
+            self.fault.validate()
+
+    def describe(self) -> str:
+        what = "clear" if self.fault is None else repr(self.fault)
+        return f"impair link {self.host_a}-{self.host_b}: {what}"
+
+
+@dataclass(frozen=True)
+class ImpairHost(FaultAction):
+    """Install a :class:`LinkFault` on every link of one host — a flaky
+    NIC or a congested access link (None clears them)."""
+
+    host: int = 0
+    fault: Optional[LinkFault] = None
+
+    def validate(self) -> None:
+        super().validate()
+        if self.fault is not None:
+            self.fault.validate()
+
+    def describe(self) -> str:
+        what = "clear" if self.fault is None else repr(self.fault)
+        return f"impair host {self.host}: {what}"
+
+
+@dataclass(frozen=True)
+class ClearImpairments(FaultAction):
+    """Remove every installed link fault."""
+
+    def describe(self) -> str:
+        return "clear impairments"
+
+
+@dataclass(frozen=True)
+class FalseSuspicion(FaultAction):
+    """Make every other daemon wrongly suspect the daemon on ``host``
+    (and ignore its heartbeats for ``mute_for_s``), exercising the
+    remove-then-rejoin path without any real failure."""
+
+    host: int = 0
+    mute_for_s: float = 0.5
+
+    def validate(self) -> None:
+        super().validate()
+        if self.mute_for_s < 0.0:
+            raise FaultError("mute_for_s must be >= 0")
+
+    def describe(self) -> str:
+        return f"falsely suspect host {self.host} (mute {self.mute_for_s}s)"
+
+
+# ======================================================================
+# The plan
+# ======================================================================
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, ordered schedule of :class:`FaultAction` objects."""
+
+    name: str = "plan"
+    seed: Optional[int] = None
+    actions: Tuple[FaultAction, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    # Builder API (each method returns a new plan)
+    # ------------------------------------------------------------------
+    def _with(self, action: FaultAction) -> "FaultPlan":
+        action.validate()
+        return replace(self, actions=self.actions + (action,))
+
+    def crash_serving(self, at: float, client: Optional[str] = None) -> "FaultPlan":
+        return self._with(CrashServing(at, client=client))
+
+    def crash(self, at: float, server: str) -> "FaultPlan":
+        return self._with(CrashServer(at, server=server))
+
+    def stop(self, at: float, server: str) -> "FaultPlan":
+        return self._with(StopServer(at, server=server))
+
+    def server_up(self, at: float, host: Optional[int] = None) -> "FaultPlan":
+        return self._with(ServerUp(at, host=host))
+
+    def restart(self, at: float, server: str) -> "FaultPlan":
+        return self._with(RestartServer(at, server=server))
+
+    def partition(
+        self, at: float, side_a: Sequence[int], side_b: Sequence[int]
+    ) -> "FaultPlan":
+        return self._with(
+            Partition(at, side_a=tuple(side_a), side_b=tuple(side_b))
+        )
+
+    def isolate(self, at: float, host: int) -> "FaultPlan":
+        return self._with(IsolateHost(at, host=host))
+
+    def heal_host(self, at: float, host: int) -> "FaultPlan":
+        return self._with(HealHost(at, host=host))
+
+    def heal_all(self, at: float) -> "FaultPlan":
+        return self._with(HealAll(at))
+
+    def impair_link(
+        self, at: float, host_a: int, host_b: int, fault: Optional[LinkFault]
+    ) -> "FaultPlan":
+        return self._with(ImpairLink(at, host_a=host_a, host_b=host_b, fault=fault))
+
+    def impair_host(
+        self, at: float, host: int, fault: Optional[LinkFault]
+    ) -> "FaultPlan":
+        return self._with(ImpairHost(at, host=host, fault=fault))
+
+    def clear_impairments(self, at: float) -> "FaultPlan":
+        return self._with(ClearImpairments(at))
+
+    def false_suspicion(
+        self, at: float, host: int, mute_for_s: float = 0.5
+    ) -> "FaultPlan":
+        return self._with(FalseSuspicion(at, host=host, mute_for_s=mute_for_s))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def sorted_actions(self) -> List[FaultAction]:
+        """Actions in firing order (stable for equal times)."""
+        return sorted(self.actions, key=lambda action: action.at)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled action (0 for an empty plan)."""
+        return max((action.at for action in self.actions), default=0.0)
+
+    def validate(self) -> None:
+        for action in self.actions:
+            action.validate()
+
+    def describe(self) -> List[str]:
+        return [
+            f"t={action.at:7.2f}s  {action.describe()}"
+            for action in self.sorted_actions()
+        ]
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    # ------------------------------------------------------------------
+    # Canned and random plans
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: Sequence[Tuple[float, str]],
+        name: str = "schedule",
+    ) -> "FaultPlan":
+        """Build a plan from the legacy ``(time, action)`` tuples used by
+        the experiment scenarios ("crash-serving" / "server-up")."""
+        plan = cls(name=name)
+        for at, action in schedule:
+            if action == "crash-serving":
+                plan = plan.crash_serving(at)
+            elif action == "server-up":
+                plan = plan.server_up(at)
+            else:
+                raise FaultError(f"unknown schedule action {action!r}")
+        return plan
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        duration_s: float,
+        server_hosts: Sequence[int],
+        client_host: int,
+        name: Optional[str] = None,
+        start_s: float = 20.0,
+        settle_s: float = 20.0,
+        intensity: float = 1.0,
+    ) -> "FaultPlan":
+        """A seeded random chaos plan that the service should survive.
+
+        Disturbances are drawn one after another on a non-overlapping
+        timeline (so at most one is in flight), every crash is paired
+        with a replacement ``server_up`` a few seconds later, every
+        isolation heals within seconds, and the last recovery lands at
+        least ``settle_s`` before ``duration_s`` — giving takeover and
+        rebalancing time to converge.  Identical arguments always yield
+        an identical plan.
+        """
+        if duration_s <= start_s + settle_s:
+            raise FaultError(
+                f"duration {duration_s}s leaves no room between start "
+                f"{start_s}s and settle window {settle_s}s"
+            )
+        if not server_hosts:
+            raise FaultError("need at least one server host")
+        rng = random.Random(seed)
+        plan = cls(name=name or f"chaos-{seed}", seed=seed)
+        deadline = duration_s - settle_s
+        t = start_s
+
+        kinds = [
+            "crash-serving",
+            "crash-any",
+            "isolate-client",
+            "isolate-server",
+            "impair-client",
+            "impair-server",
+            "false-suspicion",
+        ]
+        while True:
+            t += rng.uniform(4.0, 10.0) / max(intensity, 0.1)
+            kind = rng.choice(kinds)
+            if kind == "crash-serving":
+                # Crash the serving server, then bring a replacement up
+                # on the vacated host a few seconds later.
+                up_at = t + rng.uniform(5.0, 10.0)
+                if up_at > deadline:
+                    break
+                plan = plan.crash_serving(t).server_up(up_at)
+                t = up_at
+            elif kind == "crash-any":
+                # Crash a random *non-serving* host by index; the
+                # injector resolves the server living there (if it is
+                # the serving one, fine too — takeover handles it).
+                host = rng.choice(list(server_hosts))
+                up_at = t + rng.uniform(5.0, 10.0)
+                if up_at > deadline:
+                    break
+                plan = plan._with(_CrashHost(t, host=host)).server_up(up_at)
+                t = up_at
+            elif kind in ("isolate-client", "isolate-server"):
+                host = (
+                    client_host
+                    if kind == "isolate-client"
+                    else rng.choice(list(server_hosts))
+                )
+                heal_at = t + rng.uniform(0.5, 2.5)
+                if heal_at > deadline:
+                    break
+                plan = plan.isolate(t, host).heal_host(heal_at, host)
+                t = heal_at
+            elif kind in ("impair-client", "impair-server"):
+                host = (
+                    client_host
+                    if kind == "impair-client"
+                    else rng.choice(list(server_hosts))
+                )
+                fault = LinkFault(
+                    drop_prob=rng.uniform(0.02, 0.20),
+                    extra_delay_s=rng.uniform(0.0, 0.010),
+                    jitter_s=rng.uniform(0.0, 0.015),
+                    duplicate_prob=rng.uniform(0.0, 0.05),
+                )
+                clear_at = t + rng.uniform(4.0, 10.0)
+                if clear_at > deadline:
+                    break
+                plan = plan.impair_host(t, host, fault).impair_host(
+                    clear_at, host, None
+                )
+                t = clear_at
+            else:  # false-suspicion
+                host = rng.choice(list(server_hosts))
+                if t > deadline:
+                    break
+                plan = plan.false_suspicion(
+                    t, host, mute_for_s=rng.uniform(0.3, 1.0)
+                )
+        return plan
+
+
+@dataclass(frozen=True)
+class _CrashHost(FaultAction):
+    """Crash whichever live server runs on host index ``host`` (no-op if
+    the host has no live server).  Used by random plans, which know
+    hosts but not server names."""
+
+    host: int = 0
+
+    def describe(self) -> str:
+        return f"crash server on host {self.host}"

@@ -9,13 +9,17 @@ models updating the configuration out of band.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.net.network import Network
 from repro.sim.core import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gcs.endpoint import GcsEndpoint
+    from repro.gcs.view import View
+
+#: (daemon node id, group name, installed view) — see ``add_view_observer``.
+ViewObserver = Callable[[int, str, "View"], None]
 
 
 class GcsDomain:
@@ -31,6 +35,25 @@ class GcsDomain:
         self.network = network
         self.fd_timeout = fd_timeout
         self._endpoints: Dict[int, "GcsEndpoint"] = {}
+        self._view_observers: List[ViewObserver] = []
+
+    # ------------------------------------------------------------------
+    # Observation hooks (used by repro.faulting.InvariantChecker)
+    # ------------------------------------------------------------------
+    def add_view_observer(self, observer: ViewObserver) -> None:
+        """Observe every view installation by any daemon in the domain.
+
+        Observers are read-only taps: they must not mutate GCS state.
+        """
+        self._view_observers.append(observer)
+
+    def remove_view_observer(self, observer: ViewObserver) -> None:
+        if observer in self._view_observers:
+            self._view_observers.remove(observer)
+
+    def notify_view_installed(self, daemon_id: int, group: str, view: "View") -> None:
+        for observer in self._view_observers:
+            observer(daemon_id, group, view)
 
     def create_endpoint(self, node_id: int) -> "GcsEndpoint":
         """Start a GCS daemon on ``node_id`` and register it domain-wide."""

@@ -128,6 +128,13 @@ class GcsEndpoint:
         self._open_next_id = 0
         # Graceful-leave tombstones per group.
         self._tombstones: Dict[str, Set[ProcessId]] = {}
+        # Last time anything arrived from each daemon — unlike the FD's
+        # per-view watch set this survives view changes, so liveness can
+        # be judged even for daemons no current view covers.
+        self._last_heard: Dict[int, float] = {}
+        # Last time a *heartbeat* arrived from each daemon, for the
+        # reciprocity half of _heartbeat_targets.
+        self._hb_heard: Dict[int, float] = {}
         # Control-plane traffic accounting (for the overhead experiment).
         self.control_bytes_sent = 0
         self.control_packets_sent = 0
@@ -279,6 +286,17 @@ class GcsEndpoint:
     def suspected_daemons(self) -> Set[int]:
         return self.fd.suspected()
 
+    def heard_within(self, daemon: int, window_s: float) -> bool:
+        """True if anything arrived from ``daemon`` in the last window.
+
+        Heartbeats broadcast domain-wide every 0.1 s, so any alive and
+        reachable daemon registers well inside the failure-detector
+        timeout regardless of group membership."""
+        if daemon == self.daemon_id:
+            return True
+        last = self._last_heard.get(daemon)
+        return last is not None and self.sim.now - last <= window_s
+
     @staticmethod
     def daemon_of(process: ProcessId) -> int:
         return process.node
@@ -286,6 +304,7 @@ class GcsEndpoint:
     def note_installed_view(self, group: str, view: View) -> None:
         """Hook: refresh FD watch targets after a view installation."""
         self._refresh_watches()
+        self.domain.notify_view_installed(self.daemon_id, group, view)
 
     def note_left_process(self, group: str, process: ProcessId) -> None:
         self._tombstones.setdefault(group, set()).add(process)
@@ -314,13 +333,27 @@ class GcsEndpoint:
         self.fd.check()
 
     def _heartbeat_targets(self) -> Set[int]:
-        """Daemons of every co-member in any group or live proposal."""
+        """Daemons of every co-member in any group or live proposal,
+        plus every daemon currently heartbeating *us*.
+
+        The reciprocity half matters when views diverge asymmetrically
+        (partition merges): a daemon whose views list none of our
+        processes would otherwise stay silent towards us even though our
+        view still lists one of its processes — and its silence reads as
+        daemon death, so the merge flush wrongly drops a live member.
+        """
         targets: Set[int] = set()
         for member in self._members.values():
             if member.view is not None:
                 targets.update(p.node for p in member.view.members)
             if member.proposal is not None:
                 targets.update(p.node for p in member.proposal.members)
+        now = self.sim.now
+        targets.update(
+            daemon
+            for daemon, heard_at in self._hb_heard.items()
+            if now - heard_at <= self.fd.timeout
+        )
         targets.discard(self.daemon_id)
         return targets
 
@@ -373,6 +406,7 @@ class GcsEndpoint:
     def _dispatch(self, message: Any, from_daemon: int) -> None:
         if self.closed:
             return
+        self._last_heard[from_daemon] = self.sim.now
         self.fd.heard_from(from_daemon)
         if isinstance(message, Heartbeat):
             self._on_heartbeat(message)
@@ -416,6 +450,7 @@ class GcsEndpoint:
             action(member)
 
     def _on_heartbeat(self, heartbeat: Heartbeat) -> None:
+        self._hb_heard[heartbeat.sender_daemon] = self.sim.now
         for group, vector in heartbeat.ack_vectors.items():
             member = self._members.get(group)
             if member is None or member.state == MemberState.LEFT:
@@ -431,18 +466,36 @@ class GcsEndpoint:
         member = self._members.get(presence.group)
         if member is None or member.state == MemberState.LEFT:
             return
+        # A daemon advertising one of its *own* processes as a current
+        # member overrides any graceful-leave tombstone we hold for it:
+        # the process must have re-joined (and the JoinRequest may have
+        # been lost to a partition).  Without this, a stale tombstone
+        # filters the process out of every union below and the diverged
+        # views can never merge.
+        tombstones = self._tombstones.get(presence.group)
+        if tombstones:
+            for process in presence.members:
+                if process.node == from_daemon:
+                    tombstones.discard(process)
         members = tuple(
             p for p in presence.members
             if not self.is_tombstoned(presence.group, p)
         )
-        if member.view is not None and member.local not in presence.members:
+        if (
+            member.view is not None
+            and member.local not in presence.members
+            and not presence.is_reply
+        ):
             # We were left out of their view: advertise ourselves so the
             # union rule can fire at whoever is the smallest process.
+            # Only beacons are answered — replying to replies would
+            # ping-pong between diverged daemons forever.
             reply = Presence(
                 presence.group,
                 member.view.view_id,
                 member.view.members,
                 member.local,
+                is_reply=True,
             )
             self.send_to_daemon(from_daemon, reply)
         member.on_presence(presence.view_id, members)

@@ -44,6 +44,9 @@ class FailureDetector:
         self.on_suspect = on_suspect
         self.on_trust = on_trust
         self._peers: Dict[int, _PeerState] = {}
+        # Fault injection: heartbeats from a muted daemon are discarded
+        # until the deadline, keeping an injected suspicion alive.
+        self._muted_until: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Peer set management
@@ -55,6 +58,7 @@ class FailureDetector:
 
     def unwatch(self, daemon: int) -> None:
         self._peers.pop(daemon, None)
+        self._muted_until.pop(daemon, None)
 
     def watched(self) -> Set[int]:
         return set(self._peers)
@@ -67,11 +71,38 @@ class FailureDetector:
         state = self._peers.get(daemon)
         if state is None:
             return
+        muted_until = self._muted_until.get(daemon)
+        if muted_until is not None:
+            if self.sim.now < muted_until:
+                return
+            del self._muted_until[daemon]
         state.last_heard = self.sim.now
         if state.suspected:
             state.suspected = False
             if self.on_trust is not None:
                 self.on_trust(daemon)
+
+    def force_suspect(self, daemon: int, mute_for_s: float = 0.0) -> bool:
+        """Inject a (possibly false) suspicion of ``daemon``.
+
+        Used by the fault-injection subsystem to exercise the unreliable-
+        detector paths: the membership layer must treat the suspicion as
+        input, not truth, and a wrongly excluded daemon simply rejoins
+        when its heartbeats resume.  ``mute_for_s`` discards the daemon's
+        heartbeats for that long, controlling how long the false
+        suspicion persists.  Returns True if the daemon was watched and
+        not already suspected.
+        """
+        state = self._peers.get(daemon)
+        if state is None or state.suspected:
+            return False
+        if mute_for_s > 0:
+            self._muted_until[daemon] = self.sim.now + mute_for_s
+        state.last_heard = self.sim.now - self.timeout
+        state.suspected = True
+        if self.on_suspect is not None:
+            self.on_suspect(daemon)
+        return True
 
     def check(self) -> None:
         """Sweep for silent peers; called periodically by the endpoint."""

@@ -83,6 +83,11 @@ class _Proposal:
     members: Tuple[ProcessId, ...]
     proposer: ProcessId
     started_at: float
+    # Start of the flush *episode*: carried over from the previous
+    # proposal when a re-proposal keeps the same member set, so the
+    # FLUSH_STALL_ADOPT escape measures total stall time rather than
+    # restarting at every FLUSH_TIMEOUT re-proposal.
+    flush_since: float = 0.0
     prior: Tuple[ProcessId, ...] = ()
     vectors: Dict[ProcessId, Dict[ProcessId, int]] = field(default_factory=dict)
     flush_oks: Set[ProcessId] = field(default_factory=set)
@@ -268,6 +273,9 @@ class GroupMember:
             return
         union = self._filter_live(foreign | ours)
         union.add(self.local)
+        # Note: union == ours still re-proposes (with a counter above
+        # both views) — that is exactly how a strayed member whose view
+        # diverged *downward* gets pulled back into the full view.
         if min(union) != self.local:
             return
         counter = max(self.view.view_id.counter, view_id.counter) + 1
@@ -393,11 +401,23 @@ class GroupMember:
         proposer: ProcessId,
         prior: Tuple[ProcessId, ...] = (),
     ) -> None:
+        now = self.endpoint.now
+        flush_since = now
+        previous = self.proposal
+        if previous is not None and set(previous.members) == set(members):
+            # Counter escalation over the same member set is a retry of
+            # the same flush, not a new membership change: keep the
+            # episode clock.  Without this a proposer whose cut demands
+            # messages a merged-in component already evicted as stable
+            # re-proposes at FLUSH_TIMEOUT < FLUSH_STALL_ADOPT forever
+            # and the merge never commits.
+            flush_since = previous.flush_since
         self.proposal = _Proposal(
             view_id=view_id,
             members=tuple(sorted(members)),
             proposer=proposer,
-            started_at=self.endpoint.now,
+            started_at=now,
+            flush_since=flush_since,
             prior=tuple(sorted(prior)),
         )
         if self.state == MemberState.NORMAL:
@@ -469,7 +489,7 @@ class GroupMember:
             if not have_all_vectors:
                 return
             stalled = (
-                self.endpoint.now - proposal.started_at > FLUSH_STALL_ADOPT
+                self.endpoint.now - proposal.flush_since > FLUSH_STALL_ADOPT
             )
             if not self.store.satisfies_cut(self._component_cut(proposal)):
                 if not stalled:
@@ -531,11 +551,15 @@ class GroupMember:
                 if self._acting_coordinator(candidates) == self.local:
                     self._reproposal_excluding_dead(proposal)
 
-    def _reproposal_excluding_dead(self, proposal: _Proposal) -> None:
+    def _reproposal_members(self, proposal: _Proposal) -> Set[ProcessId]:
         live = self._filter_live(set(proposal.members))
         live |= {p for p in self.pending_joins if self._is_live(p)}
         live -= self.pending_leaves
         live.add(self.local)
+        return live
+
+    def _reproposal_excluding_dead(self, proposal: _Proposal) -> None:
+        live = self._reproposal_members(proposal)
         view_id = ViewId(proposal.view_id.counter + 1, self.local)
         self._propose(view_id, tuple(sorted(live)))
 

@@ -159,9 +159,13 @@ class Presence:
     view_id: ViewId
     members: Tuple[ProcessId, ...]
     sender: ProcessId
+    # A counter-advertisement sent in response to a beacon.  Replies
+    # never solicit further replies, or two daemons with diverged views
+    # would ping-pong presence messages forever.
+    is_reply: bool = False
 
     def wire_bytes(self) -> int:
-        return BASE_BYTES + 12 + PID_BYTES * (len(self.members) + 1)
+        return BASE_BYTES + 13 + PID_BYTES * (len(self.members) + 1)
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ transport exactly as they would on a real IP network.
 """
 
 from repro.net.address import Endpoint, NodeId
-from repro.net.link import Link, LinkStats, LinkParams
+from repro.net.link import Link, LinkFault, LinkStats, LinkParams
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.packet import Datagram
@@ -20,6 +20,7 @@ __all__ = [
     "Datagram",
     "Endpoint",
     "Link",
+    "LinkFault",
     "LinkParams",
     "LinkStats",
     "Network",

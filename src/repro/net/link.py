@@ -68,6 +68,57 @@ class LinkParams:
             )
 
 
+@dataclass(frozen=True)
+class LinkFault:
+    """An injected per-link impairment (see :mod:`repro.faulting`).
+
+    Unlike :class:`LinkParams` — the link's *intrinsic* characteristics —
+    a fault is transient and installed/removed at runtime by a fault
+    injector.  All stochastic draws use a dedicated ``fault.``-prefixed
+    random stream so installing a fault never perturbs the link's own
+    streams (runs with and without faults stay comparable).
+
+    ``drop_prob``
+        Extra independent Bernoulli drop per packet.
+    ``extra_delay_s`` / ``jitter_s``
+        Deterministic plus uniformly random added latency per packet.
+    ``duplicate_prob`` / ``duplicate_delay_s``
+        Probability of delivering a second copy, and how much later the
+        copy arrives (models retransmitting middleboxes / route loops).
+    """
+
+    drop_prob: float = 0.0
+    extra_delay_s: float = 0.0
+    jitter_s: float = 0.0
+    duplicate_prob: float = 0.0
+    duplicate_delay_s: float = 0.001
+
+    def validate(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise NetworkError(
+                f"fault drop_prob must be in [0,1], got {self.drop_prob!r}"
+            )
+        if not 0.0 <= self.duplicate_prob <= 1.0:
+            raise NetworkError(
+                f"fault duplicate_prob must be in [0,1], "
+                f"got {self.duplicate_prob!r}"
+            )
+        for name in ("extra_delay_s", "jitter_s", "duplicate_delay_s"):
+            if getattr(self, name) < 0:
+                raise NetworkError(
+                    f"fault {name} must be >= 0, got {getattr(self, name)!r}"
+                )
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.drop_prob == 0.0
+            and self.extra_delay_s == 0.0
+            and self.jitter_s == 0.0
+            and self.duplicate_prob == 0.0
+        )
+
+
 @dataclass
 class LinkStats:
     """Per-direction counters, used by the overhead experiments."""
@@ -79,9 +130,12 @@ class LinkStats:
     dropped_queue: int = 0
     detoured: int = 0
     guaranteed_packets: int = 0
+    fault_dropped: int = 0
+    fault_duplicated: int = 0
+    fault_delayed: int = 0
 
     def drop_total(self) -> int:
-        return self.dropped_loss + self.dropped_queue
+        return self.dropped_loss + self.dropped_queue + self.fault_dropped
 
 
 class _Direction:
@@ -94,8 +148,17 @@ class _Direction:
         self.rng_name = rng_name
         self.stats = LinkStats()
         self.up = True
+        # Injected impairment (see repro.faulting); None = healthy.
+        self.fault: Optional[LinkFault] = None
         # Virtual time when the transmitter finishes its current backlog.
         self._tx_free_at = 0.0
+
+    def set_fault(self, fault: Optional[LinkFault]) -> None:
+        if fault is not None:
+            fault.validate()
+            if fault.is_noop:
+                fault = None
+        self.fault = fault
 
     def transmit(
         self, datagram: Datagram, deliver: DeliverFn, guaranteed: bool = False
@@ -110,6 +173,27 @@ class _Direction:
             return
         self.stats.sent_packets += 1
         self.stats.sent_bytes += datagram.wire_bytes()
+
+        # Injected faults draw from a dedicated stream so that a healthy
+        # run's randomness is untouched by merely enabling the subsystem.
+        fault = self.fault
+        fault_extra_s = 0.0
+        fault_duplicate = False
+        if fault is not None:
+            fault_rng = self.sim.rng(f"fault.{self.rng_name}")
+            if fault.drop_prob > 0 and fault_rng.random() < fault.drop_prob:
+                self.stats.fault_dropped += 1
+                return
+            fault_extra_s = fault.extra_delay_s
+            if fault.jitter_s > 0:
+                fault_extra_s += fault_rng.uniform(0.0, fault.jitter_s)
+            if fault_extra_s > 0:
+                self.stats.fault_delayed += 1
+            if (
+                fault.duplicate_prob > 0
+                and fault_rng.random() < fault.duplicate_prob
+            ):
+                fault_duplicate = True
 
         serialization = datagram.wire_bytes() * 8.0 / self.params.bandwidth_bps
         now = self.sim.now
@@ -130,8 +214,10 @@ class _Direction:
 
         if guaranteed:
             self.stats.guaranteed_packets += 1
-            arrival = self._tx_free_at + self.params.delay_s
-            self.sim.call_at(arrival, self._deliver, datagram, deliver)
+            arrival = self._tx_free_at + self.params.delay_s + fault_extra_s
+            self._schedule_delivery(
+                arrival, datagram, deliver, fault, fault_duplicate
+            )
             return
 
         rng = self.sim.rng(self.rng_name)
@@ -146,8 +232,29 @@ class _Direction:
         if self.params.reorder_prob > 0 and rng.random() < self.params.reorder_prob:
             detour = rng.uniform(0.0, self.params.reorder_delay_s)
             self.stats.detoured += 1
-        arrival = self._tx_free_at + self.params.delay_s + extra_jitter + detour
+        arrival = (
+            self._tx_free_at
+            + self.params.delay_s
+            + extra_jitter
+            + detour
+            + fault_extra_s
+        )
+        self._schedule_delivery(arrival, datagram, deliver, fault, fault_duplicate)
+
+    def _schedule_delivery(
+        self,
+        arrival: float,
+        datagram: Datagram,
+        deliver: DeliverFn,
+        fault: Optional[LinkFault],
+        duplicate: bool,
+    ) -> None:
         self.sim.call_at(arrival, self._deliver, datagram, deliver)
+        if duplicate and fault is not None:
+            self.stats.fault_duplicated += 1
+            self.sim.call_at(
+                arrival + fault.duplicate_delay_s, self._deliver, datagram, deliver
+            )
 
     def _deliver(self, datagram: Datagram, deliver: DeliverFn) -> None:
         if not self.up:
@@ -199,6 +306,15 @@ class Link:
         self.forward.up = up
         self.backward.up = up
 
+    def set_fault(self, fault: Optional[LinkFault]) -> None:
+        """Install (or clear, with None) an impairment on both directions."""
+        self.forward.set_fault(fault)
+        self.backward.set_fault(fault)
+
+    @property
+    def faulted(self) -> bool:
+        return self.forward.fault is not None or self.backward.fault is not None
+
     def stats(self) -> LinkStats:
         """Aggregated two-direction statistics."""
         total = LinkStats()
@@ -210,4 +326,7 @@ class Link:
             total.dropped_queue += direction.stats.dropped_queue
             total.detoured += direction.stats.detoured
             total.guaranteed_packets += direction.stats.guaranteed_packets
+            total.fault_dropped += direction.stats.fault_dropped
+            total.fault_duplicated += direction.stats.fault_duplicated
+            total.fault_delayed += direction.stats.fault_delayed
         return total

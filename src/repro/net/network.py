@@ -14,7 +14,7 @@ from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import NetworkError
-from repro.net.link import Link, LinkParams
+from repro.net.link import Link, LinkFault, LinkParams
 from repro.net.node import Node
 from repro.net.packet import Datagram
 from repro.sim.core import Simulator
@@ -96,6 +96,46 @@ class Network:
         for link in self._links.values():
             link.set_up(True)
         self._routes = None
+
+    def partition_node(self, node_id: int) -> None:
+        """Isolate one node: take down every link it terminates."""
+        self._check_node(node_id)
+        for (u, v), link in self._links.items():
+            if node_id in (u, v):
+                link.set_up(False)
+        self._routes = None
+
+    def heal_node(self, node_id: int) -> None:
+        """Undo :meth:`partition_node`: restore the node's links."""
+        self._check_node(node_id)
+        for (u, v), link in self._links.items():
+            if node_id in (u, v):
+                link.set_up(True)
+        self._routes = None
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.faulting)
+    # ------------------------------------------------------------------
+    def set_link_fault(
+        self, node_a: int, node_b: int, fault: Optional[LinkFault]
+    ) -> None:
+        """Install (or clear, with None) an impairment on one link."""
+        self.link(node_a, node_b).set_fault(fault)
+
+    def set_node_fault(self, node_id: int, fault: Optional[LinkFault]) -> None:
+        """Impair every link terminating at ``node_id`` (a flaky NIC or
+        an overloaded last-hop router)."""
+        self._check_node(node_id)
+        for (u, v), link in self._links.items():
+            if node_id in (u, v):
+                link.set_fault(fault)
+
+    def clear_link_faults(self) -> None:
+        for link in self._links.values():
+            link.set_fault(None)
+
+    def faulted_links(self) -> List[Tuple[int, int]]:
+        return sorted(key for key, link in self._links.items() if link.faulted)
 
     def reachable(self, src: int, dst: int) -> bool:
         return self._next_hop(src, dst) is not None or src == dst

@@ -79,6 +79,13 @@ class RateController:
         self.emergency = emergency or EmergencyConfig()
         self.emergency.validate()
         self.emergency_quantity = 0
+        # Base quantity of the quota currently decaying: an emergency at
+        # the same (or a lower) level is ignored outright — only a
+        # strictly higher level escalates.  Comparing against the
+        # *decayed* quantity instead would let a client stuck below the
+        # critical threshold re-top the quota every few frames, turning
+        # a bounded refill into a sustained rate increase.
+        self._quota_base = 0
         # Slew limiting: the base rate moves by at most one frame/s per
         # min_adjust_interval_s.  The client's requests arrive every 4-8
         # received frames (up to ~10/s); applying them all would swing
@@ -101,6 +108,7 @@ class RateController:
         self.requests_applied = 0
         self.requests_ignored = 0
         self.emergencies_started = 0
+        self.emergencies_escalated = 0
         self.emergencies_cancelled = 0
 
     # ------------------------------------------------------------------
@@ -123,15 +131,23 @@ class RateController:
         """Apply one client flow-control request.
 
         "While the emergency quantity is greater than zero, the server
-        ignores all flow control requests from the client."  Rate
-        adjustments are additionally slew-limited (see __init__); pass
-        ``now`` to enable the limiter, as the serving session does.
+        ignores all flow control requests from the client" — with one
+        exception: an emergency at a strictly *higher level* than the
+        active quota *escalates* it.  The client only escalates when the
+        refill visibly is not working, so swallowing it would silently
+        lose a SEVERE arriving during a decaying MILD quota and could
+        never trigger the repeated-emergency base-rate reset.  Repeats
+        at the same level stay ignored, per the quote.  Rate adjustments
+        are additionally slew-limited (see __init__); pass ``now`` to
+        enable the limiter, as the serving session does.
         """
-        if self.in_emergency:
-            self.requests_ignored += 1
-            return
         if message.kind == FlowKind.EMERGENCY:
             level = message.level or EmergencyLevel.SEVERE
+            base = self.emergency.base_for(level)
+            if self.in_emergency and base <= self._quota_base:
+                self.requests_ignored += 1
+                return
+            escalating = self.in_emergency
             repeated = (
                 now is not None
                 and self._last_emergency_at is not None
@@ -142,8 +158,15 @@ class RateController:
                 self.base_rate_resets += 1
             if now is not None:
                 self._last_emergency_at = now
-            self.emergency_quantity = self.emergency.base_for(level)
-            self.emergencies_started += 1
+            self.emergency_quantity = base
+            self._quota_base = base
+            if escalating:
+                self.emergencies_escalated += 1
+            else:
+                self.emergencies_started += 1
+            return
+        if self.in_emergency:
+            self.requests_ignored += 1
             return
         if now is not None:
             if now - self._last_adjust_at < self.min_adjust_interval_s:

@@ -17,7 +17,7 @@ Responsibilities (paper Sections 3 and 5):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ServiceError
 from repro.gcs.domain import GcsDomain
@@ -107,6 +107,11 @@ class VoDServer:
         self.video_frames_sent = 0
         self.state_sync_bytes_sent = 0
         self._sync_counter: Dict[str, int] = {}
+        # Read-only lifecycle observers (see repro.faulting): objects
+        # optionally implementing on_server_crash(server, clients),
+        # on_server_shutdown(server, clients), on_session_start(server,
+        # record, takeover) and on_session_end(server, client, departed).
+        self.observers: List[Any] = []
 
         self._server_group_handle = self.endpoint.join(
             SERVER_GROUP,
@@ -141,24 +146,34 @@ class VoDServer:
         if not self.running:
             return
         self.running = False
+        served = tuple(self.sessions)
         for client in list(self.sessions):
             self._end_session(client, departed=False)
         self._sync_timer.cancel()
         self.endpoint.shutdown()
         if not self.video_socket.closed:
             self.video_socket.close()
+        self._notify("on_server_shutdown", self, served)
 
     def crash(self) -> None:
         """Fail-stop together with the hosting node."""
         if not self.running:
             return
         self.running = False
+        served = tuple(self.sessions)
         for session in self.sessions.values():
             session.stop()
         self.sessions.clear()
         self._sync_timer.cancel()
         self.domain.network.node(self.node_id).crash()
         self.endpoint.crash()
+        self._notify("on_server_crash", self, served)
+
+    def _notify(self, event: str, *args: Any) -> None:
+        for observer in self.observers:
+            callback = getattr(observer, event, None)
+            if callback is not None:
+                callback(*args)
 
     @property
     def n_clients(self) -> int:
@@ -421,7 +436,7 @@ class VoDServer:
     # ==================================================================
     # Sessions
     # ==================================================================
-    def _start_session(self, record: ClientRecord) -> None:
+    def _start_session(self, record: ClientRecord, takeover: bool = False) -> None:
         movie = self.catalog.movie(record.movie)
         session = ClientSession(
             server=self,
@@ -445,11 +460,12 @@ class VoDServer:
         self._session_handles[record.client] = self.endpoint.join(
             record.session, self.name, listener
         )
+        self._notify("on_session_start", self, record, takeover)
 
     def _take_over(self, record: ClientRecord) -> None:
         """Resume a client "from the offset and transmission rate that
         were last heard from the previous server"."""
-        self._start_session(record)
+        self._start_session(record, takeover=True)
 
     def _end_session(self, client: ProcessId, departed: bool) -> None:
         session = self.sessions.pop(client, None)
@@ -459,6 +475,7 @@ class VoDServer:
                 state = self.movie_states.get(session.movie.title)
                 if state is not None:
                     state.mark_departed(client, self.sim.now)
+            self._notify("on_session_end", self, client, departed)
         handle = self._session_handles.pop(client, None)
         if handle is not None:
             handle.leave()
@@ -473,9 +490,22 @@ class VoDServer:
             # Only a present -> absent transition means the client is
             # gone; a view without the client *before we ever saw it*
             # is just our own join still converging with the client's
-            # side of the session group.
+            # side of the session group.  And even then, the transition
+            # only counts when the failure detector agrees (or a
+            # graceful leave was recorded): a partition-heal flush can
+            # race and commit a view excluding a live client.  Tearing
+            # the session down on such a view strands the client — stay
+            # in the group instead, keep streaming (frames travel over
+            # UDP, not the session group), and let the presence union
+            # pull the diverged views back together.
             if session.saw_client_in_view:
-                self._end_session(client, departed=True)
+                departed = self.endpoint.is_tombstoned(
+                    session.session_name, client
+                ) or not self.endpoint.heard_within(
+                    client.node, self.endpoint.fd.timeout
+                )
+                if departed:
+                    self._end_session(client, departed=True)
             return
         session.saw_client_in_view = True
         other_servers = sorted(

@@ -158,11 +158,12 @@ class ClientSession:
     # Control inputs
     # ------------------------------------------------------------------
     def on_flow_message(self, message) -> None:
-        was_emergency = self.rate.in_emergency
+        quantity_before = self.rate.emergency_quantity
         self.rate.on_flow_message(message, now=self.sim.now)
-        # An emergency raises the rate instantly: re-arm the send timer
-        # so the refill starts now rather than after the old interval.
-        if not was_emergency and self.rate.in_emergency:
+        # An emergency (fresh or escalated) raises the rate instantly:
+        # re-arm the send timer so the refill starts now rather than
+        # after the old interval.
+        if self.rate.emergency_quantity > quantity_before:
             self._rearm_now()
 
     def pause(self) -> None:

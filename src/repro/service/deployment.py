@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.client.player import ClientConfig, VoDClient
 from repro.errors import ServiceError
@@ -59,6 +59,9 @@ class Deployment:
         self.controller = ScenarioController(self)
         self._server_counter = 0
         self._client_counter = 0
+        # Lifecycle observers attached to every server, present and
+        # future (see repro.faulting.InvariantChecker).
+        self.server_observers: List[Any] = []
         for host_index in server_nodes:
             self.add_server(host_index)
 
@@ -90,8 +93,15 @@ class Deployment:
         server = VoDServer(
             self.domain, node_id, name, self.catalog, self.server_config
         )
+        server.observers.extend(self.server_observers)
         self.servers[name] = server
         return server
+
+    def add_server_observer(self, observer: Any) -> None:
+        """Attach a lifecycle observer to all servers, present and future."""
+        self.server_observers.append(observer)
+        for server in self.servers.values():
+            server.observers.append(observer)
 
     def server(self, name: str) -> VoDServer:
         server = self.servers.get(name)

@@ -118,6 +118,34 @@ class TestCadence:
             policy.on_frame_received(30, 10)
         assert policy.sent_total == 4
 
+    def test_critical_sw_buffer_uses_urgent_cadence_in_normal_band(self, policy):
+        """Regression: a critically drained software buffer must report
+        at the urgent 4-frame cadence even while the *combined*
+        occupancy sits between the water marks (where the cadence used
+        to be keyed off combined occupancy alone)."""
+        mid = (policy.low_water + policy.high_water) // 2
+        sent = [
+            policy.on_frame_received(mid, 0) is not None for _ in range(8)
+        ]
+        assert sent.count(True) == 2
+        assert sent[3] and sent[7]
+        # And those messages are the emergencies the cadence exists for.
+        policy2 = FlowControlPolicy(
+            FlowControlConfig(), CAPACITY, sw_capacity_frames=SW_CAPACITY
+        )
+        for _ in range(3):
+            assert policy2.on_frame_received(mid, 0) is None
+        message = policy2.on_frame_received(mid, 0)
+        assert message is not None and message.kind == FlowKind.EMERGENCY
+
+    def test_healthy_sw_buffer_keeps_normal_cadence_in_normal_band(self, policy):
+        mid = (policy.low_water + policy.high_water) // 2
+        policy.previous_occupancy = mid + 2
+        sent = [
+            policy.on_frame_received(mid, 25) is not None for _ in range(8)
+        ]
+        assert sent.count(True) == 1 and sent[7]
+
 
 class TestValidation:
     def test_threshold_ordering_enforced(self):

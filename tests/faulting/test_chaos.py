@@ -1,0 +1,29 @@
+"""Seeded chaos trials: random recoverable plans, zero violations."""
+
+from repro.faulting.chaos import chaos_table, run_chaos_trial
+
+
+def test_chaos_trial_holds_invariants():
+    result = run_chaos_trial(seed=1000, duration_s=60.0)
+    assert result.violations == [], "\n".join(str(v) for v in result.violations)
+    assert result.ok
+    assert result.displayed > 0
+    assert result.samples > 100
+    assert result.fired, "the plan must actually fire actions"
+
+
+def test_chaos_trial_is_deterministic():
+    a = run_chaos_trial(seed=1003, duration_s=60.0)
+    b = run_chaos_trial(seed=1003, duration_s=60.0)
+    assert a.plan == b.plan
+    assert a.fired == b.fired
+    assert a.displayed == b.displayed
+    assert a.skipped == b.skipped
+    assert a.stall_time_s == b.stall_time_s
+
+
+def test_chaos_table_renders():
+    results = [run_chaos_trial(seed=1001, duration_s=60.0)]
+    text = chaos_table(results).render()
+    assert "1001" in text
+    assert "violations" in text

@@ -1,0 +1,144 @@
+"""FaultInjector: plans fire against a live deployment, targets resolve
+at fire time, host-slot bookkeeping follows the vacancy-refill policy."""
+
+import pytest
+
+from repro.faulting.injector import FaultInjector
+from repro.faulting.plan import FaultPlan
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+def make_service(k=2, seed=17, movie_s=60.0):
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=k + 2)
+    catalog = MovieCatalog([Movie.synthetic("m", duration_s=movie_s)])
+    deployment = Deployment(topology, catalog, server_nodes=list(range(k)))
+    client = deployment.attach_client(k)
+    client.request_movie("m")
+    return sim, deployment, client
+
+
+def test_crash_serving_resolves_victim_at_fire_time():
+    sim, deployment, client = make_service()
+    plan = FaultPlan().crash_serving(at=15.0)
+    injector = FaultInjector(deployment, plan, client=client).start()
+    sim.run_until(25.0)
+    assert injector.crash_times == [15.0]
+    assert len(deployment.live_servers()) == 1
+    assert any("crashed" in note for _t, note in injector.fired)
+    # The survivor adopted the client.
+    assert any(
+        client.process in server.sessions
+        for server in deployment.live_servers()
+    )
+
+
+def test_server_up_refills_vacated_host_by_default():
+    sim, deployment, client = make_service()
+    plan = FaultPlan().crash_serving(at=15.0).server_up(at=25.0)
+    injector = FaultInjector(deployment, plan, client=client).start()
+
+    sim.run_until(20.0)
+    crashed = [s for s in deployment.servers.values() if not s.running]
+    assert len(crashed) == 1
+    vacated = deployment.topology.hosts.index(crashed[0].node_id)
+
+    sim.run_until(30.0)
+    assert injector.server_up_times == [25.0]
+    newest = [
+        s
+        for s in deployment.live_servers()
+        if s.node_id == deployment.topology.host(vacated)
+    ]
+    assert newest, "replacement server should reuse the vacated host"
+
+
+def test_server_up_explicit_host_claims_fresh_slot():
+    sim, deployment, client = make_service()
+    plan = FaultPlan().crash_serving(at=15.0).server_up(at=25.0, host=3)
+    FaultInjector(deployment, plan, client=client).start()
+    sim.run_until(30.0)
+    nodes = {s.node_id for s in deployment.live_servers()}
+    assert deployment.topology.host(3) in nodes
+
+
+def test_isolate_and_heal_change_reachability():
+    sim, deployment, client = make_service()
+    plan = FaultPlan().isolate(10.0, 0).heal_host(12.0, 0)
+    FaultInjector(deployment, plan, client=client).start()
+    network = deployment.network
+    host0 = deployment.topology.host(0)
+    host1 = deployment.topology.host(1)
+    sim.run_until(11.0)
+    assert not network.reachable(host0, host1)
+    sim.run_until(13.0)
+    assert network.reachable(host0, host1)
+
+
+def test_partition_and_heal_all():
+    """Partition cuts the direct links crossing between the two sides
+    (here: a two-host point-to-point topology); HealAll restores them."""
+    from types import SimpleNamespace
+
+    from repro.net.link import LinkParams
+    from repro.net.network import Network
+    from repro.net.topologies import Topology
+
+    sim = Simulator(seed=3)
+    network = Network(sim)
+    a = network.add_node("a").node_id
+    b = network.add_node("b").node_id
+    network.add_link(a, b, LinkParams(delay_s=0.001, bandwidth_bps=1e8))
+    topology = Topology(network=network, hosts=[a, b])
+    deployment = SimpleNamespace(sim=sim, topology=topology, network=network)
+
+    plan = FaultPlan().partition(10.0, [0], [1]).heal_all(12.0)
+    FaultInjector(deployment, plan).start()
+    sim.run_until(11.0)
+    assert not network.reachable(a, b)
+    sim.run_until(13.0)
+    assert network.reachable(a, b)
+
+
+def test_start_is_idempotent():
+    sim, deployment, client = make_service()
+    plan = FaultPlan().crash_serving(at=15.0)
+    injector = FaultInjector(deployment, plan, client=client)
+    injector.start()
+    injector.start()
+    sim.run_until(20.0)
+    assert len(injector.fired) == 1
+
+
+def test_every_action_is_logged():
+    sim, deployment, client = make_service()
+    plan = (
+        FaultPlan()
+        .false_suspicion(10.0, 0)
+        .crash_serving(at=15.0)
+        .server_up(at=25.0)
+    )
+    injector = FaultInjector(deployment, plan, client=client).start()
+    sim.run_until(30.0)
+    assert len(injector.fired) == len(plan)
+    times = [t for t, _note in injector.fired]
+    assert times == sorted(times)
+
+
+def test_crash_named_server_and_restart():
+    sim, deployment, client = make_service()
+    name = next(iter(deployment.servers))
+    plan = FaultPlan().crash(15.0, name).restart(25.0, name)
+    injector = FaultInjector(deployment, plan, client=client).start()
+    sim.run_until(30.0)
+    assert injector.crash_times == [15.0]
+    assert injector.server_up_times == [25.0]
+    old_node = deployment.server(name).node_id
+    assert any(
+        s.node_id == old_node and s.running
+        for s in deployment.servers.values()
+    )

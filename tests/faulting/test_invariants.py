@@ -1,0 +1,105 @@
+"""InvariantChecker: silent on healthy and recovering runs, loud on
+synthetic contract breaches."""
+
+from types import SimpleNamespace
+
+from repro.faulting.injector import FaultInjector
+from repro.faulting.invariants import InvariantChecker, _ClientTrack
+from repro.faulting.plan import FaultPlan
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+def make_checked_service(k=2, seed=23, movie_s=80.0):
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=k + 2)
+    catalog = MovieCatalog([Movie.synthetic("m", duration_s=movie_s)])
+    deployment = Deployment(topology, catalog, server_nodes=list(range(k)))
+    checker = InvariantChecker(deployment).install()
+    client = deployment.attach_client(k)
+    client.request_movie("m")
+    return sim, deployment, client, checker
+
+
+def test_healthy_run_is_silent():
+    sim, _deployment, _client, checker = make_checked_service()
+    sim.run_until(30.0)
+    assert checker.final_check() == []
+    assert checker.ok
+    assert checker.samples > 100
+    assert checker.report().startswith("OK")
+
+
+def test_crash_takeover_is_clean_and_recorded():
+    sim, deployment, client, checker = make_checked_service()
+    plan = FaultPlan().crash_serving(at=20.0)
+    FaultInjector(deployment, plan, client=client).start()
+    sim.run_until(45.0)
+    assert checker.final_check() == [], checker.report()
+    assert len(checker.takeovers) >= 1
+    _t, who, _server, offset = checker.takeovers[0]
+    assert who == client.name
+    assert offset > 0
+
+
+def test_offset_bound_uses_emergency_inflated_rate():
+    _sim, deployment, _client, checker = make_checked_service()
+    rate = deployment.server_config.default_rate_fps
+    assert checker.offset_bound_frames >= 1.4 * rate * 0.5
+
+
+def test_takeover_offset_regression_detected():
+    _sim, _deployment, client, checker = make_checked_service()
+    track = _ClientTrack(down_offset=1000)
+    record = SimpleNamespace(offset=1000 - checker.offset_bound_frames - 1)
+    checker._check_takeover_offset(record, client, track)
+    assert [v.rule for v in checker.violations] == ["takeover-offset-regression"]
+
+
+def test_takeover_offset_skip_detected():
+    _sim, _deployment, client, checker = make_checked_service()
+    track = _ClientTrack(down_offset=1000)
+    record = SimpleNamespace(offset=1000 + checker.offset_bound_frames + 1)
+    checker._check_takeover_offset(record, client, track)
+    assert [v.rule for v in checker.violations] == ["takeover-offset-skip"]
+
+
+def test_takeover_offset_within_bound_accepted():
+    _sim, _deployment, client, checker = make_checked_service()
+    track = _ClientTrack(down_offset=1000)
+    for offset in (
+        1000,
+        1000 - checker.offset_bound_frames,
+        1000 + checker.offset_bound_frames,
+    ):
+        checker._check_takeover_offset(
+            SimpleNamespace(offset=offset), client, track
+        )
+    assert checker.violations == []
+
+
+def test_takeover_without_baseline_is_not_judged():
+    _sim, _deployment, client, checker = make_checked_service()
+    checker._check_takeover_offset(
+        SimpleNamespace(offset=5000), client, _ClientTrack(down_offset=None)
+    )
+    checker._check_takeover_offset(
+        SimpleNamespace(offset=5000), client, _ClientTrack(down_offset=0)
+    )
+    assert checker.violations == []
+
+
+def test_install_is_idempotent():
+    _sim, _deployment, _client, checker = make_checked_service()
+    assert checker.install() is checker
+
+
+def test_report_lists_violations():
+    _sim, _deployment, _client, checker = make_checked_service()
+    checker._violation("demo-rule", "c", "something broke")
+    assert not checker.ok
+    assert "demo-rule" in checker.report()
+    assert "something broke" in str(checker.violations[0])

@@ -133,3 +133,33 @@ def test_heartbeats_only_to_co_members(rig):
     targets = endpoints[0]._heartbeat_targets()
     assert endpoints[1].daemon_id in targets
     assert endpoints[2].daemon_id not in targets
+
+
+def test_heartbeats_reciprocate_recent_senders(rig):
+    """A daemon answers daemons that are heartbeating *it*, even when its
+    own views list none of their processes — one-way view divergence
+    after a partition merge must not read as daemon death."""
+    sim, _topo, _domain, endpoints = rig
+    endpoints[0].join("g", "a", GroupListener())
+    sim.run_until(1.5)
+    stranger = endpoints[2].daemon_id
+    assert stranger not in endpoints[0]._heartbeat_targets()
+    # A fresh heartbeat from the stranger makes it a target...
+    endpoints[0]._hb_heard[stranger] = sim.now
+    assert stranger in endpoints[0]._heartbeat_targets()
+    # ...but only while it keeps sending: a stale entry ages out.
+    endpoints[0]._hb_heard[stranger] = sim.now - endpoints[0].fd.timeout - 0.01
+    assert stranger not in endpoints[0]._heartbeat_targets()
+
+
+def test_heard_within_tracks_any_traffic(rig):
+    sim, _topo, _domain, endpoints = rig
+    endpoints[0].join("g", "a", GroupListener())
+    endpoints[1].join("g", "b", GroupListener())
+    sim.run_until(3.0)
+    # Co-members exchange heartbeats constantly.
+    assert endpoints[0].heard_within(endpoints[1].daemon_id, 0.5)
+    # The silent third daemon has never been heard from.
+    assert not endpoints[0].heard_within(endpoints[2].daemon_id, 0.5)
+    # A daemon always counts as having heard itself.
+    assert endpoints[0].heard_within(endpoints[0].daemon_id, 0.5)

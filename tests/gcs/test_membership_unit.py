@@ -233,3 +233,40 @@ def test_commit_for_installed_view_answered_from_cache(member):
     gm.on_flush_ok(FlushOk("g", vid, PEER))
     resent = endpoint.sent_of_type(ViewCommit)
     assert resent and resent[-1].view_id == vid
+
+
+def test_reproposal_same_members_keeps_flush_episode_clock(member):
+    """A FLUSH_TIMEOUT re-proposal over the same member set must carry
+    the flush episode start forward: resetting it would starve the
+    FLUSH_STALL_ADOPT escape (FLUSH_TIMEOUT < FLUSH_STALL_ADOPT) and a
+    proposer whose cut demands messages a merged-in component already
+    evicted as stable would re-propose forever."""
+    endpoint, gm, _v, _m = member
+    install_singleton(endpoint, gm)
+    gm.on_join_request(JoinRequest("g", PEER))
+    first = gm.proposal
+    assert first.flush_since == first.started_at
+
+    endpoint.now = first.started_at + 0.9  # past FLUSH_TIMEOUT
+    gm.tick()
+    second = gm.proposal
+    assert second.view_id.counter == first.view_id.counter + 1
+    assert set(second.members) == set(first.members)
+    assert second.started_at == endpoint.now
+    assert second.flush_since == first.flush_since
+
+
+def test_reproposal_changed_members_resets_flush_episode_clock(member):
+    endpoint, gm, _v, _m = member
+    install_singleton(endpoint, gm)
+    gm.on_join_request(JoinRequest("g", PEER))
+    first = gm.proposal
+
+    # A third process asks to join mid-flush: the changed member set
+    # starts a fresh flush episode.
+    endpoint.now = first.started_at + 0.5
+    gm.on_join_request(JoinRequest("g", THIRD))
+    second = gm.proposal
+    assert set(second.members) == {ME, PEER, THIRD}
+    assert second.flush_since == endpoint.now
+    assert second.flush_since != first.flush_since

@@ -1,6 +1,8 @@
 """Unit tests for the rate controller and emergency decay."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ServiceError
 from repro.server.rate_controller import EmergencyConfig, RateController
@@ -130,3 +132,112 @@ class TestEmergency:
         assert rate.requests_applied == 1
         assert rate.emergencies_started == 1
         assert rate.requests_ignored == 1
+
+
+class TestEmergencyEscalation:
+    """Regression: a higher-level emergency must not be silently lost
+    while a smaller quota is still decaying."""
+
+    def test_severe_replaces_decaying_mild_quota(self):
+        rate = RateController(base_rate=30)
+        rate.on_flow_message(MILD)
+        rate.decay_tick()  # 6 -> 4: the mild refill is under way
+        assert rate.emergency_quantity == 4
+        rate.on_flow_message(SEVERE)
+        assert rate.emergency_quantity == 12
+        assert rate.current_rate() == 42
+        assert rate.emergencies_escalated == 1
+        assert rate.emergencies_started == 1
+
+    def test_mild_never_downgrades_active_severe_quota(self):
+        rate = RateController(base_rate=30)
+        rate.on_flow_message(SEVERE)
+        rate.on_flow_message(MILD)
+        assert rate.emergency_quantity == 12
+        assert rate.requests_ignored == 1
+        assert rate.emergencies_escalated == 0
+
+    def test_equal_quota_emergency_still_ignored(self):
+        """"ignores all flow control requests" holds for a repeat at
+        the same (undecayed) level."""
+        rate = RateController(base_rate=30)
+        rate.on_flow_message(SEVERE)
+        rate.on_flow_message(SEVERE)
+        assert rate.emergency_quantity == 12
+        assert rate.requests_ignored == 1
+
+    def test_rate_adjustments_still_ignored_during_quota(self):
+        rate = RateController(base_rate=30)
+        rate.on_flow_message(SEVERE)
+        rate.on_flow_message(INC)
+        rate.on_flow_message(DEC)
+        assert rate.base_rate == 30
+        assert rate.requests_ignored == 2
+
+    def test_repeated_emergency_reset_triggers_during_active_quota(self):
+        """The base-rate reset must fire on an escalation mid-quota: the
+        previous refill clearly did not hold."""
+        rate = RateController(base_rate=30, nominal_rate=30)
+        for _ in range(10):
+            rate.on_flow_message(DEC)
+        assert rate.base_rate == 20
+        rate.on_flow_message(MILD, now=100.0)
+        rate.decay_tick()
+        rate.on_flow_message(SEVERE, now=101.0)
+        assert rate.base_rate == 30
+        assert rate.base_rate_resets == 1
+
+    def test_escalation_follows_severe_decay_sequence(self):
+        rate = RateController(base_rate=30)
+        rate.on_flow_message(MILD)
+        rate.decay_tick()
+        rate.on_flow_message(SEVERE)
+        observed = [rate.emergency_quantity]
+        while rate.in_emergency:
+            rate.decay_tick()
+            if rate.emergency_quantity:
+                observed.append(rate.emergency_quantity)
+        assert observed == [12, 9, 7, 5, 4, 3, 2, 1]
+
+
+class TestEmergencyProperties:
+    """Property tests for the paper's Section 4.1 refill arithmetic."""
+
+    def test_default_sequence_totals(self):
+        config = EmergencyConfig()
+        assert config.total_extra_frames(EmergencyLevel.SEVERE) == 43
+        assert config.total_extra_frames(EmergencyLevel.MILD) == 16
+
+    @given(level=st.sampled_from([EmergencyLevel.SEVERE, EmergencyLevel.MILD]))
+    @settings(max_examples=20, deadline=None)
+    def test_sequence_total_matches_paper(self, level):
+        config = EmergencyConfig()
+        total = config.total_extra_frames(level)
+        assert total == (43 if level == EmergencyLevel.SEVERE else 16)
+        sequence = config.sequence(level)
+        assert sum(sequence) == total
+        # Strictly decreasing truncation, ending at 1.
+        assert all(a > b for a, b in zip(sequence, sequence[1:]))
+        assert sequence[-1] == 1
+
+    @given(
+        level=st.sampled_from([EmergencyLevel.SEVERE, EmergencyLevel.MILD]),
+        ticks_before=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_refill_rate_respects_40_percent_extra_bandwidth_bound(
+        self, level, ticks_before
+    ):
+        """Section 4.1: the emergency VBR channel is sized at 40% of the
+        CBR stream rate; current_rate() must stay within 1.4x nominal at
+        every instant of the refill — including across an escalation."""
+        rate = RateController(base_rate=30, nominal_rate=30)
+        rate.on_flow_message(FlowControlMsg(FlowKind.EMERGENCY, level))
+        for _ in range(ticks_before):
+            assert rate.current_rate() <= 1.4 * rate.nominal_rate
+            rate.decay_tick()
+        rate.on_flow_message(SEVERE)  # escalate (or repeat) mid-refill
+        while rate.in_emergency:
+            assert rate.current_rate() <= 1.4 * rate.nominal_rate
+            rate.decay_tick()
+        assert rate.current_rate() == rate.base_rate
