@@ -2,25 +2,28 @@
 
 The full-length scenario runs are expensive (a 240-second simulated LAN
 run); they execute once per session and the per-panel benchmarks consume
-the cached result.
+the cached result.  Both fixtures dispatch through the unified
+:func:`repro.experiments.run` entry point — the same code path the CLI
+takes — so the benchmarks exercise the public API, not module internals.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.experiments.figure4 import Figure4, run_figure4
-from repro.experiments.figure5 import Figure5, run_figure5
+from repro.experiments import ExperimentSpec, run
+from repro.experiments.figure4 import Figure4
+from repro.experiments.figure5 import Figure5
 
 
 @pytest.fixture(scope="session")
 def figure4() -> Figure4:
-    return run_figure4()
+    return run(ExperimentSpec(name="figure4")).data
 
 
 @pytest.fixture(scope="session")
 def figure5() -> Figure5:
-    return run_figure5()
+    return run(ExperimentSpec(name="figure5")).data
 
 
 def show(text: str) -> None:

@@ -17,7 +17,11 @@ network simulator.  Quickstart::
     sim.run_until(130.0)
     print(client.skipped_total, client.late_total)
 
-See DESIGN.md for the architecture and EXPERIMENTS.md for the
+Observability flows through :mod:`repro.telemetry` — subscribe to
+``sim.telemetry`` (or attach a
+:class:`~repro.telemetry.export.JsonlExporter`) before the run to watch
+every layer's typed events.  See DESIGN.md for the architecture,
+docs/TELEMETRY.md for the event taxonomy, and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
@@ -35,6 +39,7 @@ from repro.server.server import ServerConfig, VoDServer
 from repro.service.controller import ScenarioController
 from repro.service.deployment import Deployment
 from repro.sim.core import Simulator
+from repro.telemetry import Span, Telemetry, probe
 
 __version__ = "1.0.0"
 
@@ -54,6 +59,8 @@ __all__ = [
     "ScenarioController",
     "ServerConfig",
     "Simulator",
+    "Span",
+    "Telemetry",
     "Topology",
     "TotalOrderGroup",
     "View",
@@ -62,4 +69,5 @@ __all__ = [
     "__version__",
     "build_lan",
     "build_wan",
+    "probe",
 ]

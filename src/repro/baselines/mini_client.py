@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from repro.client.buffers import InsertOutcome, SoftwareBuffer
 from repro.media.decoder import HardwareDecoder
-from repro.metrics.collector import Probe
 from repro.net.address import Endpoint, VIDEO_PORT
 from repro.net.network import Network
 from repro.net.packet import Datagram
@@ -17,6 +16,7 @@ from repro.net.udp import UdpSocket
 from repro.service.protocol import FramePacket
 from repro.sim.core import Simulator
 from repro.sim.process import Timer
+from repro.telemetry.series import Probe
 
 
 class MiniClient:

@@ -24,7 +24,6 @@ from repro.gcs.domain import GcsDomain
 from repro.gcs.endpoint import GcsEndpoint, GroupListener
 from repro.gcs.view import ProcessId, View
 from repro.media.decoder import DEFAULT_HW_CAPACITY_BYTES, HardwareDecoder
-from repro.metrics.collector import Probe, TimeSeries
 from repro.net.address import VIDEO_PORT
 from repro.net.packet import Datagram
 from repro.net.udp import UdpSocket
@@ -42,6 +41,7 @@ from repro.service.protocol import (
     session_group,
 )
 from repro.sim.process import Timer
+from repro.telemetry.series import Probe, TimeSeries
 
 
 @dataclass(frozen=True)
@@ -197,8 +197,13 @@ class VoDClient:
         self._playhead_frac = 0.0
         self._resync_playhead = True
         self._decode_credit = 0.0
-        self._probe = Probe(self.sim, self.config.probe_period_s)
+        self._probe = Probe(self.sim, self.config.probe_period_s, owner=name)
         self._init_series()
+        # Telemetry edge-detection state (no effect on behaviour).
+        self._session_span = None
+        self._wm_band: Optional[str] = None
+        self._was_stalled = False
+        self._skips_seen = 0
         self.endpoint.register_p2p_handler(name, self._on_p2p)
         self._movie_list_callback: Optional[Callable[[Tuple[str, ...]], None]] = None
 
@@ -224,6 +229,11 @@ class VoDClient:
         self.session_handle = self.endpoint.join(
             self.session_name, self.name, listener
         )
+        tel = self.sim.telemetry
+        if tel.active:
+            self._session_span = tel.span(
+                "client.session", key=self.name, movie=title
+            )
         self._send_connect()
         self._connect_timer = Timer(
             self.sim, self.config.connect_retry_s, self._connect_retry
@@ -295,6 +305,7 @@ class VoDClient:
 
     def stop(self) -> None:
         """Tear the client down (leave groups, stop timers)."""
+        self._end_session_span()
         if self.session_handle is not None:
             self.session_handle.leave()
             self.session_handle = None
@@ -361,6 +372,15 @@ class VoDClient:
         servers = [member for member in view.members if member != self.process]
         new_server = min(servers) if servers else None
         if new_server != self.serving_server:
+            tel = self.sim.telemetry
+            if tel.active:
+                tel.emit(
+                    "client.migrate",
+                    client=self.name,
+                    from_server=str(self.serving_server),
+                    to_server=str(new_server),
+                )
+                tel.count("client.migrations")
             self.stats.migrations.append(
                 (self.sim.now, self.serving_server, new_server)
             )
@@ -409,6 +429,8 @@ class VoDClient:
         self._pump()
         if not self.playback_started:
             self._start_playback()
+        if self.sim.telemetry.active:
+            self._note_telemetry_edges()
         self._flow_control_step()
 
     def _flow_control_step(self) -> None:
@@ -429,6 +451,16 @@ class VoDClient:
             self.stats.emergencies_sent += 1
             self._last_emergency_at = self.sim.now
             self._occ_at_last_emergency = self.software_buffer.occupancy
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit(
+                "client.flow",
+                client=self.name,
+                message=message.kind.value,
+                level=None if message.level is None else int(message.level),
+                occupancy=message.occupancy,
+            )
+            tel.count("client.flow_messages")
         self.session_handle.multicast(message, message.wire_bytes())
 
     def _emergency_allowed(self) -> bool:
@@ -488,6 +520,8 @@ class VoDClient:
             # stream): the previous image stays on screen — by design,
             # not a stall.
         self._pump()
+        if self.sim.telemetry.active:
+            self._note_telemetry_edges()
 
     def _pump(self) -> None:
         """Stream frames from the software buffer into the decoder.
@@ -552,6 +586,66 @@ class VoDClient:
         self.decoder.end_stall(self.sim.now)
         if self._decoder_timer is not None:
             self._decoder_timer.cancel()
+        self._end_session_span()
+
+    def _end_session_span(self) -> None:
+        span = self._session_span
+        if span is not None and not span.ended:
+            span.end(
+                displayed=self.decoder.stats.displayed,
+                skipped=self.decoder.stats.skipped_gaps,
+                late=self.stats.late_frames,
+            )
+
+    def _note_telemetry_edges(self) -> None:
+        """Emit watermark-band / stall / skip transition events.
+
+        Pure edge detection over state the client already maintains —
+        called only while the bus is active, never mutating anything the
+        protocol reads.
+        """
+        tel = self.sim.telemetry
+        sw = self.software_buffer.occupancy
+        combined = self.combined_occupancy
+        if sw <= self.flow.critical_severe:
+            band = "critical-severe"
+        elif sw <= self.flow.critical_mild:
+            band = "critical-mild"
+        elif combined < self.flow.low_water:
+            band = "below-low"
+        elif combined < self.flow.high_water:
+            band = "between"
+        else:
+            band = "above-high"
+        if band != self._wm_band:
+            tel.emit(
+                "client.watermark",
+                client=self.name,
+                band=band,
+                sw_frames=sw,
+                combined_frames=combined,
+            )
+            self._wm_band = band
+        stalled = self.decoder.is_stalled
+        if stalled != self._was_stalled:
+            tel.emit(
+                "client.stall.begin" if stalled else "client.stall.end",
+                client=self.name,
+            )
+            if stalled:
+                tel.count("client.stalls")
+            self._was_stalled = stalled
+        skips = self.decoder.stats.skipped_gaps
+        if skips > self._skips_seen:
+            tel.emit(
+                "client.skip",
+                client=self.name,
+                count=skips - self._skips_seen,
+                total=skips,
+            )
+            self._skips_seen = skips
+        elif skips < self._skips_seen:
+            self._skips_seen = skips
 
     # ==================================================================
     # Watchdog: emergency fallback when frames stop arriving

@@ -7,6 +7,12 @@ sweeps over the design parameters Section 4.2 calls "subject to fine
 tuning".
 """
 
+from repro.experiments.api import (
+    ExperimentResult,
+    ExperimentSpec,
+    experiment_names,
+    run,
+)
 from repro.experiments.scenarios import (
     LAN_SCENARIO,
     WAN_SCENARIO,
@@ -16,9 +22,13 @@ from repro.experiments.scenarios import (
 )
 
 __all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
     "LAN_SCENARIO",
     "ScenarioResult",
     "ScenarioSpec",
     "WAN_SCENARIO",
+    "experiment_names",
+    "run",
     "run_scenario",
 ]

@@ -111,6 +111,7 @@ def ablate_fd_timeout(
     from repro.media.movie import Movie
     from repro.service.deployment import Deployment
     from repro.sim.core import Simulator
+    from repro.testing import crash_serving_server
 
     rows = []
     for timeout in timeouts:
@@ -122,7 +123,7 @@ def ablate_fd_timeout(
         )
         client = deployment.attach_client(len(topology.hosts) - 1)
         client.request_movie("feature")
-        sim.call_at(38.0, sc._crash_serving_server, deployment, client)
+        sim.call_at(38.0, crash_serving_server, deployment, client)
         sim.run_until(120.0)
         client.decoder.end_stall(sim.now)
         fake = type("R", (), {})()
@@ -204,3 +205,26 @@ def ablation_table(rows: List[AblationRow], title: str) -> Table:
             f"{row.control_fraction:.5f}",
         )
     return table
+
+
+def run(spec) -> "ExperimentResult":
+    """Unified entry point (see :mod:`repro.experiments.api`)."""
+    from repro.experiments.api import ExperimentResult
+
+    sweeps = (
+        ("A-1 — software buffer size", ablate_buffer_size),
+        ("A-2 — emergency refill quota", ablate_emergency),
+        ("A-3 — state sync interval", ablate_sync_interval),
+        ("A-4 — failure detection timeout", ablate_fd_timeout),
+        ("A-5 — back-to-back failures (1 s apart) vs buffer size",
+         ablate_double_emergency),
+    )
+    only = spec.params.get("only")
+    result = ExperimentResult(spec=spec, data={})
+    for title, sweep in sweeps:
+        if only is not None and only not in title:
+            continue
+        rows = sweep()
+        result.data[title] = rows
+        result.blocks.append(ablation_table(rows, title).render())
+    return result

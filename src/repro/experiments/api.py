@@ -1,0 +1,100 @@
+"""The one entry point for every experiment: ``run(spec)``.
+
+Before this existed, the CLI runner, the benchmark harness and ad-hoc
+scripts each imported experiment modules and called their bespoke
+functions (``run_figure4(seed=...)``, ``measure_takeover(n_trials=...)``
+and so on), duplicating the rendering glue three times.  Now:
+
+* :class:`ExperimentSpec` names an experiment plus its parameters;
+* :func:`run` dispatches to the owning module's ``run(spec)`` and
+  returns an :class:`ExperimentResult` — rendered text blocks, the
+  module's native result object (``data``), and any artifact files
+  (e.g. a telemetry JSONL export) the run produced.
+
+The original per-module functions remain public (tests and notebooks
+call them directly); ``run(spec)`` is a thin veneer over them.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative request to run one named experiment.
+
+    ``params`` holds experiment-specific knobs (e.g. ``clients`` for
+    ``sync-overhead``, ``plans`` for ``chaos``); unknown keys are
+    ignored by the target module.  ``telemetry_path`` asks experiments
+    that execute a scenario to stream a telemetry JSONL export there.
+    """
+
+    name: str
+    seed: Optional[int] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    telemetry_path: Optional[str] = None
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment produced.
+
+    ``blocks`` are render-ready text sections (tables, charts);
+    ``data`` is the module's native result object (``Figure4``,
+    ``List[ChaosResult]``, ...); ``artifacts`` maps artifact names to
+    file paths written during the run.
+    """
+
+    spec: ExperimentSpec
+    blocks: List[str] = field(default_factory=list)
+    data: Any = None
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The experiment's full text output."""
+        return "\n\n".join(self.blocks)
+
+
+#: name -> (module owning ``run(spec)``, default params merged under the
+#: caller's).  Aliases (e.g. ``gcs_latency``) map to the same module.
+REGISTRY: Dict[str, Tuple[str, Dict[str, Any]]] = {
+    "figure2": ("repro.experiments.figure2", {}),
+    "figure4": ("repro.experiments.figure4", {}),
+    "figure5": ("repro.experiments.figure5", {}),
+    "capacity": ("repro.experiments.capacity", {}),
+    "qos": ("repro.experiments.qos", {}),
+    "sync-overhead": ("repro.experiments.overheads", {"measure": "sync"}),
+    "emergency": ("repro.experiments.overheads", {"measure": "emergency"}),
+    "takeover": ("repro.experiments.overheads", {"measure": "takeover"}),
+    "overheads": ("repro.experiments.overheads", {"measure": "all"}),
+    "gcs": ("repro.experiments.gcs_latency", {}),
+    "gcs_latency": ("repro.experiments.gcs_latency", {}),
+    "faults": ("repro.experiments.faults", {}),
+    "chaos": ("repro.faulting.chaos", {}),
+    "ablations": ("repro.experiments.ablations", {}),
+}
+
+
+def experiment_names() -> List[str]:
+    """All runnable experiment names (aliases included)."""
+    return sorted(REGISTRY)
+
+
+def run(spec: ExperimentSpec) -> ExperimentResult:
+    """Run the experiment ``spec`` names and return its result."""
+    try:
+        module_path, defaults = REGISTRY[spec.name]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {spec.name!r}; "
+            f"known: {', '.join(experiment_names())}"
+        ) from None
+    params = dict(defaults)
+    params.update(spec.params)
+    module = importlib.import_module(module_path)
+    return module.run(replace(spec, params=params))

@@ -105,3 +105,14 @@ def capacity_table(points: List[CapacityPoint]) -> Table:
             "yes" if point.clean else "NO",
         )
     return table
+
+
+def run(spec) -> "ExperimentResult":
+    """Unified entry point (see :mod:`repro.experiments.api`)."""
+    from repro.experiments.api import ExperimentResult
+
+    populations = tuple(spec.params.get("populations", (10, 30, 50, 70)))
+    points = run_capacity_sweep(populations=populations)
+    return ExperimentResult(
+        spec=spec, blocks=[capacity_table(points).render()], data=points
+    )

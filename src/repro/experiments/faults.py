@@ -145,3 +145,14 @@ def fault_matrix_table(trials: List[FaultTrial]) -> Table:
             trial.violations if "group" in trial.system else "-",
         )
     return table
+
+
+def run(spec) -> "ExperimentResult":
+    """Unified entry point (see :mod:`repro.experiments.api`)."""
+    from repro.experiments.api import ExperimentResult
+
+    duration_s = float(spec.params.get("duration_s", 90.0))
+    trials = run_fault_matrix(duration_s=duration_s)
+    return ExperimentResult(
+        spec=spec, blocks=[fault_matrix_table(trials).render()], data=trials
+    )

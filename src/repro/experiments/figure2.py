@@ -66,3 +66,14 @@ def render_figure2(capacity_frames: int = 79) -> str:
     for row in generate_policy_rows(capacity_frames):
         table.add_row(row.band, row.condition, row.frequency, row.request)
     return table.render()
+
+
+def run(spec) -> "ExperimentResult":
+    """Unified entry point (see :mod:`repro.experiments.api`)."""
+    from repro.experiments.api import ExperimentResult
+
+    capacity = spec.params.get("capacity_frames", 79)
+    rows = generate_policy_rows(capacity)
+    return ExperimentResult(
+        spec=spec, blocks=[render_figure2(capacity)], data=rows
+    )

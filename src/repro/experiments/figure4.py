@@ -20,8 +20,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.experiments.scenarios import LAN_SCENARIO, ScenarioResult, run_scenario
-from repro.metrics.collector import TimeSeries
 from repro.metrics.report import Table
+from repro.telemetry.series import TimeSeries
 
 #: Window (seconds) after a scenario event in which its effects land.
 EVENT_WINDOW_S = 12.0
@@ -174,8 +174,8 @@ class Figure4:
         }
 
 
-def run_figure4(seed: int = None) -> Figure4:
-    result = run_scenario(LAN_SCENARIO, seed=seed)
+def run_figure4(seed: int = None, telemetry_path: str = None) -> Figure4:
+    result = run_scenario(LAN_SCENARIO, seed=seed, telemetry_path=telemetry_path)
     stats = result.client.stats
     return Figure4(
         result=result,
@@ -186,3 +186,33 @@ def run_figure4(seed: int = None) -> Figure4:
         crash_time=result.crash_times[0],
         lb_time=result.server_up_times[0],
     )
+
+
+def run(spec) -> "ExperimentResult":
+    """Unified entry point (see :mod:`repro.experiments.api`)."""
+    from repro.experiments.api import ExperimentResult
+    from repro.metrics.ascii_chart import render_timeseries
+
+    figure = run_figure4(seed=spec.seed, telemetry_path=spec.telemetry_path)
+    result = ExperimentResult(spec=spec, data=figure)
+    json_path = spec.params.get("json")
+    if json_path:
+        figure.result.export_json(json_path)
+        result.artifacts["json"] = json_path
+        result.blocks.append(f"run exported to {json_path}")
+    if spec.telemetry_path:
+        result.artifacts["telemetry"] = spec.telemetry_path
+    result.blocks.append(figure.summary_table().render())
+    markers = [(figure.crash_time, "crash"), (figure.lb_time, "load balance")]
+    for title, series in (
+        ("Figure 4(a) — cumulative skipped frames", figure.skipped),
+        ("Figure 4(b) — cumulative late frames", figure.late),
+        ("Figure 4(c) — software buffer occupancy (frames)",
+         figure.sw_occupancy),
+        ("Figure 4(d) — hardware buffer occupancy (bytes)",
+         figure.hw_occupancy_bytes),
+    ):
+        result.blocks.append(
+            render_timeseries(series, title=title, markers=markers)
+        )
+    return result

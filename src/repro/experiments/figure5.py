@@ -16,8 +16,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.experiments.scenarios import WAN_SCENARIO, ScenarioResult, run_scenario
-from repro.metrics.collector import TimeSeries
 from repro.metrics.report import Table
+from repro.telemetry.series import TimeSeries
 
 EVENT_WINDOW_S = 12.0
 
@@ -121,8 +121,8 @@ class Figure5:
         }
 
 
-def run_figure5(seed: int = None) -> Figure5:
-    result = run_scenario(WAN_SCENARIO, seed=seed)
+def run_figure5(seed: int = None, telemetry_path: str = None) -> Figure5:
+    result = run_scenario(WAN_SCENARIO, seed=seed, telemetry_path=telemetry_path)
     stats = result.client.stats
     return Figure5(
         result=result,
@@ -131,3 +131,30 @@ def run_figure5(seed: int = None) -> Figure5:
         lb_time=result.server_up_times[0],
         crash_time=result.crash_times[0],
     )
+
+
+def run(spec) -> "ExperimentResult":
+    """Unified entry point (see :mod:`repro.experiments.api`)."""
+    from repro.experiments.api import ExperimentResult
+    from repro.metrics.ascii_chart import render_timeseries
+
+    figure = run_figure5(seed=spec.seed, telemetry_path=spec.telemetry_path)
+    result = ExperimentResult(spec=spec, data=figure)
+    json_path = spec.params.get("json")
+    if json_path:
+        figure.result.export_json(json_path)
+        result.artifacts["json"] = json_path
+        result.blocks.append(f"run exported to {json_path}")
+    if spec.telemetry_path:
+        result.artifacts["telemetry"] = spec.telemetry_path
+    result.blocks.append(figure.summary_table().render())
+    markers = [(figure.lb_time, "load balance"), (figure.crash_time, "crash")]
+    for title, series in (
+        ("Figure 5(a) — cumulative skipped frames", figure.skipped),
+        ("Figure 5(b) — frames discarded due to buffer overflow",
+         figure.overflow),
+    ):
+        result.blocks.append(
+            render_timeseries(series, title=title, markers=markers)
+        )
+    return result

@@ -98,3 +98,14 @@ def gcs_latency_table(points: List[GcsLatencyPoint]) -> Table:
             f"{point.crash_latency_s:.3f}",
         )
     return table
+
+
+def run(spec) -> "ExperimentResult":
+    """Unified entry point (see :mod:`repro.experiments.api`)."""
+    from repro.experiments.api import ExperimentResult
+
+    sizes = tuple(spec.params.get("sizes", (2, 4, 8, 16)))
+    points = measure_scaling(sizes=sizes)
+    return ExperimentResult(
+        spec=spec, blocks=[gcs_latency_table(points).render()], data=points
+    )

@@ -99,3 +99,19 @@ def qos_comparison_table(best_effort: QosTrial, reserved: QosTrial) -> Table:
                   f"{best_effort.stall_s:.2f}", f"{reserved.stall_s:.2f}")
     table.add_row("frames displayed", best_effort.displayed, reserved.displayed)
     return table
+
+
+def run(spec) -> "ExperimentResult":
+    """Unified entry point (see :mod:`repro.experiments.api`)."""
+    from repro.experiments.api import ExperimentResult
+
+    kwargs = {}
+    if spec.seed is not None:
+        kwargs["seed"] = spec.seed
+    best_effort = run_wan_trial(False, **kwargs)
+    reserved = run_wan_trial(True, **kwargs)
+    return ExperimentResult(
+        spec=spec,
+        blocks=[qos_comparison_table(best_effort, reserved).render()],
+        data=(best_effort, reserved),
+    )

@@ -12,167 +12,132 @@ Regenerates any table or figure of the paper from the terminal::
     repro-vod chaos --plans 20
     repro-vod ablations
     repro-vod all
+
+Every experiment dispatches through the unified
+:func:`repro.experiments.api.run` entry point; the CLI only translates
+flags into an :class:`~repro.experiments.api.ExperimentSpec`.
+
+Scenario experiments (figure4, figure5, chaos) also stream a telemetry
+JSONL artifact by default (``artifacts/<name>-telemetry.jsonl``;
+``--no-telemetry`` turns it off, ``--telemetry PATH`` redirects it).
+Two extra subcommands work with those artifacts directly::
+
+    repro-vod trace --scenario lan --out run.jsonl   # record a run
+    repro-vod report run.jsonl                        # reconstruct it
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro.experiments.api import REGISTRY, ExperimentSpec, run
 
-def _print_figure2(args: argparse.Namespace) -> None:
-    from repro.experiments.figure2 import render_figure2
+#: Experiments that execute a scenario and therefore export telemetry
+#: artifacts by default.
+TELEMETRY_EXPERIMENTS = ("figure4", "figure5", "chaos")
 
-    print(render_figure2())
-
-
-def _print_figure4(args: argparse.Namespace) -> None:
-    from repro.experiments.figure4 import run_figure4
-    from repro.metrics.ascii_chart import render_timeseries
-
-    figure = run_figure4(seed=args.seed)
-    if getattr(args, "json", None):
-        figure.result.export_json(args.json)
-        print(f"run exported to {args.json}")
-    print(figure.summary_table().render())
-    markers = [(figure.crash_time, "crash"), (figure.lb_time, "load balance")]
-    for title, series in (
-        ("Figure 4(a) — cumulative skipped frames", figure.skipped),
-        ("Figure 4(b) — cumulative late frames", figure.late),
-        ("Figure 4(c) — software buffer occupancy (frames)",
-         figure.sw_occupancy),
-        ("Figure 4(d) — hardware buffer occupancy (bytes)",
-         figure.hw_occupancy_bytes),
-    ):
-        print()
-        print(render_timeseries(series, title=title, markers=markers))
+#: Order in which ``repro-vod all`` runs (excludes the slow chaos/
+#: capacity/gcs sweeps, mirroring the historical behaviour).
+ALL_SEQUENCE = (
+    "figure2",
+    "figure4",
+    "figure5",
+    "sync-overhead",
+    "emergency",
+    "takeover",
+    "qos",
+    "faults",
+    "ablations",
+)
 
 
-def _print_figure5(args: argparse.Namespace) -> None:
-    from repro.experiments.figure5 import run_figure5
-    from repro.metrics.ascii_chart import render_timeseries
-
-    figure = run_figure5(seed=args.seed)
-    if getattr(args, "json", None):
-        figure.result.export_json(args.json)
-        print(f"run exported to {args.json}")
-    print(figure.summary_table().render())
-    markers = [(figure.lb_time, "load balance"), (figure.crash_time, "crash")]
-    for title, series in (
-        ("Figure 5(a) — cumulative skipped frames", figure.skipped),
-        ("Figure 5(b) — frames discarded due to buffer overflow",
-         figure.overflow),
-    ):
-        print()
-        print(render_timeseries(series, title=title, markers=markers))
+def _default_telemetry_path(name: str) -> str:
+    return os.path.join("artifacts", f"{name}-telemetry.jsonl")
 
 
-def _print_sync_overhead(args: argparse.Namespace) -> None:
-    from repro.experiments.overheads import measure_sync_overhead
-
-    result = measure_sync_overhead(n_clients=args.clients)
-    print(result.table().render())
-
-
-def _print_emergency(args: argparse.Namespace) -> None:
-    from repro.experiments.overheads import measure_emergency
-
-    print(measure_emergency().table().render())
+def _telemetry_path_for(name: str, args: argparse.Namespace) -> Optional[str]:
+    if name not in TELEMETRY_EXPERIMENTS or args.no_telemetry:
+        return None
+    path = args.telemetry or _default_telemetry_path(name)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    return path
 
 
-def _print_takeover(args: argparse.Namespace) -> None:
-    from repro.experiments.overheads import measure_takeover
-
-    print(measure_takeover(n_trials=args.trials).table().render())
-
-
-def _print_gcs(args: argparse.Namespace) -> None:
-    from repro.experiments.gcs_latency import (
-        gcs_latency_table,
-        measure_scaling,
+def _spec_from_args(name: str, args: argparse.Namespace) -> ExperimentSpec:
+    params = {}
+    if args.json is not None:
+        params["json"] = args.json
+    if args.clients is not None:
+        params["clients"] = args.clients
+    if args.trials is not None:
+        params["trials"] = args.trials
+    if args.plans is not None:
+        params["plans"] = args.plans
+    return ExperimentSpec(
+        name=name,
+        seed=args.seed,
+        params=params,
+        telemetry_path=_telemetry_path_for(name, args),
     )
 
-    print(gcs_latency_table(measure_scaling()).render())
+
+def _run_experiment(name: str, args: argparse.Namespace) -> None:
+    result = run(_spec_from_args(name, args))
+    print(result.render())
+    for kind, path in sorted(result.artifacts.items()):
+        if kind != "json":  # the json block already announces itself
+            print(f"[{kind} artifact written to {path}]")
 
 
-def _print_capacity(args: argparse.Namespace) -> None:
-    from repro.experiments.capacity import capacity_table, run_capacity_sweep
-
-    print(capacity_table(run_capacity_sweep()).render())
-
-
-def _print_qos(args: argparse.Namespace) -> None:
-    from repro.experiments.qos import qos_comparison_table, run_wan_trial
-
-    best_effort = run_wan_trial(False)
-    reserved = run_wan_trial(True)
-    print(qos_comparison_table(best_effort, reserved).render())
+def _run_all(args: argparse.Namespace) -> None:
+    for index, name in enumerate(ALL_SEQUENCE):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        _run_experiment(name, args)
 
 
-def _print_faults(args: argparse.Namespace) -> None:
-    from repro.experiments.faults import fault_matrix_table, run_fault_matrix
-
-    print(fault_matrix_table(run_fault_matrix()).render())
-
-
-def _print_chaos(args: argparse.Namespace) -> None:
-    from repro.faulting.chaos import (
-        chaos_table,
-        run_chaos_sweep,
-        total_violations,
+def _run_trace(args: argparse.Namespace) -> None:
+    from repro.experiments.scenarios import (
+        LAN_SCENARIO,
+        WAN_SCENARIO,
+        run_scenario,
     )
 
-    base_seed = args.seed if args.seed is not None else 1000
-    results = run_chaos_sweep(n_plans=args.plans, base_seed=base_seed)
-    print(chaos_table(results).render())
-    violations = total_violations(results)
-    if violations:
-        print(f"\n{len(violations)} invariant violation(s):")
-        for violation in violations:
-            print(f"  {violation}")
-    else:
-        print(f"\nall {len(results)} seeded plans held every invariant")
+    spec = {"lan": LAN_SCENARIO, "wan": WAN_SCENARIO}[args.scenario]
+    if args.duration is not None:
+        import dataclasses
 
-
-def _print_ablations(args: argparse.Namespace) -> None:
-    from repro.experiments.ablations import (
-        ablate_buffer_size,
-        ablate_double_emergency,
-        ablate_emergency,
-        ablate_fd_timeout,
-        ablate_sync_interval,
-        ablation_table,
+        spec = dataclasses.replace(
+            spec,
+            movie_duration_s=max(spec.movie_duration_s, args.duration),
+            run_duration_s=args.duration,
+        )
+    directory = os.path.dirname(args.out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    result = run_scenario(
+        spec, seed=args.seed, telemetry_path=args.out,
+        telemetry_full=args.full,
+    )
+    client = result.client
+    print(f"telemetry written to {args.out}")
+    print(
+        f"scenario={spec.name} duration={spec.run_duration_s:.0f}s "
+        f"displayed={client.displayed_total} skipped={client.skipped_total} "
+        f"migrations={len(client.stats.migrations)} "
+        f"faults={len(result.injector.fired)}"
     )
 
-    print(ablation_table(ablate_buffer_size(), "A-1 — software buffer size"))
-    print()
-    print(ablation_table(ablate_emergency(), "A-2 — emergency refill quota"))
-    print()
-    print(ablation_table(ablate_sync_interval(), "A-3 — state sync interval"))
-    print()
-    print(ablation_table(ablate_fd_timeout(), "A-4 — failure detection timeout"))
-    print()
-    print(ablation_table(
-        ablate_double_emergency(),
-        "A-5 — back-to-back failures (1 s apart) vs buffer size",
-    ))
 
+def _run_report(args: argparse.Namespace) -> None:
+    from repro.telemetry.report import load_timeline, render_report
 
-def _print_all(args: argparse.Namespace) -> None:
-    for fn in (
-        _print_figure2,
-        _print_figure4,
-        _print_figure5,
-        _print_sync_overhead,
-        _print_emergency,
-        _print_takeover,
-        _print_qos,
-        _print_faults,
-        _print_ablations,
-    ):
-        fn(args)
-        print("\n" + "=" * 72 + "\n")
+    print(render_report(load_timeline(args.path), max_rows=args.max_rows))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -191,6 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default=None,
         help="also dump the figure4/figure5 run (counters + series) to "
              "this JSON file",
+    )
+    common.add_argument(
+        "--telemetry", type=str, default=None,
+        help="telemetry JSONL artifact path (scenario experiments; "
+             "default artifacts/<name>-telemetry.jsonl)",
+    )
+    common.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable the default telemetry artifact",
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
@@ -220,40 +194,54 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("ablations", parents=[common],
                    help="A-1..A-5 parameter sweeps")
     sub.add_parser("all", parents=[common], help="everything")
+
+    p = sub.add_parser(
+        "trace", parents=[common],
+        help="run a scenario and record its telemetry to JSONL",
+    )
+    p.add_argument("--scenario", choices=("lan", "wan"), default="lan")
+    p.add_argument("--duration", type=float, default=None,
+                   help="override the scenario run duration (seconds)")
+    p.add_argument("--out", type=str,
+                   default=os.path.join("artifacts", "trace.jsonl"))
+    p.add_argument("--full", action="store_true",
+                   help="include firehose kinds (sim.*, net.deliver)")
+
+    p = sub.add_parser(
+        "report", parents=[common],
+        help="reconstruct a run timeline from a telemetry JSONL file",
+    )
+    p.add_argument("path", type=str)
+    p.add_argument("--max-rows", type=int, default=80,
+                   help="timeline rows to show before truncating")
     return parser
-
-
-_DISPATCH = {
-    "figure2": _print_figure2,
-    "figure4": _print_figure4,
-    "figure5": _print_figure5,
-    "sync-overhead": _print_sync_overhead,
-    "emergency": _print_emergency,
-    "takeover": _print_takeover,
-    "qos": _print_qos,
-    "capacity": _print_capacity,
-    "gcs": _print_gcs,
-    "faults": _print_faults,
-    "chaos": _print_chaos,
-    "ablations": _print_ablations,
-    "all": _print_all,
-}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     # Subparsers may not define every attribute; default the common ones.
     defaults = (
-        ("clients", 4),
-        ("trials", 5),
-        ("plans", 20),
+        ("clients", None),
+        ("trials", None),
+        ("plans", None),
         ("seed", None),
         ("json", None),
+        ("telemetry", None),
+        ("no_telemetry", False),
     )
     for attribute, default in defaults:
         if not hasattr(args, attribute):
             setattr(args, attribute, default)
-    _DISPATCH[args.experiment](args)
+    name = args.experiment
+    if name == "all":
+        _run_all(args)
+    elif name == "trace":
+        _run_trace(args)
+    elif name == "report":
+        _run_report(args)
+    else:
+        assert name in REGISTRY, f"subcommand {name!r} missing from registry"
+        _run_experiment(name, args)
     return 0
 
 

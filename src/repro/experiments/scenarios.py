@@ -85,6 +85,8 @@ class ScenarioResult:
     # Times at which schedule actions actually fired.
     crash_times: List[float] = field(default_factory=list)
     server_up_times: List[float] = field(default_factory=list)
+    # Set when the run streamed a telemetry JSONL export.
+    telemetry_path: Optional[str] = None
 
     @property
     def events(self) -> Dict[str, List[float]]:
@@ -211,10 +213,31 @@ def plan_for_spec(spec: ScenarioSpec) -> FaultPlan:
 
 
 def run_scenario(
-    spec: ScenarioSpec, seed: Optional[int] = None
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    telemetry_path: Optional[str] = None,
+    telemetry_full: bool = False,
 ) -> ScenarioResult:
-    """Execute a scenario and return the collected measurements."""
+    """Execute a scenario and return the collected measurements.
+
+    ``telemetry_path`` additionally streams the run's telemetry to a
+    JSONL file (see :mod:`repro.telemetry.export`); the export is a pure
+    observer, so results are identical with or without it.
+    """
     sim = Simulator(seed=spec.seed if seed is None else seed)
+    exporter = None
+    if telemetry_path is not None:
+        from repro.telemetry.export import JsonlExporter
+
+        exporter = JsonlExporter(
+            sim.telemetry, telemetry_path, full=telemetry_full
+        )
+        exporter.meta(
+            scenario=spec.name,
+            network=spec.network,
+            seed=spec.seed if seed is None else seed,
+            run_duration_s=spec.run_duration_s,
+        )
     topology = build_topology(spec, sim)
     catalog = MovieCatalog(
         [Movie.synthetic("feature", duration_s=spec.movie_duration_s)]
@@ -237,4 +260,12 @@ def run_scenario(
     sim.run_until(spec.run_duration_s)
     result.crash_times = list(injector.crash_times)
     result.server_up_times = list(injector.server_up_times)
+    if exporter is not None:
+        exporter.close(
+            faults_fired=len(injector.fired),
+            displayed=client.displayed_total,
+            skipped=client.skipped_total,
+            tracer_dropped=sim.tracer.dropped,
+        )
+        result.telemetry_path = telemetry_path
     return result

@@ -53,9 +53,23 @@ def run_chaos_trial(
     k: int = 3,
     intensity: float = 1.0,
     plan: Optional[FaultPlan] = None,
+    telemetry_path: Optional[str] = None,
 ) -> ChaosResult:
-    """Run one seeded chaos plan against a k-replica LAN deployment."""
+    """Run one seeded chaos plan against a k-replica LAN deployment.
+
+    ``telemetry_path`` streams the trial's telemetry to a JSONL file; a
+    pure observer, so trial outcomes are identical with or without it.
+    """
     sim = Simulator(seed=seed)
+    exporter = None
+    if telemetry_path is not None:
+        from repro.telemetry.export import JsonlExporter
+
+        exporter = JsonlExporter(sim.telemetry, telemetry_path)
+        exporter.meta(
+            scenario="chaos", seed=seed, k=k,
+            intensity=intensity, run_duration_s=duration_s,
+        )
     topology = build_lan(sim, n_hosts=k + 1)
     catalog = MovieCatalog(
         [Movie.synthetic("feature", duration_s=duration_s + 60.0)]
@@ -79,6 +93,12 @@ def run_chaos_trial(
     checker.final_check()
     checker.stop()
     client.decoder.end_stall(sim.now)
+    if exporter is not None:
+        exporter.close(
+            violations=len(checker.violations),
+            faults_fired=len(injector.fired),
+            tracer_dropped=sim.tracer.dropped,
+        )
 
     return ChaosResult(
         seed=seed,
@@ -145,3 +165,46 @@ def chaos_table(results: List[ChaosResult]) -> Table:
 
 def total_violations(results: List[ChaosResult]) -> List[Violation]:
     return [violation for result in results for violation in result.violations]
+
+
+def run(spec) -> "ExperimentResult":
+    """Unified entry point (see :mod:`repro.experiments.api`).
+
+    When ``spec.telemetry_path`` is set the first trial of the sweep
+    streams its telemetry there (one representative artifact; exporting
+    all N plans into one file would interleave unrelated runs).
+    """
+    from repro.experiments.api import ExperimentResult
+
+    base_seed = spec.seed if spec.seed is not None else 1000
+    n_plans = int(spec.params.get("plans", 20))
+    duration_s = float(spec.params.get("duration_s", 90.0))
+    k = int(spec.params.get("k", 3))
+    intensity = float(spec.params.get("intensity", 1.0))
+
+    results = []
+    for index in range(n_plans):
+        results.append(
+            run_chaos_trial(
+                seed=base_seed + index,
+                duration_s=duration_s,
+                k=k,
+                intensity=intensity,
+                telemetry_path=spec.telemetry_path if index == 0 else None,
+            )
+        )
+    result = ExperimentResult(
+        spec=spec, blocks=[chaos_table(results).render()], data=results
+    )
+    if spec.telemetry_path:
+        result.artifacts["telemetry"] = spec.telemetry_path
+    violations = total_violations(results)
+    if violations:
+        lines = [f"{len(violations)} invariant violation(s):"]
+        lines.extend(f"  {violation}" for violation in violations)
+        result.blocks.append("\n".join(lines))
+    else:
+        result.blocks.append(
+            f"all {len(results)} seeded plans held every invariant"
+        )
+    return result

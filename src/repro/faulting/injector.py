@@ -95,6 +95,10 @@ class FaultInjector:
         detail = handler(self, action)
         note = action.describe() if detail is None else detail
         self.fired.append((self.sim.now, note))
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit("fault.fired", action=type(action).__name__, note=note)
+            tel.count("faults.fired")
 
     # ------------------------------------------------------------------
     # Target resolution

@@ -116,6 +116,7 @@ class GcsEndpoint:
             timeout=fd_timeout,
             on_suspect=self._on_suspicion_event,
             on_trust=self._on_suspicion_event,
+            owner=self.daemon_id,
         )
         self._members: Dict[str, GroupMember] = {}
         self._p2p_handlers: Dict[str, P2pCallback] = {}
@@ -303,6 +304,18 @@ class GcsEndpoint:
 
     def note_installed_view(self, group: str, view: View) -> None:
         """Hook: refresh FD watch targets after a view installation."""
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit(
+                "gcs.view.install",
+                daemon=self.daemon_id,
+                group=group,
+                view=str(view.view_id),
+                members=len(view.members),
+                joined=len(view.joined),
+                departed=len(view.departed),
+            )
+            tel.count("gcs.views_installed")
         self._refresh_watches()
         self.domain.notify_view_installed(self.daemon_id, group, view)
 

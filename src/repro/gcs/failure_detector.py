@@ -11,7 +11,7 @@ is dominated by this timeout.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Set
+from typing import Callable, Dict, Optional, Set
 
 from repro.sim.core import Simulator
 
@@ -38,11 +38,14 @@ class FailureDetector:
         timeout: float = DEFAULT_TIMEOUT,
         on_suspect: SuspectCallback = None,
         on_trust: SuspectCallback = None,
+        owner: Optional[int] = None,
     ) -> None:
         self.sim = sim
         self.timeout = timeout
         self.on_suspect = on_suspect
         self.on_trust = on_trust
+        #: Daemon id of the endpoint running this detector (telemetry tag).
+        self.owner = owner
         self._peers: Dict[int, _PeerState] = {}
         # Fault injection: heartbeats from a muted daemon are discarded
         # until the deadline, keeping an injected suspicion alive.
@@ -79,6 +82,7 @@ class FailureDetector:
         state.last_heard = self.sim.now
         if state.suspected:
             state.suspected = False
+            self._note("gcs.fd.trust", daemon)
             if self.on_trust is not None:
                 self.on_trust(daemon)
 
@@ -100,6 +104,7 @@ class FailureDetector:
             self._muted_until[daemon] = self.sim.now + mute_for_s
         state.last_heard = self.sim.now - self.timeout
         state.suspected = True
+        self._note("gcs.fd.suspect", daemon, forced=True)
         if self.on_suspect is not None:
             self.on_suspect(daemon)
         return True
@@ -113,8 +118,14 @@ class FailureDetector:
                 continue
             if now - state.last_heard > self.timeout:
                 state.suspected = True
+                self._note("gcs.fd.suspect", daemon, forced=False)
                 if self.on_suspect is not None:
                     self.on_suspect(daemon)
+
+    def _note(self, kind: str, daemon: int, **fields) -> None:
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit(kind, daemon=daemon, owner=self.owner, **fields)
 
     # ------------------------------------------------------------------
     # Queries

@@ -394,6 +394,18 @@ class GroupMember:
     # ==================================================================
     # Internals: flushing
     # ==================================================================
+    def _telemetry(self):
+        """The endpoint's active telemetry bus, or None.
+
+        Defensive: unit tests drive GroupMember with stub endpoints that
+        have no simulator behind them.
+        """
+        sim = getattr(self.endpoint, "sim", None)
+        if sim is None:
+            return None
+        tel = sim.telemetry
+        return tel if tel.active else None
+
     def _start_flush(
         self,
         view_id: ViewId,
@@ -412,6 +424,15 @@ class GroupMember:
             # re-proposes at FLUSH_TIMEOUT < FLUSH_STALL_ADOPT forever
             # and the merge never commits.
             flush_since = previous.flush_since
+        tel = self._telemetry()
+        if tel is not None and flush_since == now:
+            tel.emit(
+                "gcs.flush.begin",
+                daemon=self.endpoint.daemon_id,
+                group=self.group,
+                view=str(view_id),
+                members=len(members),
+            )
         self.proposal = _Proposal(
             view_id=view_id,
             members=tuple(sorted(members)),
@@ -579,6 +600,17 @@ class GroupMember:
         # for a partition merge.  For flows we equalized during the flush
         # this is a no-op (we already delivered up to the cut).
         self.store.adopt_baseline(commit.cut)
+        tel = self._telemetry()
+        if tel is not None and self.proposal is not None:
+            duration = self.endpoint.now - self.proposal.flush_since
+            tel.emit(
+                "gcs.flush.end",
+                daemon=self.endpoint.daemon_id,
+                group=self.group,
+                view=str(commit.view_id),
+                duration_s=duration,
+            )
+            tel.metrics.histogram("gcs.flush_s").observe(duration)
         self.view = view
         self.proposal = None
         self.state = MemberState.NORMAL

@@ -1,12 +1,15 @@
 """Measurement utilities: counters, time series, and report formatting.
 
 Every figure in the paper is a time series collected at the client; the
-probes here sample those series on a timer so experiment code can
-extract exactly the curves of Figures 4 and 5.
+probes sample those series on a timer so experiment code can extract
+exactly the curves of Figures 4 and 5.  The collectors themselves now
+live in :mod:`repro.telemetry` (the unified observability API); this
+package keeps the text-report formatting and re-exports the collectors
+for compatibility.
 """
 
-from repro.metrics.collector import Counter, Probe, TimeSeries
 from repro.metrics.report import Table, format_series_summary
+from repro.telemetry.series import Counter, Probe, TimeSeries
 
 __all__ = [
     "Counter",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.metrics.collector import TimeSeries
+from repro.telemetry.series import TimeSeries
 
 Point = Tuple[float, float]
 

@@ -1,117 +1,19 @@
-"""Counters, time series and sampling probes."""
+"""Deprecated shim — collectors moved to :mod:`repro.telemetry.series`.
 
-from __future__ import annotations
+Kept so pre-telemetry imports (``from repro.metrics.collector import
+Probe``) keep working; new code should import from
+:mod:`repro.telemetry`.
+"""
 
-import bisect
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+import warnings
 
-from repro.sim.core import Simulator
-from repro.sim.process import Timer
+from repro.telemetry.series import Counter, Probe, TimeSeries
 
+__all__ = ["Counter", "Probe", "TimeSeries"]
 
-@dataclass
-class Counter:
-    """A monotonically increasing event counter."""
-
-    name: str
-    value: int = 0
-
-    def add(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
-
-
-class TimeSeries:
-    """(time, value) samples with query helpers used by the experiments."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._times: List[float] = []
-        self._values: List[float] = []
-
-    def record(self, time: float, value: float) -> None:
-        if self._times and time < self._times[-1]:
-            raise ValueError(
-                f"time series {self.name!r} got out-of-order sample at {time}"
-            )
-        self._times.append(time)
-        self._values.append(value)
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-    def __len__(self) -> int:
-        return len(self._times)
-
-    @property
-    def times(self) -> Sequence[float]:
-        return tuple(self._times)
-
-    @property
-    def values(self) -> Sequence[float]:
-        return tuple(self._values)
-
-    def points(self) -> List[Tuple[float, float]]:
-        return list(zip(self._times, self._values))
-
-    def value_at(self, time: float) -> Optional[float]:
-        """Last sample at or before ``time`` (step interpolation)."""
-        position = bisect.bisect_right(self._times, time) - 1
-        if position < 0:
-            return None
-        return self._values[position]
-
-    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
-        lo = bisect.bisect_left(self._times, start)
-        hi = bisect.bisect_right(self._times, end)
-        return list(zip(self._times[lo:hi], self._values[lo:hi]))
-
-    def min(self, start: float = float("-inf"), end: float = float("inf")):
-        values = [v for t, v in self.window(start, end)]
-        return min(values) if values else None
-
-    def max(self, start: float = float("-inf"), end: float = float("inf")):
-        values = [v for t, v in self.window(start, end)]
-        return max(values) if values else None
-
-    def mean(self, start: float = float("-inf"), end: float = float("inf")):
-        values = [v for t, v in self.window(start, end)]
-        return sum(values) / len(values) if values else None
-
-    def final(self) -> Optional[float]:
-        return self._values[-1] if self._values else None
-
-    def increase_over(self, start: float, end: float) -> float:
-        """Value growth across a window (for cumulative counters)."""
-        before = self.value_at(start)
-        after = self.value_at(end)
-        return (after or 0.0) - (before or 0.0)
-
-
-@dataclass
-class Probe:
-    """Samples callables into time series on a fixed period."""
-
-    sim: Simulator
-    period: float
-    _sources: List[Tuple[TimeSeries, Callable[[], float]]] = field(
-        default_factory=list
-    )
-
-    def __post_init__(self) -> None:
-        self._timer = Timer(self.sim, self.period, self._sample, start_delay=0.0)
-
-    def watch(self, name: str, source: Callable[[], float]) -> TimeSeries:
-        series = TimeSeries(name)
-        self._sources.append((series, source))
-        return series
-
-    def stop(self) -> None:
-        self._timer.cancel()
-
-    def _sample(self) -> None:
-        now = self.sim.now
-        for series, source in self._sources:
-            series.record(now, float(source()))
+warnings.warn(
+    "repro.metrics.collector moved to repro.telemetry.series; "
+    "import Counter/TimeSeries/Probe from repro.telemetry instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.metrics.collector import TimeSeries
+from repro.telemetry.series import TimeSeries
 
 
 class Table:

@@ -183,6 +183,7 @@ class _Direction:
             fault_rng = self.sim.rng(f"fault.{self.rng_name}")
             if fault.drop_prob > 0 and fault_rng.random() < fault.drop_prob:
                 self.stats.fault_dropped += 1
+                self._note_drop("fault")
                 return
             fault_extra_s = fault.extra_delay_s
             if fault.jitter_s > 0:
@@ -208,6 +209,7 @@ class _Direction:
             and queue_ahead_s > self.params.queue_packets * serialization
         ):
             self.stats.dropped_queue += 1
+            self._note_drop("queue")
             return
         start_tx = max(now, self._tx_free_at)
         self._tx_free_at = start_tx + serialization
@@ -223,6 +225,7 @@ class _Direction:
         rng = self.sim.rng(self.rng_name)
         if self.params.loss_prob > 0 and rng.random() < self.params.loss_prob:
             self.stats.dropped_loss += 1
+            self._note_drop("loss")
             return
 
         extra_jitter = 0.0
@@ -256,10 +259,21 @@ class _Direction:
                 arrival + fault.duplicate_delay_s, self._deliver, datagram, deliver
             )
 
+    def _note_drop(self, reason: str) -> None:
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit("net.drop", link=self.rng_name, reason=reason)
+            tel.count(f"net.drop.{reason}")
+
     def _deliver(self, datagram: Datagram, deliver: DeliverFn) -> None:
         if not self.up:
             return
         self.stats.delivered_packets += 1
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit(
+                "net.deliver", link=self.rng_name, bytes=datagram.wire_bytes()
+            )
         deliver(datagram)
 
 

@@ -147,6 +147,14 @@ class VoDServer:
             return
         self.running = False
         served = tuple(self.sessions)
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit("server.shutdown", server=self.name, served=len(served))
+            for client in served:
+                tel.span(
+                    "takeover", key=str(client),
+                    cause="shutdown", from_server=self.name,
+                )
         for client in list(self.sessions):
             self._end_session(client, departed=False)
         self._sync_timer.cancel()
@@ -161,6 +169,14 @@ class VoDServer:
             return
         self.running = False
         served = tuple(self.sessions)
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit("server.crash", server=self.name, served=len(served))
+            for client in served:
+                tel.span(
+                    "takeover", key=str(client),
+                    cause="crash", from_server=self.name,
+                )
         for session in self.sessions.values():
             session.stop()
         self.sessions.clear()
@@ -431,6 +447,14 @@ class VoDServer:
                     self._take_over(record)
             elif server != self.process and client in self.sessions:
                 if self.sessions[client].movie.title == title:
+                    tel = self.sim.telemetry
+                    if tel.active and tel.open_span(
+                        "rebalance", key=str(client)
+                    ) is None:
+                        tel.span(
+                            "rebalance", key=str(client),
+                            from_server=self.name,
+                        )
                     self._end_session(client, departed=False)
 
     # ==================================================================
@@ -460,6 +484,29 @@ class VoDServer:
         self._session_handles[record.client] = self.endpoint.join(
             record.session, self.name, listener
         )
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit(
+                "server.session.start",
+                server=self.name,
+                client=str(record.client),
+                movie=record.movie,
+                offset=record.offset,
+                rate_fps=record.rate_fps,
+                takeover=takeover,
+            )
+            if takeover:
+                # Close whichever handoff span the previous owner (or its
+                # crash/shutdown path) opened for this client; the latency
+                # histogram is the paper's "take-over time" distribution.
+                kind = "takeover"
+                if tel.open_span(kind, key=str(record.client)) is None:
+                    kind = "rebalance"
+                duration = tel.end_span(
+                    kind, key=str(record.client), to_server=self.name
+                )
+                if duration is not None:
+                    tel.metrics.histogram(f"{kind}.latency_s").observe(duration)
         self._notify("on_session_start", self, record, takeover)
 
     def _take_over(self, record: ClientRecord) -> None:
@@ -475,6 +522,14 @@ class VoDServer:
                 state = self.movie_states.get(session.movie.title)
                 if state is not None:
                     state.mark_departed(client, self.sim.now)
+            tel = self.sim.telemetry
+            if tel.active:
+                tel.emit(
+                    "server.session.end",
+                    server=self.name,
+                    client=str(client),
+                    departed=departed,
+                )
             self._notify("on_session_end", self, client, departed)
         handle = self._session_handles.pop(client, None)
         if handle is not None:

@@ -76,7 +76,7 @@ class ClientSession:
             self._reserve_qos()
 
         self._send_handle: Optional[EventHandle] = None
-        self._decay_timer = Timer(self.sim, 1.0, self.rate.decay_tick)
+        self._decay_timer = Timer(self.sim, 1.0, self._decay_tick)
         if not self.paused:
             self._schedule_next()
 
@@ -159,12 +159,40 @@ class ClientSession:
     # ------------------------------------------------------------------
     def on_flow_message(self, message) -> None:
         quantity_before = self.rate.emergency_quantity
+        rate_before = self.rate.current_rate()
         self.rate.on_flow_message(message, now=self.sim.now)
+        tel = self.sim.telemetry
+        if tel.active and self.rate.current_rate() != rate_before:
+            tel.emit(
+                "server.rate",
+                server=self.server.name,
+                client=str(self.client),
+                message=message.kind.value,
+                rate_fps=self.rate.current_rate(),
+                base_fps=self.rate.base_rate,
+                emergency=self.rate.emergency_quantity,
+            )
+            tel.count("server.rate_changes")
         # An emergency (fresh or escalated) raises the rate instantly:
         # re-arm the send timer so the refill starts now rather than
         # after the old interval.
         if self.rate.emergency_quantity > quantity_before:
             self._rearm_now()
+
+    def _decay_tick(self) -> None:
+        quantity_before = self.rate.emergency_quantity
+        self.rate.decay_tick()
+        if quantity_before <= 0:
+            return
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit(
+                "server.emergency.step",
+                server=self.server.name,
+                client=str(self.client),
+                quantity=self.rate.emergency_quantity,
+                rate_fps=self.rate.current_rate(),
+            )
 
     def pause(self) -> None:
         if self.paused:

@@ -10,7 +10,7 @@ reproducible from a seed.
 from repro.sim.core import EventHandle, Simulator
 from repro.sim.process import Process, Timer, sleep
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import TraceRecord, Tracer
+from repro.telemetry.trace import TraceRecord, Tracer
 
 __all__ = [
     "EventHandle",

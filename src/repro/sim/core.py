@@ -14,7 +14,8 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import Tracer
+from repro.telemetry.bus import Telemetry
+from repro.telemetry.trace import Tracer, _callback_name
 
 
 class EventHandle:
@@ -24,7 +25,7 @@ class EventHandle:
     when popped.  This keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_tel")
 
     def __init__(
         self,
@@ -38,14 +39,23 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # Set by Simulator.call_at only while telemetry is active, so a
+        # cancel can report what was cancelled without the handle paying
+        # for a bus reference in the common (inactive) case.
+        self._tel: Any = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self._tel is not None and not self.cancelled and self._tel.active:
+            self._tel.emit(
+                "sim.cancel", at=self.time, name=_callback_name(self.callback)
+            )
         self.cancelled = True
         # Drop references so cancelled events do not pin large objects
         # while they wait to be popped from the heap.
         self.callback = _noop
         self.args = ()
+        self._tel = None
 
     @property
     def active(self) -> bool:
@@ -72,8 +82,9 @@ class Simulator:
         Master seed for all named random streams (see
         :class:`repro.sim.rng.RngRegistry`).
     trace:
-        When true, a :class:`repro.sim.trace.Tracer` records every fired
-        event; useful in tests and when debugging protocol interleavings.
+        When true, a :class:`repro.telemetry.trace.Tracer` records every
+        fired event; useful in tests and when debugging protocol
+        interleavings.
     """
 
     def __init__(self, seed: int = 0, trace: bool = False) -> None:
@@ -84,6 +95,7 @@ class Simulator:
         self._stopped = False
         self.rngs = RngRegistry(seed)
         self.tracer = Tracer(enabled=trace)
+        self.telemetry = Telemetry(clock=lambda: self._now)
         self.seed = seed
 
     # ------------------------------------------------------------------
@@ -117,6 +129,8 @@ class Simulator:
                 f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
             )
         handle = EventHandle(time, self._seq, callback, args)
+        if self.telemetry.active:
+            handle._tel = self.telemetry
         self._seq += 1
         heapq.heappush(self._queue, handle)
         return handle
@@ -143,6 +157,9 @@ class Simulator:
             return False
         self._now = handle.time
         self.tracer.record(self._now, handle.callback, handle.args)
+        tel = self.telemetry
+        if tel.active:
+            tel.emit("sim.fire", name=_callback_name(handle.callback))
         handle.callback(*handle.args)
         return True
 

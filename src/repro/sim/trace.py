@@ -1,49 +1,18 @@
-"""Event tracing for the simulation kernel.
+"""Deprecated shim — the tracer moved to :mod:`repro.telemetry.trace`.
 
-Tracing is off by default (it costs memory); tests and debugging sessions
-enable it to inspect exact event interleavings.
+Kept so pre-telemetry imports (``from repro.sim.trace import Tracer``)
+keep working; new code should import from :mod:`repro.telemetry`.
 """
 
-from __future__ import annotations
+import warnings
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Tuple
+from repro.telemetry.trace import TraceRecord, Tracer
 
+__all__ = ["TraceRecord", "Tracer"]
 
-@dataclass(frozen=True)
-class TraceRecord:
-    """One fired event: when it ran and what ran."""
-
-    time: float
-    name: str
-    args: Tuple[Any, ...]
-
-
-@dataclass
-class Tracer:
-    """Collects :class:`TraceRecord` entries for fired events."""
-
-    enabled: bool = False
-    records: List[TraceRecord] = field(default_factory=list)
-    max_records: int = 1_000_000
-
-    def record(
-        self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]
-    ) -> None:
-        if not self.enabled or len(self.records) >= self.max_records:
-            return
-        self.records.append(TraceRecord(time, _callback_name(callback), args))
-
-    def clear(self) -> None:
-        self.records.clear()
-
-    def names(self) -> List[str]:
-        """The sequence of fired callback names, in firing order."""
-        return [record.name for record in self.records]
-
-
-def _callback_name(callback: Callable[..., Any]) -> str:
-    qualname = getattr(callback, "__qualname__", None)
-    if qualname is not None:
-        return qualname
-    return repr(callback)
+warnings.warn(
+    "repro.sim.trace moved to repro.telemetry.trace; "
+    "import Tracer/TraceRecord from repro.telemetry instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

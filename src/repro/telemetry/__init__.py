@@ -1,0 +1,96 @@
+"""Unified observability for the VoD reproduction (the public API).
+
+Everything observable about a run flows through this package:
+
+* :class:`Telemetry` — the per-simulator event bus (``sim.telemetry``)
+  with typed, dotted-kind events from every layer (``client.*``,
+  ``server.*``, ``gcs.*``, ``net.*``, ``fault.*``, ``sim.*``);
+* :class:`MetricRegistry` — counters, gauges and fixed-bucket
+  histograms, snapshotted into every export;
+* :class:`Span` — interval tracing (client sessions, takeovers,
+  rebalances) with cross-component open/end via ``(kind, key)``;
+* :class:`Probe` / :class:`TimeSeries` — periodic state sampling
+  (buffer levels), bridged onto the bus as ``metric.sample`` events;
+* :class:`Tracer` — the exhaustive kernel event trace;
+* :class:`JsonlExporter` / :func:`render_report` — JSONL artifacts and
+  the ``repro-vod trace`` / ``repro-vod report`` CLI behind them.
+
+With no subscribers the whole subsystem costs one attribute check per
+instrumented site, and enabling it never changes simulation outcomes
+(same seed ⇒ same fault firings and client statistics, telemetry on or
+off).  See ``docs/TELEMETRY.md`` for the event taxonomy.
+"""
+
+from repro.telemetry.bus import (
+    Subscription,
+    Telemetry,
+    TelemetryEvent,
+)
+from repro.telemetry.export import (
+    DEFAULT_PREFIXES,
+    FIREHOSE_PREFIXES,
+    SCHEMA_VERSION,
+    JsonlExporter,
+    read_jsonl,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricRegistry,
+    MetricsCollector,
+)
+from repro.telemetry.report import RunTimeline, load_timeline, render_report
+from repro.telemetry.series import Counter, Probe, TimeSeries
+from repro.telemetry.spans import Span
+from repro.telemetry.trace import Tracer, TraceRecord
+
+
+def probe(sim, period: float = 0.25, owner: str = "") -> Probe:
+    """Create a :class:`Probe` sampling on ``period`` seconds.
+
+    Convenience constructor for the common case; ``owner`` tags the
+    probe's ``metric.sample`` events (typically a client name).
+    """
+    return Probe(sim, period, owner=owner)
+
+
+def __getattr__(name):
+    # ClientStats lives with the player (it is filled by client logic)
+    # but is part of the observability API; resolve it lazily because
+    # importing the client here would cycle back through the sim kernel.
+    if name == "ClientStats":
+        from repro.client.player import ClientStats
+
+        return ClientStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Telemetry",
+    "TelemetryEvent",
+    "Subscription",
+    "Span",
+    "Tracer",
+    "TraceRecord",
+    "Counter",
+    "TimeSeries",
+    "Probe",
+    "probe",
+    "MetricRegistry",
+    "MetricsCollector",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "JsonlExporter",
+    "read_jsonl",
+    "SCHEMA_VERSION",
+    "DEFAULT_PREFIXES",
+    "FIREHOSE_PREFIXES",
+    "RunTimeline",
+    "load_timeline",
+    "render_report",
+    "ClientStats",
+]

@@ -1,0 +1,203 @@
+"""The process-wide telemetry event bus.
+
+One :class:`Telemetry` instance lives on every
+:class:`~repro.sim.core.Simulator` (``sim.telemetry``); every layer —
+kernel, network, GCS, server, client, fault injector — emits typed
+events through it.  Design constraints, in priority order:
+
+1. **Disabled cost is one predicate check.**  Instrumented sites guard
+   with ``if tel.active:`` where ``active`` is a plain attribute kept in
+   sync with the subscriber list.  With no subscribers nothing is
+   formatted, allocated or dispatched.
+2. **Emission never perturbs the simulation.**  ``emit`` draws no
+   random numbers and schedules no events, so a run with full telemetry
+   is event-for-event identical to a run without (same seed).
+3. **Subscribers are push-based.**  A subscriber is a callable invoked
+   synchronously with each :class:`TelemetryEvent`; kind-prefix filters
+   keep high-frequency kernel/network events out of subscribers that do
+   not want them.
+
+This module must not import the rest of :mod:`repro` (the sim kernel
+imports it — anything else would be an import cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.metrics import MetricRegistry
+from repro.telemetry.spans import Span
+
+SubscriberFn = Callable[["TelemetryEvent"], None]
+
+
+class TelemetryEvent:
+    """One structured event: virtual time, dotted kind, payload fields."""
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str, fields: dict) -> None:
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly form (used by the JSONL exporter).
+
+        ``t`` and ``kind`` are reserved: a payload field with either
+        name cannot shadow the record's time or event kind.
+        """
+        out = dict(self.fields)
+        out["t"] = self.time
+        out["kind"] = self.kind
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TelemetryEvent t={self.time:.6f} {self.kind} {self.fields}>"
+
+
+class Subscription:
+    """Handle returned by :meth:`Telemetry.subscribe`; ``close()`` detaches."""
+
+    __slots__ = ("_telemetry", "callback", "prefixes", "closed")
+
+    def __init__(self, telemetry, callback, prefixes) -> None:
+        self._telemetry = telemetry
+        self.callback = callback
+        self.prefixes = prefixes
+        self.closed = False
+
+    def wants(self, kind: str) -> bool:
+        if self.prefixes is None:
+            return True
+        return kind.startswith(self.prefixes)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._telemetry._unsubscribe(self)
+
+
+class Telemetry:
+    """The event bus + metric registry + open-span registry.
+
+    ``active`` is the single public predicate instrumented code checks
+    before doing any telemetry work::
+
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit("net.drop", link=self.rng_name, reason="loss")
+
+    ``active`` is True exactly while at least one subscriber is
+    attached; everything else (metric updates, span bookkeeping, field
+    construction) belongs inside the guard.
+    """
+
+    def __init__(self, clock: Callable[[], float] = None) -> None:
+        #: The one-predicate-check fast path.  Plain attribute, not a
+        #: property: reading it must not involve a function call.
+        self.active = False
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.metrics = MetricRegistry()
+        #: Events emitted over this bus's lifetime (diagnostics).
+        self.emitted = 0
+        self._subscribers: List[Subscription] = []
+        self._open_spans: Dict[Tuple[str, str], Span] = {}
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        callback: SubscriberFn,
+        prefixes: Optional[Sequence[str]] = None,
+    ) -> Subscription:
+        """Attach ``callback``; it runs synchronously per matching event.
+
+        ``prefixes`` restricts delivery to kinds starting with any of
+        the given dotted prefixes (``("client.", "span.")``); ``None``
+        delivers everything.
+        """
+        cleaned = None if prefixes is None else tuple(prefixes)
+        subscription = Subscription(self, callback, cleaned)
+        self._subscribers.append(subscription)
+        self.active = True
+        return subscription
+
+    def collect(
+        self, prefixes: Optional[Sequence[str]] = None
+    ) -> Tuple[List[TelemetryEvent], Subscription]:
+        """Convenience: subscribe an in-memory list (tests, small runs)."""
+        events: List[TelemetryEvent] = []
+        subscription = self.subscribe(events.append, prefixes=prefixes)
+        return events, subscription
+
+    def _unsubscribe(self, subscription: Subscription) -> None:
+        try:
+            self._subscribers.remove(subscription)
+        except ValueError:
+            pass
+        self.active = bool(self._subscribers)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields) -> None:
+        """Publish one event to every matching subscriber.
+
+        Call only inside an ``if telemetry.active:`` guard — emitting on
+        an inactive bus is wasted work (the event goes nowhere) though
+        it is harmless and still deterministic.
+        """
+        event = TelemetryEvent(self.clock(), kind, fields)
+        self.emitted += 1
+        for subscription in self._subscribers:
+            if subscription.wants(kind):
+                subscription.callback(event)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Shorthand: bump the registry counter ``name``."""
+        self.metrics.counter(name).inc(amount)
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, kind: str, key: str = "", **attrs) -> Span:
+        """Open a span; emits ``span.begin`` and registers it by
+        ``(kind, key)`` so another component can close it later via
+        :meth:`open_span` / :meth:`end_span`."""
+        span = Span(self, kind, key, self.clock(), attrs)
+        self._open_spans[(kind, key)] = span
+        if self.active:
+            self.emit("span.begin", span=kind, key=key, **attrs)
+        return span
+
+    def open_span(self, kind: str, key: str = "") -> Optional[Span]:
+        """The currently open span registered under ``(kind, key)``."""
+        return self._open_spans.get((kind, key))
+
+    def end_span(self, kind: str, key: str = "", **attrs) -> Optional[float]:
+        """Close the registered ``(kind, key)`` span, if any.
+
+        Returns the duration, or ``None`` when no such span is open —
+        the closing component often cannot know whether the opener ran
+        (e.g. a takeover adopt when telemetry was enabled mid-run).
+        """
+        span = self._open_spans.get((kind, key))
+        if span is None:
+            return None
+        return span.end(**attrs)
+
+    def open_spans(self) -> List[Span]:
+        return list(self._open_spans.values())
+
+    def _forget_span(self, span: Span) -> None:
+        registered = self._open_spans.get((span.kind, span.key))
+        if registered is span:
+            del self._open_spans[(span.kind, span.key)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Telemetry active={self.active} "
+            f"subscribers={len(self._subscribers)} emitted={self.emitted}>"
+        )

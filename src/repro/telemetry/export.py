@@ -1,0 +1,104 @@
+"""JSONL export of a telemetry stream.
+
+One JSON object per line:
+
+* a ``{"kind": "meta", ...}`` header (schema version, scenario, seed);
+* one ``{"t": ..., "kind": ..., <fields>}`` record per bus event;
+* a ``{"kind": "summary", ...}`` trailer (event counts, the metric
+  registry snapshot, the kernel tracer's ``dropped`` count, and
+  whatever run-level counters the caller adds).
+
+The default subscription excludes the two firehose kinds — kernel
+``sim.*`` events and per-packet ``net.deliver`` — so a 240-second
+scenario exports megabytes, not gigabytes; pass ``full=True`` to keep
+everything.  Non-JSON field values (e.g. ``ProcessId``) fall back to
+``str()``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.bus import Telemetry, TelemetryEvent
+
+SCHEMA_VERSION = 1
+
+#: Kinds excluded from default (non-``full``) exports.
+FIREHOSE_PREFIXES = ("sim.", "net.deliver")
+
+#: The default export keeps every application-level kind.
+DEFAULT_PREFIXES = (
+    "client.", "server.", "gcs.", "net.drop", "fault.", "span.", "metric.",
+)
+
+
+class JsonlExporter:
+    """Subscribes to a :class:`Telemetry` bus and streams events to disk.
+
+    Usage::
+
+        exporter = JsonlExporter(sim.telemetry, "run.jsonl")
+        exporter.meta(scenario="lan", seed=11)
+        ...  # run the simulation
+        exporter.close(tracer_dropped=sim.tracer.dropped)
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        path: str,
+        prefixes: Optional[Sequence[str]] = None,
+        full: bool = False,
+    ) -> None:
+        self.telemetry = telemetry
+        self.path = path
+        self.events_written = 0
+        self._handle = open(path, "w")
+        if prefixes is None:
+            prefixes = None if full else DEFAULT_PREFIXES
+        self._subscription = telemetry.subscribe(self._on_event, prefixes=prefixes)
+        self._closed = False
+
+    def meta(self, **fields) -> None:
+        """Write the header record (call once, before the run)."""
+        self._write(dict({"kind": "meta", "schema": SCHEMA_VERSION}, **fields))
+
+    def _on_event(self, event: TelemetryEvent) -> None:
+        self.events_written += 1
+        self._write(event.as_dict())
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, default=str))
+        self._handle.write("\n")
+
+    def close(self, **summary_fields) -> None:
+        """Detach, write the summary trailer and close the file."""
+        if self._closed:
+            return
+        self._closed = True
+        self._subscription.close()
+        summary = {
+            "kind": "summary",
+            "events_written": self.events_written,
+            "events_emitted": self.telemetry.emitted,
+            "metrics": self.telemetry.metrics.snapshot(),
+            "open_spans": [
+                {"span": s.kind, "key": s.key, "start": s.start}
+                for s in self.telemetry.open_spans()
+            ],
+        }
+        summary.update(summary_fields)
+        self._write(summary)
+        self._handle.close()
+
+
+def read_jsonl(path: str) -> List[Dict]:
+    """Parse a telemetry JSONL file back into a list of dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,220 @@
+"""Timeline reconstruction from a telemetry JSONL export.
+
+``repro-vod report run.jsonl`` renders a run's story from its exported
+events alone: the notable-event timeline (faults, view installs,
+sessions, takeover/rebalance spans, rate changes, water-mark crossings,
+stalls), per-span latencies, and buffer-level summaries rebuilt from
+``metric.sample`` records — exactly the reconstruction the paper's
+evaluation section performs by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Kinds that tell the story; everything else is counted, not listed.
+TIMELINE_KINDS = (
+    "fault.",
+    "gcs.view",
+    "gcs.flush",
+    "gcs.fd.",
+    "server.session",
+    "server.crash",
+    "server.shutdown",
+    "server.rate",
+    "server.emergency",
+    "client.migrate",
+    "client.watermark",
+    "client.stall",
+    "client.skip",
+    "client.flow",
+    "span.",
+)
+
+
+def is_timeline_kind(kind: str) -> bool:
+    return kind.startswith(TIMELINE_KINDS)
+
+
+class RunTimeline:
+    """Parsed view of one exported run."""
+
+    def __init__(self, records: List[Dict]) -> None:
+        self.meta: Dict = {}
+        self.summary: Dict = {}
+        self.events: List[Dict] = []
+        for record in records:
+            kind = record.get("kind")
+            if kind == "meta":
+                self.meta = record
+            elif kind == "summary":
+                self.summary = record
+            else:
+                self.events.append(record)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            kind = event.get("kind", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def timeline_events(self) -> List[Dict]:
+        return [e for e in self.events if is_timeline_kind(e.get("kind", ""))]
+
+    def spans(self) -> List[Dict]:
+        """Completed + still-open spans, matched begin/end by (span, key).
+
+        Begin/end pairs nest per key chronologically; an unmatched begin
+        appears with ``duration_s=None``.
+        """
+        finished: List[Dict] = []
+        open_spans: Dict[tuple, Dict] = {}
+        for event in self.events:
+            kind = event.get("kind")
+            ident = (event.get("span"), event.get("key"))
+            if kind == "span.begin":
+                open_spans[ident] = {
+                    "span": event.get("span"),
+                    "key": event.get("key"),
+                    "start": event.get("t"),
+                    "end": None,
+                    "duration_s": None,
+                }
+            elif kind == "span.end":
+                begun = open_spans.pop(ident, None)
+                record = begun or {
+                    "span": event.get("span"),
+                    "key": event.get("key"),
+                    "start": event.get("start"),
+                }
+                record["end"] = event.get("t")
+                record["duration_s"] = event.get("duration_s")
+                finished.append(record)
+        return finished + list(open_spans.values())
+
+    def series_summaries(self) -> List[Dict]:
+        """Min/mean/max/final per sampled (owner, series) pair."""
+        samples: Dict[tuple, List[float]] = {}
+        for event in self.events:
+            if event.get("kind") != "metric.sample":
+                continue
+            ident = (event.get("owner", ""), event.get("series", "?"))
+            samples.setdefault(ident, []).append(float(event.get("value", 0.0)))
+        out = []
+        for (owner, series), values in sorted(samples.items()):
+            out.append({
+                "owner": owner,
+                "series": series,
+                "n": len(values),
+                "min": min(values),
+                "mean": sum(values) / len(values),
+                "max": max(values),
+                "final": values[-1],
+            })
+        return out
+
+
+def load_timeline(path: str) -> RunTimeline:
+    from repro.telemetry.export import read_jsonl
+
+    return RunTimeline(read_jsonl(path))
+
+
+def _describe(event: Dict) -> str:
+    skip = ("t", "kind")
+    parts = [
+        f"{key}={value}" for key, value in event.items() if key not in skip
+    ]
+    return " ".join(parts)
+
+
+def render_report(timeline: RunTimeline, max_rows: int = 80) -> str:
+    """The ``repro-vod report`` text: header, counts, timeline, spans,
+    buffer levels, summary."""
+    from repro.metrics.report import Table  # lazy: keeps import order simple
+
+    blocks: List[str] = []
+
+    meta = dict(timeline.meta)
+    meta.pop("kind", None)
+    header = "telemetry run"
+    if meta:
+        header += ": " + " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    blocks.append(header)
+
+    counts = timeline.counts_by_kind()
+    count_table = Table("Event counts", ["kind", "events"])
+    for kind in sorted(counts):
+        count_table.add_row(kind, counts[kind])
+    blocks.append(count_table.render())
+
+    rows = timeline.timeline_events()
+    shown = rows[:max_rows]
+    timeline_table = Table(
+        f"Timeline ({len(shown)} of {len(rows)} notable events)",
+        ["t (s)", "kind", "detail"],
+    )
+    for event in shown:
+        timeline_table.add_row(
+            f"{event.get('t', 0.0):9.3f}", event.get("kind", "?"),
+            _describe(event),
+        )
+    blocks.append(timeline_table.render())
+    if len(rows) > len(shown):
+        blocks.append(f"... {len(rows) - len(shown)} more (raise --max-rows)")
+
+    spans = timeline.spans()
+    if spans:
+        span_table = Table(
+            "Spans", ["span", "key", "start (s)", "end (s)", "duration (s)"]
+        )
+        for span in spans:
+            duration = span.get("duration_s")
+            span_table.add_row(
+                span.get("span"),
+                span.get("key"),
+                _maybe_time(span.get("start")),
+                _maybe_time(span.get("end")),
+                "open" if duration is None else f"{duration:.3f}",
+            )
+        blocks.append(span_table.render())
+
+    series = timeline.series_summaries()
+    if series:
+        series_table = Table(
+            "Sampled series (buffer levels, cumulative counters)",
+            ["owner", "series", "samples", "min", "mean", "max", "final"],
+        )
+        for row in series:
+            series_table.add_row(
+                row["owner"], row["series"], row["n"],
+                f"{row['min']:.0f}", f"{row['mean']:.1f}",
+                f"{row['max']:.0f}", f"{row['final']:.0f}",
+            )
+        blocks.append(series_table.render())
+
+    summary = dict(timeline.summary)
+    if summary:
+        summary.pop("kind", None)
+        summary.pop("metrics", None)
+        blocks.append(
+            "summary: " + " ".join(
+                f"{k}={v}" for k, v in sorted(summary.items())
+                if not isinstance(v, (dict, list))
+            )
+        )
+        dropped = timeline.summary.get("tracer_dropped")
+        if dropped:
+            blocks.append(
+                f"WARNING: kernel tracer dropped {dropped} records "
+                "(trace truncated at max_records)"
+            )
+    return "\n\n".join(blocks)
+
+
+def _maybe_time(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.3f}"

@@ -1,0 +1,65 @@
+"""Span tracing for long-lived operations.
+
+A span brackets an operation that starts in one component and may end
+in another — a client session, a takeover (opened when a server
+crashes, closed when the adopter resumes the stream), a rebalance
+handoff.  Spans emit paired ``span.begin`` / ``span.end`` events on the
+bus and the open-span registry on :class:`~repro.telemetry.bus.Telemetry`
+lets the closing component find a span it did not open.
+
+Must not import the rest of :mod:`repro` (cycle: the sim kernel imports
+the telemetry bus).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Span:
+    """One in-flight (or finished) operation on the telemetry bus.
+
+    Created via :meth:`Telemetry.span`; call :meth:`end` exactly once.
+    ``duration`` is ``None`` until the span ends.
+    """
+
+    __slots__ = ("telemetry", "kind", "key", "start", "attrs", "duration")
+
+    def __init__(self, telemetry, kind: str, key: str, start: float, attrs) -> None:
+        self.telemetry = telemetry
+        self.kind = kind
+        self.key = key
+        self.start = start
+        self.attrs = attrs
+        self.duration: Optional[float] = None
+
+    @property
+    def ended(self) -> bool:
+        return self.duration is not None
+
+    def end(self, **attrs) -> float:
+        """Close the span; emits ``span.end`` and returns the duration.
+
+        Idempotent: a second call returns the recorded duration without
+        re-emitting.  Safe to call after the last subscriber detached
+        (the registry entry is still cleaned up; no event is emitted).
+        """
+        if self.duration is not None:
+            return self.duration
+        telemetry = self.telemetry
+        self.duration = telemetry.clock() - self.start
+        telemetry._forget_span(self)
+        if telemetry.active:
+            telemetry.emit(
+                "span.end",
+                span=self.kind,
+                key=self.key,
+                start=self.start,
+                duration_s=self.duration,
+                **dict(self.attrs, **attrs),
+            )
+        return self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"dur={self.duration:.3f}s" if self.ended else "open"
+        return f"<Span {self.kind}:{self.key} t0={self.start:.3f} {state}>"

@@ -1,0 +1,160 @@
+"""Unit tests for the telemetry bus, metric registry, spans and tracer."""
+
+import pytest
+
+from repro.telemetry import Span, Telemetry, Tracer
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    HistogramMetric,
+    MetricRegistry,
+)
+
+
+def test_active_tracks_subscribers():
+    tel = Telemetry()
+    assert tel.active is False
+    events, sub = tel.collect()
+    assert tel.active is True
+    sub.close()
+    assert tel.active is False
+    sub.close()  # idempotent
+    assert tel.active is False
+
+
+def test_emit_delivers_to_matching_subscribers():
+    tel = Telemetry(clock=lambda: 7.5)
+    everything, _ = tel.collect()
+    client_only, _ = tel.collect(prefixes=("client.",))
+    tel.emit("client.flow", client="c0", message="increase")
+    tel.emit("net.drop", link="l0", reason="loss")
+    assert [e.kind for e in everything] == ["client.flow", "net.drop"]
+    assert [e.kind for e in client_only] == ["client.flow"]
+    event = client_only[0]
+    assert event.time == 7.5
+    assert event.fields == {"client": "c0", "message": "increase"}
+    assert event.as_dict() == {
+        "t": 7.5, "kind": "client.flow", "client": "c0", "message": "increase",
+    }
+    assert tel.emitted == 2
+
+
+def test_as_dict_reserves_t_and_kind():
+    from repro.telemetry.bus import TelemetryEvent
+
+    event = TelemetryEvent(3.0, "server.rate", {"kind": "shadowed", "t": -1.0})
+    record = event.as_dict()
+    assert record["kind"] == "server.rate"
+    assert record["t"] == 3.0
+
+
+def test_closed_subscriber_stops_receiving():
+    tel = Telemetry()
+    events, sub = tel.collect()
+    tel.emit("fault.fired", note="crash")
+    sub.close()
+    tel.emit("fault.fired", note="partition")
+    assert len(events) == 1
+
+
+def test_count_shorthand_bumps_registry_counter():
+    tel = Telemetry()
+    tel.count("net.drop.loss")
+    tel.count("net.drop.loss", 2)
+    assert tel.metrics.counter("net.drop.loss").value == 3
+
+
+def test_metric_registry_lazily_creates_and_type_checks():
+    registry = MetricRegistry()
+    counter = registry.counter("a")
+    assert registry.counter("a") is counter
+    registry.gauge("g").set(4)
+    assert registry.gauge("g").value == 4.0
+    with pytest.raises(ValueError):
+        registry.histogram("a")
+    assert registry.names() == ["a", "g"]
+
+
+def test_counter_rejects_decrements():
+    registry = MetricRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("c").inc(-1)
+
+
+def test_histogram_buckets_and_snapshot():
+    hist = HistogramMetric("takeover.latency_s", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.5, 5.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.counts == [1, 2, 1]  # <=0.1, <=1.0, +inf overflow
+    assert hist.mean == pytest.approx(6.05 / 4)
+
+    registry = MetricRegistry()
+    registry.histogram("h", buckets=(0.1, 1.0)).observe(0.5)
+    snap = registry.snapshot()
+    assert snap["h"]["count"] == 1
+    assert snap["h"]["buckets"] == [0.1, 1.0]
+    assert len(DEFAULT_LATENCY_BUCKETS_S) + 1 == len(
+        HistogramMetric("d").counts
+    )
+
+
+def test_span_lifecycle_and_registry():
+    now = [10.0]
+    tel = Telemetry(clock=lambda: now[0])
+    events, _ = tel.collect()
+
+    span = tel.span("takeover", key="client0", cause="crash")
+    assert isinstance(span, Span)
+    assert tel.open_span("takeover", "client0") is span
+    assert tel.open_spans() == [span]
+    assert not span.ended
+
+    now[0] = 12.5
+    duration = tel.end_span("takeover", "client0", to_server="s1")
+    assert duration == pytest.approx(2.5)
+    assert span.ended
+    assert tel.open_span("takeover", "client0") is None
+    assert tel.open_spans() == []
+
+    kinds = [e.kind for e in events]
+    assert kinds == ["span.begin", "span.end"]
+    assert events[0].fields["span"] == "takeover"
+    assert events[0].fields["cause"] == "crash"
+    assert events[1].fields["duration_s"] == pytest.approx(2.5)
+    assert events[1].fields["to_server"] == "s1"
+
+
+def test_span_end_is_idempotent_and_unknown_end_is_none():
+    tel = Telemetry(clock=lambda: 1.0)
+    span = tel.span("client.session", key="c0")
+    assert span.end() == pytest.approx(0.0)
+    assert span.end() == pytest.approx(0.0)  # second end keeps duration
+    assert tel.end_span("client.session", "c0") is None
+    assert tel.end_span("takeover", "never-opened") is None
+
+
+def test_tracer_counts_dropped_records():
+    tracer = Tracer(enabled=True, max_records=2)
+
+    def tick():
+        pass
+
+    for time in (0.0, 1.0, 2.0, 3.0):
+        tracer.record(time, tick, ())
+    assert len(tracer.records) == 2
+    assert tracer.dropped == 2
+    assert tracer.truncated
+    assert tracer.names() == ["test_tracer_counts_dropped_records.<locals>.tick"] * 2
+
+    tracer.clear()
+    assert tracer.records == []
+    assert tracer.dropped == 0
+    assert not tracer.truncated
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False, max_records=1)
+    tracer.record(0.0, print, ())
+    tracer.record(1.0, print, ())
+    assert tracer.records == []
+    assert tracer.dropped == 0

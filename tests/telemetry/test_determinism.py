@@ -1,0 +1,48 @@
+"""Telemetry is a pure observer: enabling it must not perturb a run.
+
+Same seed, same scenario — one run with full telemetry (JSONL exporter
+on every kind plus an in-memory collector), one run with none.  Client
+stats, fault fire logs, migrations and every sampled series must be
+identical; any divergence means instrumentation leaked into simulation
+behaviour (consumed randomness, scheduled an event, mutated state).
+"""
+
+import dataclasses
+
+from repro.experiments.scenarios import LAN_SCENARIO, run_scenario
+
+SPEC = dataclasses.replace(
+    LAN_SCENARIO,
+    name="lan-determinism",
+    movie_duration_s=80.0,
+    run_duration_s=80.0,
+    schedule=((30.0, "crash-serving"), (55.0, "server-up")),
+)
+
+
+def test_full_telemetry_does_not_perturb_run(tmp_path):
+    silent = run_scenario(SPEC)
+    assert silent.sim.telemetry.emitted == 0  # nothing ran while disabled
+
+    observed = run_scenario(
+        SPEC, telemetry_path=str(tmp_path / "run.jsonl"), telemetry_full=True
+    )
+    assert observed.sim.telemetry.emitted > 0
+
+    # The full run story — counters, fire log, migrations, series — is
+    # identical between the observed and unobserved runs.
+    assert observed.export_dict() == silent.export_dict()
+    assert observed.injector.fired == silent.injector.fired
+    assert observed.crash_times == silent.crash_times
+    assert observed.server_up_times == silent.server_up_times
+
+
+def test_same_seed_telemetry_runs_are_identical(tmp_path):
+    first = run_scenario(SPEC, telemetry_path=str(tmp_path / "a.jsonl"))
+    second = run_scenario(SPEC, telemetry_path=str(tmp_path / "b.jsonl"))
+    assert first.export_dict() == second.export_dict()
+    from repro.telemetry import read_jsonl
+
+    assert read_jsonl(str(tmp_path / "a.jsonl")) == read_jsonl(
+        str(tmp_path / "b.jsonl")
+    )

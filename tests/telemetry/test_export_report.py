@@ -1,0 +1,121 @@
+"""End-to-end: a takeover run's JSONL export reconstructs the timeline.
+
+The acceptance bar for the telemetry subsystem: run the LAN crash
+scenario with the exporter attached, then rebuild the whole story —
+buffer levels, rate changes, view installs, the takeover span with its
+latency — from the file alone, and render it via ``repro-vod report``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.experiments.scenarios import LAN_SCENARIO, run_scenario
+from repro.telemetry import SCHEMA_VERSION, load_timeline, read_jsonl, render_report
+
+#: Short LAN run: crash of the serving server at 30 s forces a takeover.
+TAKEOVER_SPEC = dataclasses.replace(
+    LAN_SCENARIO,
+    name="lan-takeover-telemetry",
+    movie_duration_s=80.0,
+    run_duration_s=80.0,
+    schedule=((30.0, "crash-serving"),),
+)
+
+
+@pytest.fixture(scope="module")
+def export_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("telemetry") / "takeover.jsonl"
+    result = run_scenario(TAKEOVER_SPEC, telemetry_path=str(path))
+    assert result.telemetry_path == str(path)
+    return str(path)
+
+
+def test_export_structure(export_path):
+    records = read_jsonl(export_path)
+    assert records[0]["kind"] == "meta"
+    assert records[0]["schema"] == SCHEMA_VERSION
+    assert records[0]["scenario"] == "lan-takeover-telemetry"
+    assert records[-1]["kind"] == "summary"
+    events = records[1:-1]
+    assert records[-1]["events_written"] == len(events)
+    assert all("t" in event for event in events)
+    times = [event["t"] for event in events]
+    assert times == sorted(times)  # virtual time is monotone
+
+
+def test_export_reconstructs_session_timeline(export_path):
+    events = read_jsonl(export_path)[1:-1]
+    kinds = {event["kind"] for event in events}
+    # Every layer shows up.
+    assert "fault.fired" in kinds          # faulting
+    assert "gcs.view.install" in kinds     # GCS membership
+    assert "server.session.start" in kinds  # server
+    assert "server.rate" in kinds          # flow control at the server
+    assert "client.flow" in kinds          # client control traffic
+    assert "client.watermark" in kinds     # buffer-level crossings
+    assert "metric.sample" in kinds        # sampled buffer series
+
+    starts = [e for e in events if e["kind"] == "server.session.start"]
+    assert any(not start["takeover"] for start in starts)  # initial admit
+    takeover_starts = [start for start in starts if start["takeover"]]
+    assert takeover_starts, "crash at 30 s must produce a takeover admit"
+    assert all(start["t"] > 30.0 for start in takeover_starts)
+
+    crashes = [e for e in events if e["kind"] == "server.crash"]
+    assert len(crashes) == 1 and crashes[0]["t"] == pytest.approx(30.0)
+
+    samples = [e for e in events if e["kind"] == "metric.sample"]
+    assert {s["series"] for s in samples} >= {
+        "software_buffer_frames", "hardware_buffer_bytes",
+    }
+
+
+def test_takeover_span_has_latency(export_path):
+    timeline = load_timeline(str(export_path))
+    spans = [s for s in timeline.spans() if s["span"] == "takeover"]
+    assert spans, "the crash must open a takeover span"
+    finished = [s for s in spans if s["duration_s"] is not None]
+    assert finished, "the adopting server must close the takeover span"
+    span = finished[0]
+    assert span["start"] == pytest.approx(30.0)
+    assert 0.0 < span["duration_s"] < 10.0
+    # The span latency also lands in the metric registry snapshot.
+    hist = timeline.summary["metrics"]["takeover.latency_s"]
+    assert hist["count"] == len(finished)
+    assert hist["mean"] == pytest.approx(
+        sum(s["duration_s"] for s in finished) / len(finished), rel=1e-6
+    )
+
+
+def test_render_report_sections(export_path):
+    text = render_report(load_timeline(str(export_path)))
+    assert "telemetry run" in text
+    assert "scenario=lan-takeover-telemetry" in text
+    assert "Event counts" in text
+    assert "Timeline" in text
+    assert "Spans" in text
+    assert "takeover" in text
+    assert "Sampled series" in text
+    assert "software_buffer_frames" in text
+    assert "events_written=" in text
+
+
+def test_report_truncation_note(export_path):
+    text = render_report(load_timeline(str(export_path)), max_rows=5)
+    assert "more (raise --max-rows)" in text
+
+
+def test_cli_trace_then_report(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    assert main(["trace", "--scenario", "lan", "--duration", "45",
+                 "--out", str(out)]) == 0
+    trace_output = capsys.readouterr().out
+    assert f"telemetry written to {out}" in trace_output
+    assert "displayed=" in trace_output
+
+    assert main(["report", str(out)]) == 0
+    report_output = capsys.readouterr().out
+    assert "Event counts" in report_output
+    assert "Timeline" in report_output
