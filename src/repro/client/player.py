@@ -33,6 +33,7 @@ from repro.service.protocol import (
     EndOfStream,
     FlowControlMsg,
     FlowKind,
+    FrameBurst,
     FramePacket,
     ListMoviesReply,
     ListMoviesRequest,
@@ -139,6 +140,7 @@ class VoDClient:
         name: str,
         config: Optional[ClientConfig] = None,
         endpoint: Optional[GcsEndpoint] = None,
+        video_port: Optional[int] = VIDEO_PORT,
     ) -> None:
         self.domain = domain
         self.sim = domain.sim
@@ -149,9 +151,12 @@ class VoDClient:
         self.process = self.endpoint.process_id(name)
         self.node_id = self.endpoint.daemon_id
 
+        # ``video_port=None`` binds an ephemeral port, letting many
+        # clients share one node (the server learns the port from the
+        # connect request, so any port works).
         self.video_socket = UdpSocket(
             self.domain.network.node(self.node_id),
-            VIDEO_PORT,
+            video_port,
             on_receive=self._on_video_datagram,
         )
         self.software_buffer = SoftwareBuffer(self.config.sw_capacity_frames)
@@ -395,6 +400,13 @@ class VoDClient:
         if isinstance(payload, EndOfStream):
             if payload.epoch == self.epoch:
                 self.eos_received = True
+            return
+        if isinstance(payload, FrameBurst):
+            # Coalesced window (wire fallback): process members exactly
+            # as if they had arrived one by one — flow-control watermark
+            # accounting is per frame either way.
+            for packet in payload.packets:
+                self._on_frame(packet)
             return
         if not isinstance(payload, FramePacket):
             return

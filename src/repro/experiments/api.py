@@ -75,6 +75,7 @@ REGISTRY: Dict[str, Tuple[str, Dict[str, Any]]] = {
     "gcs": ("repro.experiments.gcs_latency", {}),
     "gcs_latency": ("repro.experiments.gcs_latency", {}),
     "faults": ("repro.experiments.faults", {}),
+    "scale": ("repro.experiments.scale", {}),
     "chaos": ("repro.faulting.chaos", {}),
     "ablations": ("repro.experiments.ablations", {}),
 }

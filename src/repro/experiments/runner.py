@@ -37,7 +37,7 @@ from repro.experiments.api import REGISTRY, ExperimentSpec, run
 
 #: Experiments that execute a scenario and therefore export telemetry
 #: artifacts by default.
-TELEMETRY_EXPERIMENTS = ("figure4", "figure5", "chaos")
+TELEMETRY_EXPERIMENTS = ("figure4", "figure5", "chaos", "scale")
 
 #: Order in which ``repro-vod all`` runs (excludes the slow chaos/
 #: capacity/gcs sweeps, mirroring the historical behaviour).
@@ -78,6 +78,14 @@ def _spec_from_args(name: str, args: argparse.Namespace) -> ExperimentSpec:
         params["trials"] = args.trials
     if args.plans is not None:
         params["plans"] = args.plans
+    if getattr(args, "sizes", None) is not None:
+        params["sizes"] = args.sizes
+    if getattr(args, "duration", None) is not None:
+        params["duration"] = args.duration
+    if getattr(args, "window", None) is not None:
+        params["window"] = args.window
+    if getattr(args, "benchmark_json", None) is not None:
+        params["benchmark_json"] = args.benchmark_json
     return ExperimentSpec(
         name=name,
         seed=args.seed,
@@ -193,6 +201,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plans", type=int, default=20)
     sub.add_parser("ablations", parents=[common],
                    help="A-1..A-5 parameter sweeps")
+    p = sub.add_parser(
+        "scale", parents=[common],
+        help="data-plane fast path: events/s, wall time and failover "
+             "latency at N=100/1k/5k viewers with a mid-run crash",
+    )
+    p.add_argument(
+        "--sizes", type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=None, help="comma-separated client populations "
+                           "(default 100,1000,5000)",
+    )
+    p.add_argument("--duration", type=float, default=None,
+                   help="simulated seconds per point (default 12)")
+    p.add_argument("--window", type=float, default=None,
+                   help="batch window in seconds (default 1.0)")
+    p.add_argument("--benchmark-json", type=str, default=None,
+                   dest="benchmark_json",
+                   help="write the sweep's measurements (events/s, wall "
+                        "time, failover latencies) to this JSON file")
     sub.add_parser("all", parents=[common], help="everything")
 
     p = sub.add_parser(

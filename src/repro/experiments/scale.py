@@ -1,0 +1,367 @@
+"""Scale experiment: the data-plane fast path under thousands of viewers.
+
+The paper's introduction motivates the design with metropolitan-scale
+deployments: "in such an environment, scalability and fault tolerance
+will be key issues".  This experiment loads one service with N
+concurrent viewers (N = 100 / 1 000 / 5 000), crashes the most-loaded
+server mid-run, and measures
+
+* simulator throughput — events and delivered frames per wall-clock
+  second — with the batched fast path on and off, and
+* failover latency (crash to takeover session start), which must stay
+  flat in N: the takeover path is per-client state lookup, not a scan.
+
+Topology: an *edge-concentrator* LAN.  Each edge node concentrates up
+to ``clients_per_edge`` viewers behind one GCS daemon and one fat
+edge link, so the control plane scales with the number of edges rather
+than the number of viewers — how a real metropolitan head-end would be
+provisioned — while the video plane still crosses two switched hops per
+frame.  All links are loss-free, so batched sessions stay on the fast
+path for the entire run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.client.player import VoDClient
+from repro.experiments.api import ExperimentResult, ExperimentSpec
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.metrics.report import Table
+from repro.net.link import LinkParams
+from repro.net.network import Network
+from repro.net.topologies import Topology
+from repro.server.server import ServerConfig
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+#: Server uplink: a head-end trunk.  Loss-free and fat enough that a
+#: third of the 5 000-viewer load stays far below saturation.
+SERVER_LINK = LinkParams(delay_s=0.0001, bandwidth_bps=40e9)
+
+#: Edge concentrator link: many viewers share it, still loss-free.
+EDGE_LINK = LinkParams(delay_s=0.0002, bandwidth_bps=10e9)
+
+#: Viewers packed behind one edge node / GCS daemon.
+CLIENTS_PER_EDGE = 64
+
+#: Default population sweep (the paper's "scalability" claim at depth).
+DEFAULT_SIZES = (100, 1000, 5000)
+
+#: Per-frame baseline comparison runs up to this N (the slow path at
+#: 5 000 viewers costs minutes of wall clock for no extra information).
+COMPARE_MAX = 1000
+
+
+@dataclass
+class ScalePoint:
+    """Measurements from one (N, mode) run."""
+
+    n_clients: int
+    batch_window_s: float
+    duration_s: float
+    events: int
+    wall_s: float
+    frames_delivered: int
+    failover_latencies: List[float] = field(default_factory=list)
+    takeovers: int = 0
+
+    @property
+    def batched(self) -> bool:
+        return self.batch_window_s > 0
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def frames_per_wall_s(self) -> float:
+        return self.frames_delivered / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def max_failover_s(self) -> float:
+        return max(self.failover_latencies, default=0.0)
+
+
+class _FailoverObserver:
+    """Measures crash-to-takeover latency without telemetry overhead.
+
+    Routine load-balance churn also starts sessions with
+    ``takeover=True``, so only the *first* takeover of each client the
+    crashed server was serving counts as a failover."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.crash_time: Optional[float] = None
+        self.victim_clients: set = set()
+        self.latencies: List[float] = []
+
+    def note_crash(self, victim) -> None:
+        self.crash_time = self.sim.now
+        self.victim_clients = set(victim.sessions)
+
+    def on_session_start(self, server, record, takeover: bool) -> None:
+        if takeover and record.client in self.victim_clients:
+            self.victim_clients.discard(record.client)
+            self.latencies.append(self.sim.now - self.crash_time)
+
+
+def build_edge_lan(
+    sim: Simulator,
+    n_servers: int,
+    n_edges: int,
+    server_link: LinkParams = SERVER_LINK,
+    edge_link: LinkParams = EDGE_LINK,
+) -> Topology:
+    """One core switch, ``n_servers`` head-end hosts, ``n_edges``
+    concentrator hosts.  ``hosts[:n_servers]`` are the server slots,
+    ``hosts[n_servers:]`` the edges."""
+    network = Network(sim)
+    core = network.add_node("core")
+    topology = Topology(network=network, infrastructure=[core.node_id])
+    for index in range(n_servers):
+        host = network.add_node(f"headend{index}")
+        network.add_link(host.node_id, core.node_id, server_link)
+        topology.hosts.append(host.node_id)
+    for index in range(n_edges):
+        edge = network.add_node(f"edge{index}")
+        network.add_link(edge.node_id, core.node_id, edge_link)
+        topology.hosts.append(edge.node_id)
+    return topology
+
+
+def build_scale_rig(
+    n_clients: int,
+    batch_window_s: float,
+    n_servers: int = 3,
+    seed: int = 77,
+    movie_duration_s: float = 120.0,
+    connect_start_s: float = 2.5,
+    connect_window_s: float = 2.0,
+    clients_per_edge: int = CLIENTS_PER_EDGE,
+) -> Tuple[Simulator, Deployment, List[VoDClient], _FailoverObserver]:
+    """A service with ``n_clients`` viewers connecting over
+    ``connect_window_s`` seconds starting at ``connect_start_s``.
+
+    Admission starts *after* the movie group's initial view has settled:
+    connects that land while the view is still forming are redistributed
+    by the join-regime recompute on every record arrival, which thrashes
+    sessions at thousand-client floods.  Real deployments gate admission
+    on service readiness the same way."""
+    sim = Simulator(seed=seed)
+    n_edges = max(1, -(-n_clients // clients_per_edge))
+    topology = build_edge_lan(sim, n_servers, n_edges)
+    catalog = MovieCatalog(
+        [Movie.synthetic("feature", duration_s=movie_duration_s)]
+    )
+    deployment = Deployment(
+        topology,
+        catalog,
+        server_nodes=list(range(n_servers)),
+        server_config=ServerConfig(batch_window_s=batch_window_s),
+    )
+    observer = _FailoverObserver(sim)
+    deployment.add_server_observer(observer)
+
+    edge_endpoints: Dict[int, object] = {}
+    clients: List[VoDClient] = []
+    for index in range(n_clients):
+        edge_index = index % n_edges
+        host_index = n_servers + edge_index
+        node_id = topology.host(host_index)
+        endpoint = edge_endpoints.get(node_id)
+        if endpoint is None:
+            endpoint = deployment.domain.create_endpoint(node_id)
+            edge_endpoints[node_id] = endpoint
+        client = deployment.attach_client(
+            host_index, endpoint=endpoint, video_port=None
+        )
+        clients.append(client)
+        offset = connect_start_s + (index * connect_window_s) / max(1, n_clients)
+        sim.call_at(offset, client.request_movie, "feature")
+    return sim, deployment, clients, observer
+
+
+def run_scale_point(
+    n_clients: int,
+    batch_window_s: float,
+    duration_s: float = 12.0,
+    crash_at: Optional[float] = None,
+    seed: int = 77,
+    n_servers: int = 3,
+    telemetry_path: Optional[str] = None,
+) -> ScalePoint:
+    """Run one population point and return its measurements.
+
+    ``crash_at`` (default: mid-run) terminates the most-loaded server;
+    its clients fail over to the survivors.  ``telemetry_path`` streams
+    a JSONL export — only use it for artifact runs, as the export makes
+    wall-clock figures meaningless."""
+    if crash_at is None:
+        crash_at = duration_s / 2.0
+    sim, deployment, clients, observer = build_scale_rig(
+        n_clients,
+        batch_window_s,
+        n_servers=n_servers,
+        seed=seed,
+        movie_duration_s=duration_s + 60.0,
+    )
+    exporter = None
+    if telemetry_path is not None:
+        from repro.telemetry.export import JsonlExporter
+
+        exporter = JsonlExporter(sim.telemetry, telemetry_path)
+        exporter.meta(
+            experiment="scale",
+            n_clients=n_clients,
+            batch_window_s=batch_window_s,
+            seed=seed,
+            duration_s=duration_s,
+        )
+
+    def crash_most_loaded() -> None:
+        victim = max(deployment.live_servers(), key=lambda s: s.n_clients)
+        observer.note_crash(victim)
+        victim.crash()
+
+    sim.call_at(crash_at, crash_most_loaded)
+
+    started = time.perf_counter()
+    events = sim.run_until(duration_s)
+    wall = time.perf_counter() - started
+
+    frames = sum(client.stats.received for client in clients)
+    point = ScalePoint(
+        n_clients=n_clients,
+        batch_window_s=batch_window_s,
+        duration_s=duration_s,
+        events=events,
+        wall_s=wall,
+        frames_delivered=frames,
+        failover_latencies=list(observer.latencies),
+        takeovers=len(observer.latencies),
+    )
+    if exporter is not None:
+        exporter.close(
+            frames_delivered=frames,
+            takeovers=point.takeovers,
+            max_failover_s=point.max_failover_s,
+        )
+    return point
+
+
+def run(spec: ExperimentSpec) -> ExperimentResult:
+    """Entry point for ``ExperimentSpec(name="scale")``.
+
+    Params: ``sizes`` (populations to sweep), ``duration`` (simulated
+    seconds per point), ``window`` (batch window, seconds; the per-frame
+    baseline always uses 0), ``compare_max`` (largest N that also runs
+    the per-frame baseline), ``telemetry_n`` (population of the
+    telemetry-artifact run; ignored without ``spec.telemetry_path``).
+    """
+    params = spec.params
+    sizes = tuple(params.get("sizes", DEFAULT_SIZES))
+    duration = float(params.get("duration", 12.0))
+    window = float(params.get("window", 1.0))
+    compare_max = int(params.get("compare_max", COMPARE_MAX))
+    seed = spec.seed if spec.seed is not None else 77
+
+    points: List[ScalePoint] = []
+    baselines: Dict[int, ScalePoint] = {}
+    for n_clients in sizes:
+        fast = run_scale_point(
+            n_clients, window, duration_s=duration, seed=seed
+        )
+        points.append(fast)
+        if n_clients <= compare_max:
+            baselines[n_clients] = run_scale_point(
+                n_clients, 0.0, duration_s=duration, seed=seed
+            )
+
+    artifacts: Dict[str, str] = {}
+    benchmark_json = params.get("benchmark_json")
+    if benchmark_json:
+        directory = os.path.dirname(benchmark_json)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        payload = {
+            "experiment": "scale",
+            "seed": seed,
+            "duration_s": duration,
+            "window_s": window,
+            "points": [
+                {
+                    "n_clients": row.n_clients,
+                    "mode": "batched" if row.batched else "per-frame",
+                    "events": row.events,
+                    "wall_s": row.wall_s,
+                    "events_per_s": row.events_per_s,
+                    "frames_delivered": row.frames_delivered,
+                    "frames_per_wall_s": row.frames_per_wall_s,
+                    "takeovers": row.takeovers,
+                    "max_failover_s": row.max_failover_s,
+                    "failover_latencies": row.failover_latencies,
+                }
+                for row in list(baselines.values()) + points
+            ],
+        }
+        with open(benchmark_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        artifacts["benchmark_json"] = benchmark_json
+    if spec.telemetry_path is not None:
+        telemetry_n = int(params.get("telemetry_n", min(sizes)))
+        run_scale_point(
+            telemetry_n, window, duration_s=duration, seed=seed,
+            telemetry_path=spec.telemetry_path,
+        )
+        artifacts["telemetry"] = spec.telemetry_path
+
+    table = Table(
+        f"Scale — batched fast path, {duration:.0f}s, crash mid-run",
+        [
+            "clients", "mode", "events", "wall (s)", "events/s",
+            "frames/wall-s", "takeovers", "max failover (s)",
+        ],
+    )
+    for point in points:
+        baseline = baselines.get(point.n_clients)
+        for row in filter(None, (baseline, point)):
+            table.add_row(
+                row.n_clients,
+                "batched" if row.batched else "per-frame",
+                row.events,
+                f"{row.wall_s:.2f}",
+                f"{row.events_per_s:,.0f}",
+                f"{row.frames_per_wall_s:,.0f}",
+                row.takeovers,
+                f"{row.max_failover_s:.3f}",
+            )
+
+    blocks = [table.render()]
+    speedups = []
+    for point in points:
+        baseline = baselines.get(point.n_clients)
+        if baseline is not None and point.wall_s > 0:
+            speedups.append(
+                f"N={point.n_clients}: "
+                f"{baseline.wall_s / point.wall_s:.2f}x wall, "
+                f"{point.frames_per_wall_s / max(baseline.frames_per_wall_s, 1e-9):.2f}x "
+                f"frame throughput"
+            )
+    if speedups:
+        blocks.append("Fast-path speedup vs per-frame: " + "; ".join(speedups))
+    failovers = [p.max_failover_s for p in points if p.takeovers]
+    if len(failovers) >= 2:
+        blocks.append(
+            "Failover latency across populations: "
+            + ", ".join(f"{v:.3f}s" for v in failovers)
+            + " (flat in N: takeover is per-client state lookup)"
+        )
+    return ExperimentResult(spec=spec, blocks=blocks, data=points,
+                            artifacts=artifacts)

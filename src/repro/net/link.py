@@ -152,6 +152,14 @@ class _Direction:
         self.fault: Optional[LinkFault] = None
         # Virtual time when the transmitter finishes its current backlog.
         self._tx_free_at = 0.0
+        # True when the intrinsic parameters make every stochastic draw
+        # a no-op: transmissions then take a branch with no RNG lookup
+        # at all.  LinkParams is frozen, so this never goes stale.
+        self._params_clean = (
+            params.loss_prob == 0.0
+            and params.jitter_s == 0.0
+            and params.reorder_prob == 0.0
+        )
 
     def set_fault(self, fault: Optional[LinkFault]) -> None:
         if fault is not None:
@@ -159,6 +167,13 @@ class _Direction:
             if fault.is_noop:
                 fault = None
         self.fault = fault
+
+    @property
+    def clean(self) -> bool:
+        """True when a transmission right now is deterministic: no loss,
+        jitter or reorder draws and no injected fault.  (Tail drops can
+        still happen — they are arithmetic, not stochastic.)"""
+        return self._params_clean and self.fault is None
 
     def transmit(
         self, datagram: Datagram, deliver: DeliverFn, guaranteed: bool = False
@@ -216,6 +231,17 @@ class _Direction:
 
         if guaranteed:
             self.stats.guaranteed_packets += 1
+            arrival = self._tx_free_at + self.params.delay_s + fault_extra_s
+            self._schedule_delivery(
+                arrival, datagram, deliver, fault, fault_duplicate
+            )
+            return
+
+        if self._params_clean:
+            # Zero-overhead fast path: with loss, jitter and reorder all
+            # zero, none of the draws below can change anything — skip
+            # the RNG lookup entirely.  (Merely fetching a stream never
+            # advances it, so slow- and fast-path runs stay identical.)
             arrival = self._tx_free_at + self.params.delay_s + fault_extra_s
             self._schedule_delivery(
                 arrival, datagram, deliver, fault, fault_duplicate

@@ -29,8 +29,18 @@ class Network:
         self._links: Dict[Tuple[int, int], Link] = {}
         self._adjacency: Dict[int, List[int]] = {}
         self._routes: Optional[Dict[int, Dict[int, int]]] = None
+        # Bumped on every change that can affect in-flight traffic:
+        # topology, link up/down, injected faults, node crash/restart.
+        # Precomputed burst transfers (net/burst.py) revalidate their
+        # path whenever this moves.
+        self.state_version = 0
         # Optional QoS manager (repro.net.qos.QosManager.install).
         self.qos = None
+
+    def note_change(self) -> None:
+        """Invalidate cached routes and precomputed fast-path state."""
+        self._routes = None
+        self.state_version += 1
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -40,7 +50,7 @@ class Network:
         node = Node(self, node_id, name or f"node{node_id}")
         self.nodes.append(node)
         self._adjacency[node_id] = []
-        self._routes = None
+        self.note_change()
         return node
 
     def add_link(
@@ -59,7 +69,7 @@ class Network:
         self._links[key] = link
         self._adjacency[node_a].append(node_b)
         self._adjacency[node_b].append(node_a)
-        self._routes = None
+        self.note_change()
         return link
 
     def node(self, node_id: int) -> Node:
@@ -81,7 +91,7 @@ class Network:
     # ------------------------------------------------------------------
     def set_link_state(self, node_a: int, node_b: int, up: bool) -> None:
         self.link(node_a, node_b).set_up(up)
-        self._routes = None
+        self.note_change()
 
     def partition(self, side_a: Iterable[int], side_b: Iterable[int]) -> None:
         """Cut every link that crosses between the two node sets."""
@@ -89,13 +99,13 @@ class Network:
         for (u, v), link in self._links.items():
             if (u in set_a and v in set_b) or (u in set_b and v in set_a):
                 link.set_up(False)
-        self._routes = None
+        self.note_change()
 
     def heal(self) -> None:
         """Bring every link back up."""
         for link in self._links.values():
             link.set_up(True)
-        self._routes = None
+        self.note_change()
 
     def partition_node(self, node_id: int) -> None:
         """Isolate one node: take down every link it terminates."""
@@ -103,7 +113,7 @@ class Network:
         for (u, v), link in self._links.items():
             if node_id in (u, v):
                 link.set_up(False)
-        self._routes = None
+        self.note_change()
 
     def heal_node(self, node_id: int) -> None:
         """Undo :meth:`partition_node`: restore the node's links."""
@@ -111,7 +121,7 @@ class Network:
         for (u, v), link in self._links.items():
             if node_id in (u, v):
                 link.set_up(True)
-        self._routes = None
+        self.note_change()
 
     # ------------------------------------------------------------------
     # Fault injection (see repro.faulting)
@@ -121,6 +131,7 @@ class Network:
     ) -> None:
         """Install (or clear, with None) an impairment on one link."""
         self.link(node_a, node_b).set_fault(fault)
+        self.note_change()
 
     def set_node_fault(self, node_id: int, fault: Optional[LinkFault]) -> None:
         """Impair every link terminating at ``node_id`` (a flaky NIC or
@@ -129,10 +140,12 @@ class Network:
         for (u, v), link in self._links.items():
             if node_id in (u, v):
                 link.set_fault(fault)
+        self.note_change()
 
     def clear_link_faults(self) -> None:
         for link in self._links.values():
             link.set_fault(None)
+        self.note_change()
 
     def faulted_links(self) -> List[Tuple[int, int]]:
         return sorted(key for key, link in self._links.items() if link.faulted)
@@ -179,6 +192,44 @@ class Network:
         if not node.alive and node_id != datagram.dst.node:
             return  # routers that crashed blackhole traffic
         self._forward(datagram, at_node=node_id)
+
+    # ------------------------------------------------------------------
+    # Fast-path support (see repro.net.burst)
+    # ------------------------------------------------------------------
+    def resolve_path(self, src: int, dst: int):
+        """The hop sequence a datagram would take right now, or None.
+
+        Returns a list of ``(direction, to_node_id)`` pairs following the
+        same BFS next-hop tables :meth:`send` uses, so a precomputed
+        burst crosses exactly the links a per-frame send would.
+        """
+        if src == dst:
+            return []
+        hops = []
+        at = src
+        while at != dst:
+            next_hop = self._next_hop(at, dst)
+            if next_hop is None or len(hops) >= 64:
+                return None
+            hops.append((self.link(at, next_hop).direction(at), next_hop))
+            at = next_hop
+        return hops
+
+    def path_clear(self, hops, dst: int) -> bool:
+        """True when every hop of ``hops`` is deterministic end to end:
+        links up and clean (no loss/jitter/reorder/fault draws), transit
+        nodes alive, and the destination both alive and free of
+        process-scheduling noise.  Under these conditions a batched
+        transfer is bit-identical to per-frame sends."""
+        for direction, to_node in hops:
+            if not direction.up or not direction.clean:
+                return False
+            node = self.nodes[to_node]
+            if not node.alive:
+                return False
+            if to_node == dst and node.scheduling_noise_s > 0:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Routing (BFS shortest path over live links)

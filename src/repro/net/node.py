@@ -71,10 +71,12 @@ class Node:
         for socket in list(self._sockets.values()):
             socket.close()
         self._sockets.clear()
+        self.network.note_change()
 
     def restart(self) -> None:
         """Bring a crashed node back (with no sockets — fresh process)."""
         self.alive = True
+        self.network.note_change()
 
     # ------------------------------------------------------------------
     # Datagram plumbing (called by the Network)

@@ -58,6 +58,12 @@ class ServerConfig:
     # of 40% for emergency periods (the paper's Section 4.1 sizing and
     # its Section 8 ATM plan).
     use_qos: bool = False
+    # Batched transmission: when positive, each streaming session
+    # collapses up to this many seconds of per-frame timer ticks into a
+    # single precomputed burst whenever the path to the client is
+    # loss-free and deterministic (see repro.net.burst).  Zero keeps the
+    # classic one-event-per-frame transmission loop.
+    batch_window_s: float = 0.0
     qos_vbr_fraction: float = 0.4
 
 
@@ -208,6 +214,23 @@ class VoDServer:
         self.video_frames_sent += 1
         self.video_socket.sendto(endpoint, payload, size, flow_id=flow_id)
 
+    def send_video_burst(
+        self, endpoint: Endpoint, entries, on_deliver=None, on_abort=None,
+        carry_tx_free=None,
+    ):
+        """Start a precomputed batched video transfer toward a client.
+
+        Returns a :class:`repro.net.burst.BurstTransfer` or None when
+        the path is ineligible (the session then streams per-frame).
+        ``video_frames_sent``/``video_bytes_sent`` are settled by the
+        caller's ``on_deliver`` as each frame lands."""
+        if not self.running or self.video_socket.closed:
+            return None
+        return self.video_socket.sendto_burst(
+            endpoint, entries, on_deliver=on_deliver, on_abort=on_abort,
+            carry_tx_free=carry_tx_free,
+        )
+
     # ==================================================================
     # Connect path (open-group requests to the server group)
     # ==================================================================
@@ -239,6 +262,13 @@ class VoDServer:
         view = self._movie_views.get(title)
         if state is None or view is None:
             return  # we do not hold this movie
+        session = self.sessions.get(request.client)
+        if session is not None and session.movie.title == title:
+            # Already serving this client: the retry raced a stale
+            # record.  Refresh it instead of double-starting (which
+            # would leak the live session and re-join its group).
+            state.put_record(session.record(), self.sim.now)
+            return
         existing = state.record_of(request.client)
         fresh = (
             existing is not None

@@ -8,6 +8,7 @@ from repro.client.player import ClientConfig, VoDClient
 from repro.errors import ServiceError
 from repro.gcs.domain import GcsDomain
 from repro.media.catalog import MovieCatalog
+from repro.net.address import VIDEO_PORT
 from repro.net.topologies import Topology
 from repro.server.server import ServerConfig, VoDServer
 from repro.service.controller import ScenarioController
@@ -120,7 +121,15 @@ class Deployment:
         host_index: int,
         name: Optional[str] = None,
         config: Optional[ClientConfig] = None,
+        endpoint: Optional[Any] = None,
+        video_port: Optional[int] = VIDEO_PORT,
     ) -> VoDClient:
+        """Attach a client to ``topology.hosts[host_index]``.
+
+        Large deployments can pack many clients onto one host by sharing
+        a GCS ``endpoint`` and passing ``video_port=None`` so each client
+        binds an ephemeral video port (the edge-concentrator rig of the
+        scale experiment does both)."""
         if name is None:
             name = f"client{self._client_counter}"
         self._client_counter += 1
@@ -128,7 +137,8 @@ class Deployment:
             raise ServiceError(f"client name {name!r} already in use")
         node_id = self.topology.host(host_index)
         client = VoDClient(
-            self.domain, node_id, name, config or self.client_config
+            self.domain, node_id, name, config or self.client_config,
+            endpoint=endpoint, video_port=video_port,
         )
         self.clients[name] = client
         return client

@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 from repro.gcs.view import ProcessId
 from repro.media.frames import Frame
 from repro.net.address import Endpoint
+from repro.net.packet import DATACLASS_SLOTS
 
 #: Name of the group containing every VoD server.
 SERVER_GROUP = "vod.servers"
@@ -166,7 +167,7 @@ class StateSync:
 # ----------------------------------------------------------------------
 # Video plane (server -> client, raw UDP)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class FramePacket:
     """One video frame in flight (a single frame per message)."""
 
@@ -177,6 +178,24 @@ class FramePacket:
 
     def wire_bytes(self) -> int:
         return self.frame.size_bytes + 16
+
+
+@dataclass(frozen=True)
+class FrameBurst:
+    """Several frames coalesced into one datagram (wire fallback).
+
+    The batched transmission mode normally replays frames as individual
+    :class:`FramePacket` datagrams with exact per-frame timing; on paths
+    where that replay is not possible the whole window can instead ride
+    one datagram.  Each packet keeps its own ``sent_at``, so the client
+    processes the members exactly as if they had arrived one by one —
+    flow-control watermark accounting is per frame either way.
+    """
+
+    packets: Tuple[FramePacket, ...]
+
+    def wire_bytes(self) -> int:
+        return 16 + sum(packet.wire_bytes() for packet in self.packets)
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ class EventHandle:
     when popped.  This keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_tel")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_tel", "_sim")
 
     def __init__(
         self,
@@ -43,13 +43,20 @@ class EventHandle:
         # cancel can report what was cancelled without the handle paying
         # for a bus reference in the common (inactive) case.
         self._tel: Any = None
+        # Owning simulator, so cancel() can keep the live-event counter
+        # exact without a scan (None for handles built outside one).
+        self._sim: Any = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        if self._tel is not None and not self.cancelled and self._tel.active:
+        if self.cancelled:
+            return
+        if self._tel is not None and self._tel.active:
             self._tel.emit(
                 "sim.cancel", at=self.time, name=_callback_name(self.callback)
             )
+        if self._sim is not None:
+            self._sim._live -= 1
         self.cancelled = True
         # Drop references so cancelled events do not pin large objects
         # while they wait to be popped from the heap.
@@ -93,6 +100,9 @@ class Simulator:
         self._queue: List[EventHandle] = []
         self._running = False
         self._stopped = False
+        # Count of live (non-cancelled, not-yet-fired) queued events,
+        # maintained incrementally so pending_count() is O(1).
+        self._live = 0
         self.rngs = RngRegistry(seed)
         self.tracer = Tracer(enabled=trace)
         self.telemetry = Telemetry(clock=lambda: self._now)
@@ -129,9 +139,11 @@ class Simulator:
                 f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
             )
         handle = EventHandle(time, self._seq, callback, args)
+        handle._sim = self
         if self.telemetry.active:
             handle._tel = self.telemetry
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, handle)
         return handle
 
@@ -147,6 +159,33 @@ class Simulator:
         """Schedule ``callback(*args)`` at the current instant."""
         return self.call_at(self._now, callback, *args)
 
+    def reschedule(self, handle: EventHandle, time: float) -> EventHandle:
+        """Re-queue an already-fired handle for ``time`` and return it.
+
+        This recycles the :class:`EventHandle` allocation for hot
+        periodic callers (timers, burst replay).  The handle must not be
+        live in the queue: only pass a handle whose event has already
+        fired (it is popped before its callback runs) or that was
+        cancelled *and then* popped.  The callback and args are kept;
+        callers may mutate ``handle.args`` between firings.
+        """
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at time NaN")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
+            )
+        handle.time = time
+        handle.seq = self._seq
+        handle.cancelled = False
+        handle._sim = self
+        if self.telemetry.active:
+            handle._tel = self.telemetry
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -156,7 +195,8 @@ class Simulator:
         if handle is None:
             return False
         self._now = handle.time
-        self.tracer.record(self._now, handle.callback, handle.args)
+        if self.tracer.enabled:
+            self.tracer.record(self._now, handle.callback, handle.args)
         tel = self.telemetry
         if tel.active:
             tel.emit("sim.fire", name=_callback_name(handle.callback))
@@ -208,7 +248,15 @@ class Simulator:
     # Introspection
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) queued events."""
+        """Number of live (non-cancelled) queued events.  O(1)."""
+        return self._live
+
+    def _pending_count_scan(self) -> int:
+        """O(n) reference implementation of :meth:`pending_count`.
+
+        Kept for the agreement test in ``tests/sim``: the incremental
+        counter must always match a full scan of the heap.
+        """
         return sum(1 for handle in self._queue if not handle.cancelled)
 
     def next_event_time(self) -> Optional[float]:
@@ -223,6 +271,10 @@ class Simulator:
         while self._queue:
             handle = heapq.heappop(self._queue)
             if not handle.cancelled:
+                self._live -= 1
+                # The handle is out of the queue now; a late cancel()
+                # must not decrement the live counter a second time.
+                handle._sim = None
                 return handle
         return None
 

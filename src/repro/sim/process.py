@@ -143,7 +143,11 @@ class Timer:
         if self._stopped:
             return
         # Re-arm before the callback so a callback that cancels the timer
-        # (or raises) leaves consistent state.
-        self._handle = self.sim.call_after(self._jittered(self.interval), self._fire)
+        # (or raises) leaves consistent state.  The handle that just
+        # fired is recycled (it is out of the queue by now), so a
+        # long-lived timer allocates one EventHandle total.
+        self._handle = self.sim.reschedule(
+            self._handle, self.sim.now + self._jittered(self.interval)
+        )
         self.fired_count += 1
         self.callback(*self.args)

@@ -1,0 +1,62 @@
+"""Smoke test for the population-scale experiment.
+
+A 500-client run with a mid-run server crash must finish inside a
+generous wall budget (the per-frame kernel could not), deliver a large
+frame volume, and fail every victim over to a survivor.  Failover
+latency is governed by failure-detection rounds, not population size, so
+it must stay in the same band at 100 and 500 clients.
+"""
+
+import pytest
+
+from repro.experiments.scale import run_scale_point
+
+#: Generous for CI machines; the run takes ~20-30 s on a laptop.  The
+#: pre-batching kernel needed minutes for the same population, so a blown
+#: budget means the fast path has regressed badly.
+WALL_BUDGET_S = 180.0
+
+
+@pytest.fixture(scope="module")
+def point_100():
+    return run_scale_point(100, batch_window_s=1.0, duration_s=10.0,
+                           crash_at=6.0)
+
+
+@pytest.fixture(scope="module")
+def point_500():
+    return run_scale_point(500, batch_window_s=1.0, duration_s=10.0,
+                           crash_at=6.0)
+
+
+def test_500_clients_with_crash_inside_wall_budget(point_500):
+    assert point_500.wall_s < WALL_BUDGET_S
+    assert point_500.events > 100_000
+    # ~500 clients x 30 fps x ~7.5 s of streaming, minus the failover gap.
+    assert point_500.frames_delivered > 50_000
+
+
+def test_crash_fails_every_victim_over(point_500):
+    assert point_500.takeovers > 0
+    # Every takeover produced a measured failover latency.
+    assert len(point_500.failover_latencies) == point_500.takeovers
+    assert all(lat > 0 for lat in point_500.failover_latencies)
+
+
+def test_failover_latency_flat_in_population(point_100, point_500):
+    """Detection rounds, not client count, set the failover clock."""
+    assert point_100.takeovers > 0 and point_500.takeovers > 0
+    # Both populations recover within the same failure-detection band;
+    # a latency that grows with N would blow straight past this.
+    assert point_100.max_failover_s < 3.0
+    assert point_500.max_failover_s < 3.0
+    assert point_500.max_failover_s <= 2.5 * point_100.max_failover_s
+
+
+def test_batched_beats_per_frame_event_count(point_100):
+    slow = run_scale_point(100, batch_window_s=0.0, duration_s=10.0,
+                           crash_at=6.0)
+    # The tentpole's whole premise: per-batch work replaces per-frame
+    # work, collapsing the event volume for the same delivered stream.
+    assert point_100.events < 0.75 * slow.events
+    assert point_100.frames_delivered > 0.9 * slow.frames_delivered

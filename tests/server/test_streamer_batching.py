@@ -1,0 +1,219 @@
+"""Conformance suite for batched transmission (the data-plane fast path).
+
+The headline guarantee: on loss-free links a run with
+``ServerConfig.batch_window_s > 0`` is *observationally identical* to the
+per-frame run — same frame delivery times (bit-for-bit), same client
+buffer trajectory, same counters — for the same seed.  These tests run
+the same small service twice, once per mode, and compare everything an
+observer could see.
+"""
+
+import dataclasses
+
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.link import LinkFault, LinkParams
+from repro.net.topologies import build_lan
+from repro.server.server import ServerConfig
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+from repro.sim.process import Timer
+
+#: A clean switched LAN (the default LAN link is loss-free).
+CLEAN_LINK = LinkParams(delay_s=0.0005, bandwidth_bps=100e6)
+
+
+@dataclasses.dataclass
+class Capture:
+    """Everything externally observable about one run."""
+
+    frames: list = dataclasses.field(default_factory=list)
+    levels: list = dataclasses.field(default_factory=list)
+    received: int = 0
+    displayed: int = 0
+    skipped: int = 0
+    server_frames: tuple = ()
+    server_bytes: tuple = ()
+    link_stats: tuple = ()
+    finished: bool = False
+
+
+def run_service(
+    batch_window_s,
+    duration_s=24.0,
+    movie_s=60.0,
+    seed=23,
+    link=CLEAN_LINK,
+    fault=None,
+    perturb=None,
+    crash_at=None,
+):
+    """Run one single-client service and capture its observables."""
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=4, link=link)
+    if fault is not None:
+        for lnk in topology.network.links():
+            lnk.set_fault(fault)
+    catalog = MovieCatalog([Movie.synthetic("feature", duration_s=movie_s)])
+    deployment = Deployment(
+        topology,
+        catalog,
+        server_nodes=[0, 1],
+        server_config=ServerConfig(batch_window_s=batch_window_s),
+    )
+    client = deployment.attach_client(2)
+    capture = Capture()
+
+    original_on_frame = client._on_frame
+
+    def spy_on_frame(packet):
+        capture.frames.append(
+            (sim.now, packet.frame.index, packet.sent_at, packet.epoch)
+        )
+        original_on_frame(packet)
+
+    client._on_frame = spy_on_frame
+    Timer(sim, 0.5, lambda: capture.levels.append(
+        (sim.now, client.combined_occupancy)
+    ))
+    client.request_movie("feature")
+    if perturb is not None:
+        perturb(sim, client, deployment)
+    if crash_at is not None:
+        def crash():
+            serving = deployment.server(client.serving_server.name)
+            serving.crash()
+        sim.call_at(crash_at, crash)
+    sim.run_until(duration_s)
+
+    capture.received = client.stats.received
+    capture.displayed = client.displayed_total
+    capture.skipped = client.skipped_total
+    capture.finished = client.finished
+    servers = sorted(deployment.servers)
+    capture.server_frames = tuple(
+        deployment.servers[name].video_frames_sent for name in servers
+    )
+    capture.server_bytes = tuple(
+        deployment.servers[name].video_bytes_sent for name in servers
+    )
+    capture.link_stats = tuple(
+        (
+            direction.stats.sent_packets,
+            direction.stats.sent_bytes,
+            direction.stats.delivered_packets,
+            direction.stats.dropped_loss,
+            direction.stats.dropped_queue,
+        )
+        for lnk in topology.network.links()
+        for direction in (lnk.forward, lnk.backward)
+    )
+    return capture
+
+
+class TestLossFreeConformance:
+    """Fast path == slow path, bit for bit, on clean links."""
+
+    def test_steady_state_identical(self):
+        slow = run_service(0.0)
+        fast = run_service(0.5)
+        assert fast.frames == slow.frames  # times, indices, sent_at, epoch
+        assert fast.levels == slow.levels
+        assert (fast.received, fast.displayed, fast.skipped) == (
+            slow.received, slow.displayed, slow.skipped,
+        )
+        assert fast.server_frames == slow.server_frames
+        assert fast.server_bytes == slow.server_bytes
+        assert fast.link_stats == slow.link_stats
+
+    def test_window_size_does_not_matter(self):
+        small = run_service(0.2, duration_s=12.0)
+        large = run_service(2.0, duration_s=12.0)
+        assert small.frames == large.frames
+        assert small.levels == large.levels
+
+    def test_mid_window_control_inputs_identical(self):
+        """Quality, pause/resume, VCR speed and seek all interrupt the
+        window; the fallback must resume exactly where the slow path's
+        timer would have fired."""
+
+        def perturb(sim, client, deployment):
+            sim.call_at(6.0, client.set_quality, 15)
+            sim.call_at(9.0, client.set_quality, None)
+            sim.call_at(11.0, client.pause)
+            sim.call_at(13.0, client.resume)
+            sim.call_at(15.0, client.set_speed, 2.0)
+            sim.call_at(17.0, client.set_speed, 1.0)
+            sim.call_at(19.0, client.seek, 5.0)
+
+        slow = run_service(0.0, perturb=perturb)
+        fast = run_service(0.5, perturb=perturb)
+        assert fast.frames == slow.frames
+        assert fast.levels == slow.levels
+        assert fast.link_stats == slow.link_stats
+
+    def test_playback_completion_identical(self):
+        """The final (short) window and the end-of-stream notices line
+        up exactly with the per-frame run."""
+        slow = run_service(0.0, movie_s=8.0, duration_s=16.0)
+        fast = run_service(0.5, movie_s=8.0, duration_s=16.0)
+        assert slow.finished and fast.finished
+        assert fast.frames == slow.frames
+        assert fast.displayed == slow.displayed
+
+    def test_identical_before_crash_and_recovers_after(self):
+        """In-flight frames at a crash are conservatively dropped by the
+        burst (a documented relaxation), so post-crash streams may
+        reorder; everything before the crash must still match, and the
+        batched client must fail over and keep playing."""
+        crash_at = 12.0
+        slow = run_service(0.0, crash_at=crash_at, duration_s=30.0)
+        fast = run_service(0.5, crash_at=crash_at, duration_s=30.0)
+        slow_before = [f for f in slow.frames if f[0] <= crash_at]
+        fast_before = [f for f in fast.frames if f[0] <= crash_at]
+        assert fast_before == slow_before
+        # Both runs fail over to the surviving server and keep playing
+        # (frames sent well after the crash keep arriving).
+        assert fast.frames[-1][0] > crash_at + 2.0
+        assert fast.frames[-1][2] > crash_at + 2.0  # sent_at post-crash
+        assert fast.displayed > 0.8 * slow.displayed
+
+
+class TestLossyFallback:
+    """On lossy links the fast path must decline, leaving behaviour
+    identical because *both* modes stream frame by frame."""
+
+    def test_lossy_runs_identical(self):
+        fault = LinkFault(drop_prob=0.02)
+        slow = run_service(0.0, fault=fault, duration_s=12.0)
+        fast = run_service(0.5, fault=fault, duration_s=12.0)
+        assert fast.frames == slow.frames
+        assert fast.levels == slow.levels
+        assert fast.link_stats == slow.link_stats
+        # Same stall/skip behaviour, not just the same deliveries.
+        assert (fast.received, fast.displayed, fast.skipped) == (
+            slow.received, slow.displayed, slow.skipped,
+        )
+
+    def test_no_burst_started_on_lossy_path(self):
+        fault = LinkFault(drop_prob=0.02)
+        sim = Simulator(seed=23)
+        topology = build_lan(sim, n_hosts=4, link=CLEAN_LINK)
+        for lnk in topology.network.links():
+            lnk.set_fault(fault)
+        catalog = MovieCatalog([Movie.synthetic("feature", duration_s=30.0)])
+        deployment = Deployment(
+            topology, catalog, server_nodes=[0],
+            server_config=ServerConfig(batch_window_s=0.5),
+        )
+        client = deployment.attach_client(1)
+        client.request_movie("feature")
+        sim.run_until(8.0)
+        assert client.stats.received > 0
+        sessions = [
+            session
+            for server in deployment.servers.values()
+            for session in server.sessions.values()
+        ]
+        assert sessions
+        assert all(session._batch is None for session in sessions)
