@@ -128,6 +128,7 @@ class ClientStats:
     late_cum: Optional[TimeSeries] = None
     overflow_cum: Optional[TimeSeries] = None
     received_bytes_cum: Optional[TimeSeries] = None
+    displayed_cum: Optional[TimeSeries] = None
 
 
 class VoDClient:
@@ -209,6 +210,11 @@ class VoDClient:
         self._wm_band: Optional[str] = None
         self._was_stalled = False
         self._skips_seen = 0
+        # After a mid-playback migration the next frame that arrives is
+        # the observable "stream resumed" moment; carry the migration's
+        # cause over to it.
+        self._await_resume = False
+        self._resume_cause: Optional[str] = None
         self.endpoint.register_p2p_handler(name, self._on_p2p)
         self._movie_list_callback: Optional[Callable[[Tuple[str, ...]], None]] = None
 
@@ -379,13 +385,22 @@ class VoDClient:
         if new_server != self.serving_server:
             tel = self.sim.telemetry
             if tel.active:
-                tel.emit(
-                    "client.migrate",
+                # The cause was attributed to this client by the crashed
+                # / rebalancing server; the ambient cause covers the case
+                # where this view install runs synchronously under it.
+                cause = tel.cause_for(f"client:{self.process}")
+                fields = dict(
                     client=self.name,
                     from_server=str(self.serving_server),
                     to_server=str(new_server),
                 )
+                if cause is not None:
+                    fields["cause"] = cause
+                tel.emit("client.migrate", **fields)
                 tel.count("client.migrations")
+                if self.serving_server is not None and new_server is not None:
+                    self._await_resume = True
+                    self._resume_cause = cause
             self.stats.migrations.append(
                 (self.sim.now, self.serving_server, new_server)
             )
@@ -441,7 +456,17 @@ class VoDClient:
         self._pump()
         if not self.playback_started:
             self._start_playback()
-        if self.sim.telemetry.active:
+        tel = self.sim.telemetry
+        if tel.active:
+            if self._await_resume:
+                # First frame since the migration: the stream resumed.
+                fields = dict(client=self.name, frame=frame.index)
+                if self._resume_cause is not None:
+                    fields["cause"] = self._resume_cause
+                tel.emit("client.resume", **fields)
+                tel.count("client.resumes")
+                self._await_resume = False
+                self._resume_cause = None
             self._note_telemetry_edges()
         self._flow_control_step()
 
@@ -491,6 +516,9 @@ class VoDClient:
     # ==================================================================
     def _start_playback(self) -> None:
         self.playback_started = True
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.emit("client.playback.start", client=self.name)
         self._decoder_timer = Timer(
             self.sim, 1.0 / self.config.fps, self._decoder_tick
         )
@@ -729,6 +757,9 @@ class VoDClient:
         )
         stats.received_bytes_cum = self._probe.watch(
             "received_bytes_cumulative", lambda: self.stats.received_bytes
+        )
+        stats.displayed_cum = self._probe.watch(
+            "displayed_cumulative", lambda: self.displayed_total
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

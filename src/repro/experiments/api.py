@@ -47,13 +47,18 @@ class ExperimentResult:
     ``blocks`` are render-ready text sections (tables, charts);
     ``data`` is the module's native result object (``Figure4``,
     ``List[ChaosResult]``, ...); ``artifacts`` maps artifact names to
-    file paths written during the run.
+    file paths written during the run.  Experiments that execute an
+    observed scenario also fill ``qoe`` (per-client scorecards, see
+    :mod:`repro.telemetry.qoe`) and ``slo`` (rule verdicts, see
+    :mod:`repro.telemetry.slo`).
     """
 
     spec: ExperimentSpec
     blocks: List[str] = field(default_factory=list)
     data: Any = None
     artifacts: Dict[str, str] = field(default_factory=dict)
+    qoe: Dict[str, Any] = field(default_factory=dict)
+    slo: Dict[str, Dict] = field(default_factory=dict)
 
     def render(self) -> str:
         """The experiment's full text output."""
@@ -79,6 +84,21 @@ REGISTRY: Dict[str, Tuple[str, Dict[str, Any]]] = {
     "chaos": ("repro.faulting.chaos", {}),
     "ablations": ("repro.experiments.ablations", {}),
 }
+
+
+def attach_observability(result: ExperimentResult, qoe, slo) -> None:
+    """Fold an observed run's QoE scorecards and SLO verdicts into
+    ``result`` — fills the fields and appends the rendered tables."""
+    if qoe:
+        from repro.telemetry.qoe import render_scorecards
+
+        result.qoe = dict(qoe)
+        result.blocks.append(render_scorecards(result.qoe))
+    if slo:
+        from repro.telemetry.slo import render_slo
+
+        result.slo = dict(slo)
+        result.blocks.append(render_slo(result.slo))
 
 
 def experiment_names() -> List[str]:

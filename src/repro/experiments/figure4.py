@@ -190,11 +190,12 @@ def run_figure4(seed: int = None, telemetry_path: str = None) -> Figure4:
 
 def run(spec) -> "ExperimentResult":
     """Unified entry point (see :mod:`repro.experiments.api`)."""
-    from repro.experiments.api import ExperimentResult
+    from repro.experiments.api import ExperimentResult, attach_observability
     from repro.metrics.ascii_chart import render_timeseries
 
     figure = run_figure4(seed=spec.seed, telemetry_path=spec.telemetry_path)
     result = ExperimentResult(spec=spec, data=figure)
+    attach_observability(result, figure.result.qoe, figure.result.slo)
     json_path = spec.params.get("json")
     if json_path:
         figure.result.export_json(json_path)

@@ -110,21 +110,9 @@ def _run_all(args: argparse.Namespace) -> None:
 
 
 def _run_trace(args: argparse.Namespace) -> None:
-    from repro.experiments.scenarios import (
-        LAN_SCENARIO,
-        WAN_SCENARIO,
-        run_scenario,
-    )
+    from repro.experiments.scenarios import run_scenario
 
-    spec = {"lan": LAN_SCENARIO, "wan": WAN_SCENARIO}[args.scenario]
-    if args.duration is not None:
-        import dataclasses
-
-        spec = dataclasses.replace(
-            spec,
-            movie_duration_s=max(spec.movie_duration_s, args.duration),
-            run_duration_s=args.duration,
-        )
+    spec = _scenario_spec(args)
     directory = os.path.dirname(args.out)
     if directory:
         os.makedirs(directory, exist_ok=True)
@@ -146,6 +134,71 @@ def _run_report(args: argparse.Namespace) -> None:
     from repro.telemetry.report import load_timeline, render_report
 
     print(render_report(load_timeline(args.path), max_rows=args.max_rows))
+
+
+def _scenario_spec(args: argparse.Namespace):
+    import dataclasses
+
+    from repro.experiments.scenarios import LAN_SCENARIO, WAN_SCENARIO
+
+    spec = {"lan": LAN_SCENARIO, "wan": WAN_SCENARIO}[args.scenario]
+    if args.duration is not None:
+        spec = dataclasses.replace(
+            spec,
+            movie_duration_s=max(spec.movie_duration_s, args.duration),
+            run_duration_s=args.duration,
+        )
+    return spec
+
+
+def _run_watch(args: argparse.Namespace) -> None:
+    from repro.experiments.scenarios import prepare_scenario
+    from repro.telemetry.qoe import render_scorecards
+    from repro.telemetry.slo import render_slo
+    from repro.telemetry.watch import WatchState, render_watch
+
+    spec = _scenario_spec(args)
+    telemetry_path = None if args.no_telemetry else args.telemetry
+    if telemetry_path:
+        directory = os.path.dirname(telemetry_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+    live = prepare_scenario(
+        spec, seed=args.seed, telemetry_path=telemetry_path, observe=True,
+    )
+    state = WatchState(live.sim.telemetry, slo_monitor=live.slo_monitor)
+    interval = max(0.1, args.interval)
+    with live:
+        now = 0.0
+        while now < spec.run_duration_s:
+            now = live.step(min(spec.run_duration_s, now + interval))
+            if args.clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(render_watch(state, max_clients=args.max_clients))
+            print()
+    state.close()
+    result = live.result
+    if result.qoe:
+        print(render_scorecards(result.qoe))
+    if result.slo:
+        print()
+        print(render_slo(result.slo))
+    if telemetry_path:
+        print(f"\n[telemetry artifact written to {telemetry_path}]")
+
+
+def _run_qoe_check(args: argparse.Namespace) -> int:
+    from repro.experiments.qoe_gate import run_gate
+
+    report, ok = run_gate(
+        out_path=args.out,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+        tolerance=args.tolerance,
+        plans=args.plans if args.plans is not None else 3,
+    )
+    print(report)
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -240,6 +293,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", type=str)
     p.add_argument("--max-rows", type=int, default=80,
                    help="timeline rows to show before truncating")
+
+    p = sub.add_parser(
+        "watch", parents=[common],
+        help="run a scenario with the live dashboard: clients, buffer "
+             "distribution, active spans and SLO state per time slice",
+    )
+    p.add_argument("--scenario", choices=("lan", "wan"), default="lan")
+    p.add_argument("--duration", type=float, default=None,
+                   help="override the scenario run duration (seconds)")
+    p.add_argument("--interval", type=float, default=10.0,
+                   help="simulated seconds per dashboard frame")
+    p.add_argument("--max-clients", type=int, default=12,
+                   help="client rows per frame")
+    p.add_argument("--clear", action="store_true",
+                   help="clear the terminal between frames")
+
+    p = sub.add_parser(
+        "qoe-check", parents=[common],
+        help="QoE regression gate: measure failover latency, glitches "
+             "and observer overhead, compare against the baseline",
+    )
+    p.add_argument("--out", type=str,
+                   default=os.path.join("artifacts", "BENCH_qoe.json"))
+    p.add_argument("--baseline", type=str,
+                   default=os.path.join("benchmarks",
+                                        "BENCH_qoe_baseline.json"))
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="allowed relative regression (default 10%%)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from this measurement")
     return parser
 
 
@@ -265,6 +348,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_trace(args)
     elif name == "report":
         _run_report(args)
+    elif name == "watch":
+        _run_watch(args)
+    elif name == "qoe-check":
+        return _run_qoe_check(args)
     else:
         assert name in REGISTRY, f"subcommand {name!r} missing from registry"
         _run_experiment(name, args)

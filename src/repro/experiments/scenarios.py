@@ -15,7 +15,7 @@ resolves the victim dynamically from the client's session at fire time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.client.player import ClientConfig, VoDClient
 from repro.faulting.injector import FaultInjector
@@ -26,6 +26,11 @@ from repro.net.topologies import Topology, build_lan, build_wan
 from repro.server.server import ServerConfig
 from repro.service.deployment import Deployment
 from repro.sim.core import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.export import JsonlExporter
+    from repro.telemetry.qoe import QoECollector, QoEScorecard
+    from repro.telemetry.slo import SloMonitor
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,12 @@ class ScenarioResult:
     server_up_times: List[float] = field(default_factory=list)
     # Set when the run streamed a telemetry JSONL export.
     telemetry_path: Optional[str] = None
+    # Per-client QoE scorecards, SLO rule verdicts and the raw take-
+    # over/rebalance durations, filled when the run attached observers
+    # (i.e. whenever telemetry is exported).
+    qoe: Dict[str, "QoEScorecard"] = field(default_factory=dict)
+    slo: Dict[str, Dict] = field(default_factory=dict)
+    failovers: List[float] = field(default_factory=list)
 
     @property
     def events(self) -> Dict[str, List[float]]:
@@ -212,17 +223,90 @@ def plan_for_spec(spec: ScenarioSpec) -> FaultPlan:
     return plan
 
 
-def run_scenario(
+@dataclass
+class LiveScenario:
+    """A scenario built but not yet (fully) run.
+
+    ``run_scenario`` drives one of these to completion; ``repro-vod
+    watch`` instead calls :meth:`step` in short slices, redrawing a
+    dashboard between them.  Either way :meth:`finish` settles the
+    observers, writes the telemetry summary trailer and fills in the
+    :class:`ScenarioResult`.  Used as a context manager, ``finish`` runs
+    even when the simulation raises — the export then records the crash
+    and the partial scorecards survive.
+    """
+
+    spec: ScenarioSpec
+    sim: Simulator
+    result: ScenarioResult
+    injector: FaultInjector
+    exporter: Optional["JsonlExporter"] = None
+    qoe_collector: Optional["QoECollector"] = None
+    slo_monitor: Optional["SloMonitor"] = None
+    _finished: bool = False
+
+    def step(self, until: float) -> float:
+        """Advance the simulation to ``until``; returns the new now."""
+        self.sim.run_until(until)
+        return self.sim.now
+
+    def finish(self, error: Optional[BaseException] = None) -> ScenarioResult:
+        """Settle observers, close the export, fill the result."""
+        if self._finished:
+            return self.result
+        self._finished = True
+        result = self.result
+        injector = self.injector
+        result.crash_times = list(injector.crash_times)
+        result.server_up_times = list(injector.server_up_times)
+        # Observers settle before the exporter closes so the trailing
+        # SLO window's breach/recover events land in the artifact.
+        if self.qoe_collector is not None:
+            result.qoe = self.qoe_collector.finish(self.sim.now)
+        if self.slo_monitor is not None:
+            self.slo_monitor.finish(self.sim.now)
+            result.slo = self.slo_monitor.summary()
+            result.failovers = list(self.slo_monitor.failovers)
+        if self.exporter is not None:
+            summary = dict(
+                faults_fired=len(injector.fired),
+                displayed=result.client.displayed_total,
+                skipped=result.client.skipped_total,
+                tracer_dropped=self.sim.tracer.dropped,
+            )
+            if self.slo_monitor is not None:
+                summary["slo_breaches"] = self.slo_monitor.total_breaches
+            if error is not None:
+                summary.update(
+                    crashed=True, error=f"{type(error).__name__}: {error}"
+                )
+            self.exporter.close(**summary)
+            result.telemetry_path = self.exporter.path
+        return result
+
+    def __enter__(self) -> "LiveScenario":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        self.finish(error=exc)
+        return False  # never swallow the exception
+
+
+def prepare_scenario(
     spec: ScenarioSpec,
     seed: Optional[int] = None,
     telemetry_path: Optional[str] = None,
     telemetry_full: bool = False,
-) -> ScenarioResult:
-    """Execute a scenario and return the collected measurements.
+    observe: Optional[bool] = None,
+) -> LiveScenario:
+    """Build a scenario's world without running it.
 
-    ``telemetry_path`` additionally streams the run's telemetry to a
-    JSONL file (see :mod:`repro.telemetry.export`); the export is a pure
-    observer, so results are identical with or without it.
+    ``telemetry_path`` streams the run's telemetry to a JSONL file (see
+    :mod:`repro.telemetry.export`).  ``observe`` attaches the QoE and
+    SLO observers; it defaults to "whenever telemetry is exported", and
+    can be forced on (``repro-vod watch`` without an artifact) or off.
+    All of these are pure observers, so results are identical with or
+    without them.
     """
     sim = Simulator(seed=spec.seed if seed is None else seed)
     exporter = None
@@ -238,6 +322,16 @@ def run_scenario(
             seed=spec.seed if seed is None else seed,
             run_duration_s=spec.run_duration_s,
         )
+    qoe_collector = None
+    slo_monitor = None
+    if observe is None:
+        observe = telemetry_path is not None
+    if observe:
+        from repro.telemetry.qoe import QoECollector
+        from repro.telemetry.slo import SloMonitor
+
+        qoe_collector = QoECollector(sim.telemetry)
+        slo_monitor = SloMonitor(sim.telemetry)
     topology = build_topology(spec, sim)
     catalog = MovieCatalog(
         [Movie.synthetic("feature", duration_s=spec.movie_duration_s)]
@@ -256,16 +350,39 @@ def run_scenario(
     plan = plan_for_spec(spec)
     injector = FaultInjector(deployment, plan, client=client).start()
     result = ScenarioResult(spec, sim, deployment, client, plan, injector)
+    return LiveScenario(
+        spec=spec,
+        sim=sim,
+        result=result,
+        injector=injector,
+        exporter=exporter,
+        qoe_collector=qoe_collector,
+        slo_monitor=slo_monitor,
+    )
 
-    sim.run_until(spec.run_duration_s)
-    result.crash_times = list(injector.crash_times)
-    result.server_up_times = list(injector.server_up_times)
-    if exporter is not None:
-        exporter.close(
-            faults_fired=len(injector.fired),
-            displayed=client.displayed_total,
-            skipped=client.skipped_total,
-            tracer_dropped=sim.tracer.dropped,
-        )
-        result.telemetry_path = telemetry_path
-    return result
+
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    telemetry_path: Optional[str] = None,
+    telemetry_full: bool = False,
+    observe: Optional[bool] = None,
+) -> ScenarioResult:
+    """Execute a scenario and return the collected measurements.
+
+    ``telemetry_path`` additionally streams the run's telemetry to a
+    JSONL file and attaches the QoE/SLO observers (``result.qoe`` /
+    ``result.slo``); all are pure observers, so measurements are
+    identical with or without them.  The export's summary trailer is
+    written even if the simulation raises.
+    """
+    live = prepare_scenario(
+        spec,
+        seed=seed,
+        telemetry_path=telemetry_path,
+        telemetry_full=telemetry_full,
+        observe=observe,
+    )
+    with live:
+        live.step(spec.run_duration_s)
+    return live.result

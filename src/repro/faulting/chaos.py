@@ -12,8 +12,9 @@ report is a bug in either the service or the invariant.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.faulting.injector import FaultInjector
 from repro.faulting.invariants import InvariantChecker, Violation
@@ -24,6 +25,9 @@ from repro.metrics.report import Table
 from repro.net.topologies import build_lan
 from repro.service.deployment import Deployment
 from repro.sim.core import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.qoe import QoEScorecard
 
 
 @dataclass
@@ -41,6 +45,10 @@ class ChaosResult:
     displayed: int
     samples: int = 0
     events: List[str] = field(default_factory=list)
+    # Filled when the trial attached observers (telemetry export on).
+    qoe: Dict[str, "QoEScorecard"] = field(default_factory=dict)
+    slo: Dict[str, Dict] = field(default_factory=dict)
+    failovers: List[float] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -54,11 +62,14 @@ def run_chaos_trial(
     intensity: float = 1.0,
     plan: Optional[FaultPlan] = None,
     telemetry_path: Optional[str] = None,
+    observe: Optional[bool] = None,
 ) -> ChaosResult:
     """Run one seeded chaos plan against a k-replica LAN deployment.
 
-    ``telemetry_path`` streams the trial's telemetry to a JSONL file; a
-    pure observer, so trial outcomes are identical with or without it.
+    ``telemetry_path`` streams the trial's telemetry to a JSONL file;
+    ``observe`` attaches the QoE/SLO observers (default: whenever
+    telemetry is exported).  All are pure observers, so trial outcomes
+    are identical with or without them.
     """
     sim = Simulator(seed=seed)
     exporter = None
@@ -70,6 +81,16 @@ def run_chaos_trial(
             scenario="chaos", seed=seed, k=k,
             intensity=intensity, run_duration_s=duration_s,
         )
+    qoe_collector = None
+    slo_monitor = None
+    if observe is None:
+        observe = telemetry_path is not None
+    if observe:
+        from repro.telemetry.qoe import QoECollector
+        from repro.telemetry.slo import SloMonitor
+
+        qoe_collector = QoECollector(sim.telemetry)
+        slo_monitor = SloMonitor(sim.telemetry)
     topology = build_lan(sim, n_hosts=k + 1)
     catalog = MovieCatalog(
         [Movie.synthetic("feature", duration_s=duration_s + 60.0)]
@@ -89,16 +110,32 @@ def run_chaos_trial(
         )
     injector = FaultInjector(deployment, plan, client=client).start()
 
-    sim.run_until(duration_s)
-    checker.final_check()
-    checker.stop()
-    client.decoder.end_stall(sim.now)
-    if exporter is not None:
-        exporter.close(
-            violations=len(checker.violations),
-            faults_fired=len(injector.fired),
-            tracer_dropped=sim.tracer.dropped,
-        )
+    qoe: Dict[str, "QoEScorecard"] = {}
+    slo: Dict[str, Dict] = {}
+    failovers: List[float] = []
+    # The exporter-as-context-manager guarantees the summary trailer is
+    # written (with ``crashed``/``error``) even if the trial raises.
+    with exporter if exporter is not None else nullcontext():
+        sim.run_until(duration_s)
+        checker.final_check()
+        checker.stop()
+        client.decoder.end_stall(sim.now)
+        if qoe_collector is not None:
+            qoe = qoe_collector.finish(sim.now)
+        if slo_monitor is not None:
+            slo_monitor.finish(sim.now)
+            slo = slo_monitor.summary()
+            failovers = list(slo_monitor.failovers)
+        if exporter is not None:
+            exporter.close(
+                violations=len(checker.violations),
+                faults_fired=len(injector.fired),
+                tracer_dropped=sim.tracer.dropped,
+                slo_breaches=(
+                    slo_monitor.total_breaches
+                    if slo_monitor is not None else 0
+                ),
+            )
 
     return ChaosResult(
         seed=seed,
@@ -112,6 +149,9 @@ def run_chaos_trial(
         displayed=client.displayed_total,
         samples=checker.samples,
         events=[f"t={t:7.2f}s  {note}" for t, note in injector.fired],
+        qoe=qoe,
+        slo=slo,
+        failovers=failovers,
     )
 
 
@@ -174,7 +214,7 @@ def run(spec) -> "ExperimentResult":
     streams its telemetry there (one representative artifact; exporting
     all N plans into one file would interleave unrelated runs).
     """
-    from repro.experiments.api import ExperimentResult
+    from repro.experiments.api import ExperimentResult, attach_observability
 
     base_seed = spec.seed if spec.seed is not None else 1000
     n_plans = int(spec.params.get("plans", 20))
@@ -198,6 +238,8 @@ def run(spec) -> "ExperimentResult":
     )
     if spec.telemetry_path:
         result.artifacts["telemetry"] = spec.telemetry_path
+        # Trial 0 was the observed one; surface its QoE/SLO outcome.
+        attach_observability(result, results[0].qoe, results[0].slo)
     violations = total_violations(results)
     if violations:
         lines = [f"{len(violations)} invariant violation(s):"]

@@ -92,12 +92,29 @@ class FaultInjector:
         handler = self._HANDLERS.get(type(action))
         if handler is None:
             raise FaultError(f"no handler for {type(action).__name__}")
-        detail = handler(self, action)
+        tel = self.sim.telemetry
+        cause = None
+        if tel.active:
+            # Every fault episode is a causal root: the ambient cause is
+            # set for the (synchronous) handler so server.crash, the
+            # takeover spans it opens, etc. all tag themselves with it,
+            # and crash handlers additionally attribute the dead node /
+            # orphaned clients so asynchronous consequences (suspicion,
+            # the client's resume) can look the cause back up.
+            cause = tel.new_cause(f"fault.{type(action).__name__}")
+            tel.cause = cause
+        try:
+            detail = handler(self, action)
+        finally:
+            if cause is not None:
+                tel.cause = None
         note = action.describe() if detail is None else detail
         self.fired.append((self.sim.now, note))
-        tel = self.sim.telemetry
         if tel.active:
-            tel.emit("fault.fired", action=type(action).__name__, note=note)
+            tel.emit(
+                "fault.fired", action=type(action).__name__, note=note,
+                cause=cause,
+            )
             tel.count("faults.fired")
 
     # ------------------------------------------------------------------
@@ -192,6 +209,11 @@ class FaultInjector:
             self._vacant_hosts.remove(host)
         server = self.deployment.add_server(host)
         self.server_up_times.append(self.sim.now)
+        tel = self.sim.telemetry
+        if tel.active and tel.cause is not None:
+            # The join-triggered view change (and any rebalance it causes)
+            # happens asynchronously; park the cause on the new node.
+            tel.attribute(f"node:{server.node_id}", tel.cause)
         return f"started {server.name} on host {host}"
 
     def _do_restart_server(self, action: RestartServer) -> str:
@@ -201,6 +223,9 @@ class FaultInjector:
             self._vacant_hosts.remove(host)
         server = self.deployment.add_server(host)
         self.server_up_times.append(self.sim.now)
+        tel = self.sim.telemetry
+        if tel.active and tel.cause is not None:
+            tel.attribute(f"node:{server.node_id}", tel.cause)
         return f"started {server.name} on host {host} (was {old.name})"
 
     def _do_partition(self, action: Partition) -> str:

@@ -306,6 +306,11 @@ class GcsEndpoint:
         """Hook: refresh FD watch targets after a view installation."""
         tel = self.sim.telemetry
         if tel.active:
+            fields = {}
+            # GroupMember._install_view sets the ambient cause (looked up
+            # from the departed/joined nodes) around this call.
+            if tel.cause is not None:
+                fields["cause"] = tel.cause
             tel.emit(
                 "gcs.view.install",
                 daemon=self.daemon_id,
@@ -314,6 +319,7 @@ class GcsEndpoint:
                 members=len(view.members),
                 joined=len(view.joined),
                 departed=len(view.departed),
+                **fields,
             )
             tel.count("gcs.views_installed")
         self._refresh_watches()

@@ -125,6 +125,12 @@ class FailureDetector:
     def _note(self, kind: str, daemon: int, **fields) -> None:
         tel = self.sim.telemetry
         if tel.active:
+            # Suspicion is the asynchronous consequence of whatever took
+            # the daemon down; the crash attributed its node, so the
+            # cause survives the heartbeat-timeout gap.
+            cause = tel.cause_for(f"node:{daemon}")
+            if cause is not None:
+                fields = dict(fields, cause=cause)
             tel.emit(kind, daemon=daemon, owner=self.owner, **fields)
 
     # ------------------------------------------------------------------

@@ -406,6 +406,22 @@ class GroupMember:
         tel = sim.telemetry
         return tel if tel.active else None
 
+    def _change_cause(self, tel, members, view: Optional[View] = None):
+        """The causal id behind this membership change, if any is known.
+
+        A view change is caused by whatever removed (crashed node) or
+        added (ServerUp) daemons relative to our current view; those
+        events attributed their nodes, so look the cause up from the
+        symmetric difference.  Falls back to the ambient cause.  Only
+        called on an *active* bus (via :meth:`_telemetry`).
+        """
+        if view is not None:
+            changed = tuple(view.departed) + tuple(view.joined)
+        else:
+            old = set(self.view.members) if self.view is not None else set()
+            changed = tuple(old.symmetric_difference(members))
+        return tel.cause_for(*(f"node:{p.node}" for p in changed))
+
     def _start_flush(
         self,
         view_id: ViewId,
@@ -426,12 +442,17 @@ class GroupMember:
             flush_since = previous.flush_since
         tel = self._telemetry()
         if tel is not None and flush_since == now:
+            fields = {}
+            cause = self._change_cause(tel, members)
+            if cause is not None:
+                fields["cause"] = cause
             tel.emit(
                 "gcs.flush.begin",
                 daemon=self.endpoint.daemon_id,
                 group=self.group,
                 view=str(view_id),
                 members=len(members),
+                **fields,
             )
         self.proposal = _Proposal(
             view_id=view_id,
@@ -601,14 +622,19 @@ class GroupMember:
         # this is a no-op (we already delivered up to the cut).
         self.store.adopt_baseline(commit.cut)
         tel = self._telemetry()
+        cause = None
+        if tel is not None:
+            cause = self._change_cause(tel, view.members, view)
         if tel is not None and self.proposal is not None:
             duration = self.endpoint.now - self.proposal.flush_since
+            end_fields = {} if cause is None else {"cause": cause}
             tel.emit(
                 "gcs.flush.end",
                 daemon=self.endpoint.daemon_id,
                 group=self.group,
                 view=str(commit.view_id),
                 duration_s=duration,
+                **end_fields,
             )
             tel.metrics.histogram("gcs.flush_s").observe(duration)
         self.view = view
@@ -617,8 +643,21 @@ class GroupMember:
         self.installed_views += 1
         self.pending_joins -= set(view.members)
         self.pending_leaves &= set(view.members)
-        self.endpoint.note_installed_view(self.group, view)
-        self.on_view(view)
+        # The installation callbacks run synchronously (the endpoint's
+        # gcs.view.install emission, then the application's on_view — for
+        # a VoD server that reaches _reevaluate/_take_over and the new
+        # session's server.session.start).  Setting the ambient cause
+        # here is what lets that whole chain tag itself with the fault
+        # that triggered the view change.
+        prior_ambient = tel.cause if tel is not None else None
+        if cause is not None:
+            tel.cause = cause
+        try:
+            self.endpoint.note_installed_view(self.group, view)
+            self.on_view(view)
+        finally:
+            if cause is not None:
+                tel.cause = prior_ambient
         blocked, self._blocked_sends = self._blocked_sends, []
         for payload, payload_bytes in blocked:
             self._send_multicast(payload, payload_bytes)

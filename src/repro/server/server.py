@@ -155,11 +155,15 @@ class VoDServer:
         served = tuple(self.sessions)
         tel = self.sim.telemetry
         if tel.active:
-            tel.emit("server.shutdown", server=self.name, served=len(served))
+            cause = self._departure_cause(tel, "shutdown", served)
+            tel.emit(
+                "server.shutdown", server=self.name, served=len(served),
+                cause=cause,
+            )
             for client in served:
                 tel.span(
                     "takeover", key=str(client),
-                    cause="shutdown", from_server=self.name,
+                    reason="shutdown", from_server=self.name, cause=cause,
                 )
         for client in list(self.sessions):
             self._end_session(client, departed=False)
@@ -177,11 +181,15 @@ class VoDServer:
         served = tuple(self.sessions)
         tel = self.sim.telemetry
         if tel.active:
-            tel.emit("server.crash", server=self.name, served=len(served))
+            cause = self._departure_cause(tel, "crash", served)
+            tel.emit(
+                "server.crash", server=self.name, served=len(served),
+                cause=cause,
+            )
             for client in served:
                 tel.span(
                     "takeover", key=str(client),
-                    cause="crash", from_server=self.name,
+                    reason="crash", from_server=self.name, cause=cause,
                 )
         for session in self.sessions.values():
             session.stop()
@@ -190,6 +198,26 @@ class VoDServer:
         self.domain.network.node(self.node_id).crash()
         self.endpoint.crash()
         self._notify("on_server_crash", self, served)
+
+    def _departure_cause(self, tel: Any, label: str, served: Any) -> str:
+        """The causal id for this server's departure (crash/shutdown).
+
+        Inherits the ambient cause when the departure happens inside a
+        fault-injector episode; a spontaneous departure mints its own.
+        The id is then attributed to the dead node (the failure detector
+        looks it up at suspicion time) and to every served client (the
+        client looks it up when the replacement stream reaches it) —
+        that is how the cause survives the asynchronous gap between the
+        crash and its observable consequences.  Only reachable from
+        inside an ``if tel.active:`` guard.
+        """
+        cause = tel.cause
+        if cause is None:
+            cause = tel.new_cause(f"{label}.{self.name}")
+        tel.attribute(f"node:{self.node_id}", cause)
+        for client in served:
+            tel.attribute(f"client:{client}", cause)
+        return cause
 
     def _notify(self, event: str, *args: Any) -> None:
         for observer in self.observers:
@@ -481,9 +509,16 @@ class VoDServer:
                     if tel.active and tel.open_span(
                         "rebalance", key=str(client)
                     ) is None:
+                        # Ambient first: a rebalance is caused by the
+                        # view change in flight, not by whatever last
+                        # happened to this client.
+                        cause = tel.cause or tel.cause_for(f"client:{client}")
+                        if cause is None:
+                            cause = tel.new_cause(f"rebalance.{self.name}")
+                        tel.attribute(f"client:{client}", cause)
                         tel.span(
                             "rebalance", key=str(client),
-                            from_server=self.name,
+                            from_server=self.name, cause=cause,
                         )
                     self._end_session(client, departed=False)
 
@@ -516,8 +551,20 @@ class VoDServer:
         )
         tel = self.sim.telemetry
         if tel.active:
-            tel.emit(
-                "server.session.start",
+            # Prefer the cause recorded on the handoff span this start is
+            # about to close (the crash/shutdown/rebalance that orphaned
+            # the client); fall back to the client's attributed cause or
+            # the ambient one (a view-install chain reaching here
+            # synchronously).
+            kind = "takeover"
+            span = tel.open_span(kind, key=str(record.client))
+            if span is None:
+                kind = "rebalance"
+                span = tel.open_span(kind, key=str(record.client))
+            cause = span.attrs.get("cause") if span is not None else None
+            if cause is None:
+                cause = tel.cause_for(f"client:{record.client}")
+            start_fields = dict(
                 server=self.name,
                 client=str(record.client),
                 movie=record.movie,
@@ -525,16 +572,15 @@ class VoDServer:
                 rate_fps=record.rate_fps,
                 takeover=takeover,
             )
-            if takeover:
+            if cause is not None:
+                tel.attribute(f"client:{record.client}", cause)
+                start_fields["cause"] = cause
+            tel.emit("server.session.start", **start_fields)
+            if takeover and span is not None:
                 # Close whichever handoff span the previous owner (or its
                 # crash/shutdown path) opened for this client; the latency
                 # histogram is the paper's "take-over time" distribution.
-                kind = "takeover"
-                if tel.open_span(kind, key=str(record.client)) is None:
-                    kind = "rebalance"
-                duration = tel.end_span(
-                    kind, key=str(record.client), to_server=self.name
-                )
+                duration = span.end(to_server=self.name)
                 if duration is not None:
                     tel.metrics.histogram(f"{kind}.latency_s").observe(duration)
         self._notify("on_session_start", self, record, takeover)
@@ -554,12 +600,13 @@ class VoDServer:
                     state.mark_departed(client, self.sim.now)
             tel = self.sim.telemetry
             if tel.active:
-                tel.emit(
-                    "server.session.end",
-                    server=self.name,
-                    client=str(client),
-                    departed=departed,
+                end_fields = dict(
+                    server=self.name, client=str(client), departed=departed,
                 )
+                cause = tel.cause_for(f"client:{client}")
+                if cause is not None:
+                    end_fields["cause"] = cause
+                tel.emit("server.session.end", **end_fields)
             self._notify("on_session_end", self, client, departed)
         handle = self._session_handles.pop(client, None)
         if handle is not None:

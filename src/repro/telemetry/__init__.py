@@ -13,7 +13,16 @@ Everything observable about a run flows through this package:
   (buffer levels), bridged onto the bus as ``metric.sample`` events;
 * :class:`Tracer` — the exhaustive kernel event trace;
 * :class:`JsonlExporter` / :func:`render_report` — JSONL artifacts and
-  the ``repro-vod trace`` / ``repro-vod report`` CLI behind them.
+  the ``repro-vod trace`` / ``repro-vod report`` CLI behind them;
+* :class:`TraceGraph` / :func:`failover_breakdowns` — causal chains
+  (the ``cause`` id threaded fault → view change → take-over → resume)
+  and the failover critical-path decomposition built from them;
+* :class:`QoECollector` / :class:`QoEScorecard` — per-client
+  quality-of-experience scoring, online or from an export;
+* :class:`SloMonitor` — live windowed service-level objectives
+  (``slo.breach`` / ``slo.burn`` / ``slo.recover`` events);
+* :class:`WatchState` / :func:`render_watch` — the ``repro-vod watch``
+  terminal dashboard fold.
 
 With no subscribers the whole subsystem costs one attribute check per
 instrumented site, and enabling it never changes simulation outcomes
@@ -25,6 +34,15 @@ from repro.telemetry.bus import (
     Subscription,
     Telemetry,
     TelemetryEvent,
+)
+from repro.telemetry.causal import (
+    CausalChain,
+    FailoverBreakdown,
+    TraceGraph,
+    critical_path,
+    failover_breakdowns,
+    load_trace_graph,
+    render_breakdowns,
 )
 from repro.telemetry.export import (
     DEFAULT_PREFIXES,
@@ -41,10 +59,28 @@ from repro.telemetry.metrics import (
     MetricRegistry,
     MetricsCollector,
 )
+from repro.telemetry.qoe import (
+    QoEAccumulator,
+    QoECollector,
+    QoEScorecard,
+    render_scorecards,
+    scorecards_from_timeline,
+)
 from repro.telemetry.report import RunTimeline, load_timeline, render_report
 from repro.telemetry.series import Counter, Probe, TimeSeries
+from repro.telemetry.slo import (
+    EmergencyBandwidthRule,
+    FailoverLatencyRule,
+    GlitchFreeRule,
+    SloMonitor,
+    SloRule,
+    default_rules,
+    render_slo,
+    slo_from_timeline,
+)
 from repro.telemetry.spans import Span
 from repro.telemetry.trace import Tracer, TraceRecord
+from repro.telemetry.watch import WatchState, render_watch
 
 
 def probe(sim, period: float = 0.25, owner: str = "") -> Probe:
@@ -92,5 +128,27 @@ __all__ = [
     "RunTimeline",
     "load_timeline",
     "render_report",
+    "CausalChain",
+    "TraceGraph",
+    "FailoverBreakdown",
+    "load_trace_graph",
+    "critical_path",
+    "failover_breakdowns",
+    "render_breakdowns",
+    "QoEAccumulator",
+    "QoECollector",
+    "QoEScorecard",
+    "scorecards_from_timeline",
+    "render_scorecards",
+    "SloMonitor",
+    "SloRule",
+    "GlitchFreeRule",
+    "FailoverLatencyRule",
+    "EmergencyBandwidthRule",
+    "default_rules",
+    "slo_from_timeline",
+    "render_slo",
+    "WatchState",
+    "render_watch",
     "ClientStats",
 ]

@@ -101,6 +101,18 @@ class Telemetry:
         self.metrics = MetricRegistry()
         #: Events emitted over this bus's lifetime (diagnostics).
         self.emitted = 0
+        #: The ambient cause id: while a causal episode executes
+        #: synchronously (a fault handler, a view installation), the
+        #: initiating site sets this and every emission in between can
+        #: tag itself with it.  Touched only inside ``if active:``
+        #: guards, so the disabled path never reads or writes it.
+        self.cause: Optional[str] = None
+        self._cause_seq = 0
+        #: Latest cause attributed to an entity ("node:3",
+        #: "client:client0@5"): how a cause survives *asynchronous*
+        #: boundaries — a crash attributes its node, and the failure
+        #: detector's later suspicion looks the cause back up.
+        self._cause_of: Dict[str, str] = {}
         self._subscribers: List[Subscription] = []
         self._open_spans: Dict[Tuple[str, str], Span] = {}
 
@@ -160,6 +172,43 @@ class Telemetry:
         self.metrics.counter(name).inc(amount)
 
     # ------------------------------------------------------------------
+    # Causal tracing (see repro.telemetry.causal for reconstruction)
+    # ------------------------------------------------------------------
+    def new_cause(self, label: str) -> str:
+        """Mint a deterministic cause id (``label#N``).
+
+        Ids are sequence-numbered per bus, so a fixed seed yields the
+        same ids in the same order run after run.  Call only inside an
+        ``if active:`` guard — causes exist purely for observers.
+        """
+        self._cause_seq += 1
+        return f"{label}#{self._cause_seq}"
+
+    def attribute(self, entity: str, cause: str) -> None:
+        """Record that ``entity`` is currently affected by ``cause``.
+
+        Entities are small dotted strings chosen by the instrumented
+        sites (``node:<daemon>``, ``client:<process>``); attribution is
+        last-write-wins.  This is how a cause crosses asynchronous
+        boundaries: the crash handler attributes the dead node, and the
+        failure detector's suspicion minutes of virtual time later looks
+        it back up with :meth:`cause_for`.
+        """
+        self._cause_of[entity] = cause
+
+    def cause_for(self, *entities: str) -> Optional[str]:
+        """The most recent cause attributed to any of ``entities``.
+
+        Falls back to the ambient :attr:`cause` when no entity matches,
+        so synchronous call chains need no attribution at all.
+        """
+        for entity in entities:
+            cause = self._cause_of.get(entity)
+            if cause is not None:
+                return cause
+        return self.cause
+
+    # ------------------------------------------------------------------
     # Spans
     # ------------------------------------------------------------------
     def span(self, kind: str, key: str = "", **attrs) -> Span:
@@ -190,6 +239,19 @@ class Telemetry:
 
     def open_spans(self) -> List[Span]:
         return list(self._open_spans.values())
+
+    def abandon_open_spans(self, reason: str = "run-end") -> List[Span]:
+        """Close every still-open span via :meth:`Span.abandon`.
+
+        Called at simulation teardown (the JSONL exporter does it before
+        writing its summary) so crash scenarios do not silently lose
+        takeover/session spans: each emits ``span.abandoned`` with its
+        duration so far.  Returns the spans that were abandoned.
+        """
+        spans = list(self._open_spans.values())
+        for span in spans:
+            span.abandon(reason=reason)
+        return spans
 
     def _forget_span(self, span: Span) -> None:
         registered = self._open_spans.get((span.kind, span.key))

@@ -30,6 +30,7 @@ FIREHOSE_PREFIXES = ("sim.", "net.deliver")
 #: The default export keeps every application-level kind.
 DEFAULT_PREFIXES = (
     "client.", "server.", "gcs.", "net.drop", "fault.", "span.", "metric.",
+    "slo.",
 )
 
 
@@ -42,6 +43,15 @@ class JsonlExporter:
         exporter.meta(scenario="lan", seed=11)
         ...  # run the simulation
         exporter.close(tracer_dropped=sim.tracer.dropped)
+
+    Or as a context manager, which guarantees the summary trailer is
+    written even when the run raises mid-simulation — a crashed
+    experiment still leaves a readable artifact (the summary then
+    carries ``crashed`` and ``error`` fields)::
+
+        with JsonlExporter(sim.telemetry, "run.jsonl") as exporter:
+            exporter.meta(scenario="lan", seed=11)
+            ...  # run the simulation (may raise)
     """
 
     def __init__(
@@ -73,32 +83,59 @@ class JsonlExporter:
         self._handle.write("\n")
 
     def close(self, **summary_fields) -> None:
-        """Detach, write the summary trailer and close the file."""
+        """Detach, write the summary trailer and close the file.
+
+        Spans still open are *abandoned* first (each emits a
+        ``span.abandoned`` event with its duration so far, captured by
+        this export) and listed in the summary's ``open_spans``.
+        """
         if self._closed:
             return
         self._closed = True
+        # Abandon before detaching so the span.abandoned events land in
+        # this file; the summary still lists them as never-finished.
+        open_spans = [
+            {"span": s.kind, "key": s.key, "start": s.start}
+            for s in self.telemetry.abandon_open_spans(reason="export-close")
+        ]
         self._subscription.close()
         summary = {
             "kind": "summary",
             "events_written": self.events_written,
             "events_emitted": self.telemetry.emitted,
             "metrics": self.telemetry.metrics.snapshot(),
-            "open_spans": [
-                {"span": s.kind, "key": s.key, "start": s.start}
-                for s in self.telemetry.open_spans()
-            ],
+            "open_spans": open_spans,
         }
         summary.update(summary_fields)
         self._write(summary)
         self._handle.close()
 
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc_type is None:
+            self.close()
+        else:
+            self.close(crashed=True, error=f"{exc_type.__name__}: {exc}")
+        return False  # never swallow the exception
+
 
 def read_jsonl(path: str) -> List[Dict]:
-    """Parse a telemetry JSONL file back into a list of dicts."""
+    """Parse a telemetry JSONL file back into a list of dicts.
+
+    Tolerant of a truncated final line (a run killed mid-write): a line
+    that fails to parse is skipped rather than poisoning the whole
+    artifact.  An empty file parses to an empty list.
+    """
     records = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except ValueError:
+                continue  # truncated tail of a crashed run
     return records

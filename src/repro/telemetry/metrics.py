@@ -134,24 +134,37 @@ class MetricRegistry:
         return sorted(self._metrics)
 
     def snapshot(self) -> Dict[str, object]:
-        """A JSON-serializable dump of every registered metric."""
+        """A JSON-serializable dump of every registered metric.
+
+        Strictly JSON: non-finite gauge/histogram values (NaN, ±inf —
+        e.g. a gauge tracking a ratio whose denominator was zero) export
+        as ``null`` rather than producing the invalid-JSON ``NaN`` token
+        that strict parsers reject.
+        """
         out: Dict[str, object] = {}
         for name in sorted(self._metrics):
             metric = self._metrics[name]
             if isinstance(metric, CounterMetric):
                 out[name] = metric.value
             elif isinstance(metric, GaugeMetric):
-                out[name] = metric.value
+                out[name] = _finite_or_none(metric.value)
             else:
                 hist = metric
                 out[name] = {
                     "count": hist.count,
-                    "total": hist.total,
-                    "mean": hist.mean,
+                    "total": _finite_or_none(hist.total),
+                    "mean": _finite_or_none(hist.mean),
                     "buckets": list(hist.buckets),
                     "counts": list(hist.counts),
                 }
         return out
+
+
+def _finite_or_none(value: float) -> Optional[float]:
+    return value if -_INF < value < _INF else None
+
+
+_INF = float("inf")
 
 
 #: Back-compat facade name: the registry *is* the metrics collector.

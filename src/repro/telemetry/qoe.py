@@ -1,0 +1,305 @@
+"""Per-client quality-of-experience scorecards, derived from the bus.
+
+The paper's headline claim is *glitch-free playback through failures*;
+a scorecard turns one client's event stream into the numbers that claim
+is judged by: startup latency, stall (glitch) episodes and total stall
+time, rebuffer ratio, skipped/late frames, migration count, emergency
+refill episodes and the extra bandwidth they consumed.
+
+The same accumulator works online (subscribe a :class:`QoECollector` to
+a live bus) and offline (:func:`scorecards_from_timeline` over a parsed
+JSONL export) — both consume only event ``(t, kind, fields)`` triples,
+never simulator state, so a scorecard computed during the run equals
+one recomputed from the artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+def _client_name(value: object) -> str:
+    """Normalize the two client spellings to the short name.
+
+    Client-side events carry ``client0``; server-side events carry the
+    process id string ``client0@5``.  The short name keys everything.
+    """
+    return str(value).split("@", 1)[0]
+
+
+@dataclass
+class QoEScorecard:
+    """One client's session, scored.
+
+    ``score()`` folds the raw facts into a 0–100 figure of merit:
+    start from 100, subtract up to 50 for rebuffering (50 × rebuffer
+    ratio, the dominant QoE driver), 2 per stall episode (cap 20), up
+    to 15 for skipped frames (15 × skip ratio) and 1 per migration
+    (cap 5).  A glitch-free, migration-free session scores 100.
+    """
+
+    client: str
+    movie: str = ""
+    start_t: float = 0.0
+    end_t: float = 0.0
+    startup_s: Optional[float] = None
+    stall_count: int = 0
+    stall_s: float = 0.0
+    skipped_frames: int = 0
+    displayed_frames: int = 0
+    late_frames: int = 0
+    migrations: int = 0
+    resumes: int = 0
+    emergencies: int = 0
+    emergency_extra_frames: float = 0.0
+    finished: bool = False
+
+    @property
+    def watch_s(self) -> float:
+        return max(0.0, self.end_t - self.start_t)
+
+    @property
+    def rebuffer_ratio(self) -> float:
+        return self.stall_s / self.watch_s if self.watch_s > 0 else 0.0
+
+    @property
+    def glitch_free(self) -> bool:
+        return self.stall_count == 0
+
+    @property
+    def emergency_share(self) -> float:
+        """Extra emergency bandwidth as a fraction of the mean rate.
+
+        The paper budgets emergencies at <= 40% of the stream rate;
+        this is the measured counterpart, averaged over the session.
+        """
+        if self.watch_s <= 0 or self.displayed_frames <= 0:
+            return 0.0
+        base_rate = self.displayed_frames / self.watch_s
+        if base_rate <= 0:
+            return 0.0
+        return (self.emergency_extra_frames / self.watch_s) / base_rate
+
+    def score(self) -> float:
+        penalty = 50.0 * min(1.0, self.rebuffer_ratio)
+        penalty += min(20.0, 2.0 * self.stall_count)
+        shown = max(1, self.displayed_frames + self.skipped_frames)
+        penalty += 15.0 * min(1.0, self.skipped_frames / shown)
+        penalty += min(5.0, float(self.migrations))
+        return max(0.0, 100.0 - penalty)
+
+    def as_dict(self) -> Dict:
+        return {
+            "client": self.client,
+            "movie": self.movie,
+            "watch_s": self.watch_s,
+            "startup_s": self.startup_s,
+            "stall_count": self.stall_count,
+            "stall_s": self.stall_s,
+            "rebuffer_ratio": self.rebuffer_ratio,
+            "skipped_frames": self.skipped_frames,
+            "displayed_frames": self.displayed_frames,
+            "late_frames": self.late_frames,
+            "migrations": self.migrations,
+            "resumes": self.resumes,
+            "emergencies": self.emergencies,
+            "emergency_extra_frames": self.emergency_extra_frames,
+            "emergency_share": self.emergency_share,
+            "glitch_free": self.glitch_free,
+            "finished": self.finished,
+            "score": self.score(),
+        }
+
+
+class QoEAccumulator:
+    """Feeds ``(t, kind, fields)`` triples into per-client scorecards."""
+
+    def __init__(self) -> None:
+        self._cards: Dict[str, QoEScorecard] = {}
+        # Open stall episode start per client.
+        self._stall_since: Dict[str, float] = {}
+        # Emergency bandwidth integration state per client:
+        # (last event time, extra frames/s above base while refilling).
+        self._rate_state: Dict[str, List[float]] = {}
+        self._base_fps: Dict[str, float] = {}
+        self._last_t = 0.0
+
+    def card(self, client: str) -> QoEScorecard:
+        name = _client_name(client)
+        card = self._cards.get(name)
+        if card is None:
+            card = self._cards[name] = QoEScorecard(client=name)
+        return card
+
+    # ------------------------------------------------------------------
+    # Event feed
+    # ------------------------------------------------------------------
+    def feed(self, t: float, kind: str, fields: Dict) -> None:
+        self._last_t = max(self._last_t, t)
+        if kind.startswith("client."):
+            self._feed_client(t, kind, fields)
+        elif kind in ("server.rate", "server.emergency.step"):
+            self._feed_rate(t, kind, fields)
+        elif kind in ("span.begin", "span.end", "span.abandoned"):
+            self._feed_span(t, kind, fields)
+        elif kind == "metric.sample":
+            # Keeps ``displayed_frames`` current for sessions that never
+            # close cleanly (run ends mid-movie, span abandoned) — the
+            # span.end counters, when they do arrive, agree with the
+            # last sample.
+            if fields.get("series") == "displayed_cumulative":
+                card = self.card(fields.get("owner", "?"))
+                card.displayed_frames = max(
+                    card.displayed_frames,
+                    int(float(fields.get("value", 0.0))),
+                )
+
+    def _feed_client(self, t: float, kind: str, fields: Dict) -> None:
+        card = self.card(fields.get("client", "?"))
+        card.end_t = max(card.end_t, t)
+        if kind == "client.stall.begin":
+            card.stall_count += 1
+            self._stall_since[card.client] = t
+        elif kind == "client.stall.end":
+            since = self._stall_since.pop(card.client, None)
+            if since is not None:
+                card.stall_s += t - since
+        elif kind == "client.skip":
+            card.skipped_frames = int(fields.get("total", card.skipped_frames))
+        elif kind == "client.migrate":
+            # The first server adoption at startup also emits migrate
+            # (from "None"); only mid-stream handoffs count against QoE.
+            if str(fields.get("from_server")) not in ("None", ""):
+                card.migrations += 1
+        elif kind == "client.resume":
+            card.resumes += 1
+        elif kind == "client.playback.start":
+            if card.startup_s is None:
+                card.startup_s = t - card.start_t
+        elif kind == "client.flow":
+            if fields.get("message") == "emergency":
+                card.emergencies += 1
+
+    def _feed_rate(self, t: float, kind: str, fields: Dict) -> None:
+        card = self.card(fields.get("client", "?"))
+        name = card.client
+        self._integrate_extra(name, t)
+        rate = float(fields.get("rate_fps", 0.0))
+        if kind == "server.rate":
+            self._base_fps[name] = float(fields.get("base_fps", rate))
+            refilling = float(fields.get("emergency", 0.0)) > 0
+        else:  # server.emergency.step
+            refilling = float(fields.get("quantity", 0.0)) > 0
+        base = self._base_fps.get(name, rate)
+        extra = max(0.0, rate - base) if refilling else 0.0
+        self._rate_state[name] = [t, extra]
+
+    def _integrate_extra(self, name: str, t: float) -> None:
+        state = self._rate_state.get(name)
+        if state is not None and t > state[0] and state[1] > 0:
+            self.card(name).emergency_extra_frames += (t - state[0]) * state[1]
+        if state is not None:
+            state[0] = t
+
+    def _feed_span(self, t: float, kind: str, fields: Dict) -> None:
+        if fields.get("span") != "client.session":
+            return
+        card = self.card(fields.get("key", "?"))
+        if kind == "span.begin":
+            card.start_t = t
+            card.end_t = max(card.end_t, t)
+            card.movie = str(fields.get("movie", card.movie))
+        else:
+            card.end_t = max(card.end_t, t)
+            card.finished = kind == "span.end"
+            card.displayed_frames = int(
+                fields.get("displayed", card.displayed_frames)
+            )
+            card.late_frames = int(fields.get("late", card.late_frames))
+            card.skipped_frames = int(
+                fields.get("skipped", card.skipped_frames)
+            )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def finish(self, end_t: Optional[float] = None) -> Dict[str, QoEScorecard]:
+        """Settle open episodes at ``end_t`` and return the scorecards."""
+        t = self._last_t if end_t is None else max(end_t, self._last_t)
+        for name, since in list(self._stall_since.items()):
+            self._cards[name].stall_s += t - since
+            self._stall_since[name] = t
+        for name in list(self._rate_state):
+            self._integrate_extra(name, t)
+        for card in self._cards.values():
+            card.end_t = max(card.end_t, t)
+        return dict(self._cards)
+
+    def scorecards(self) -> Dict[str, QoEScorecard]:
+        return dict(self._cards)
+
+
+#: Bus prefixes a QoE observer needs (everything else is noise to it).
+QOE_PREFIXES = (
+    "client.", "server.rate", "server.emergency", "span.", "metric.sample",
+)
+
+
+class QoECollector:
+    """Online scorecard builder: subscribe, run, :meth:`finish`."""
+
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+        self.accumulator = QoEAccumulator()
+        self._subscription = telemetry.subscribe(
+            self._on_event, prefixes=QOE_PREFIXES
+        )
+
+    def _on_event(self, event) -> None:
+        self.accumulator.feed(event.time, event.kind, event.fields)
+
+    def finish(self, end_t: Optional[float] = None) -> Dict[str, QoEScorecard]:
+        self._subscription.close()
+        return self.accumulator.finish(end_t)
+
+
+def scorecards_from_timeline(timeline) -> Dict[str, QoEScorecard]:
+    """Offline scorecards from a parsed export (``repro-vod report``)."""
+    accumulator = QoEAccumulator()
+    last_t = 0.0
+    for event in timeline.events:
+        t = float(event.get("t", 0.0))
+        last_t = max(last_t, t)
+        fields = {
+            k: v for k, v in event.items() if k not in ("t", "kind")
+        }
+        accumulator.feed(t, str(event.get("kind", "")), fields)
+    return accumulator.finish(last_t)
+
+
+def render_scorecards(cards: Dict[str, QoEScorecard]) -> str:
+    """A text table of QoE scorecards, worst score first."""
+    from repro.metrics.report import Table  # lazy: keeps import order simple
+
+    table = Table(
+        "Per-client QoE scorecards",
+        ["client", "score", "startup (s)", "stalls", "stall (s)",
+         "rebuffer", "skipped", "migr", "emerg", "extra (fr)", "glitch-free"],
+    )
+    ordered = sorted(cards.values(), key=lambda c: (c.score(), c.client))
+    for card in ordered:
+        table.add_row(
+            card.client,
+            f"{card.score():.1f}",
+            "-" if card.startup_s is None else f"{card.startup_s:.2f}",
+            card.stall_count,
+            f"{card.stall_s:.2f}",
+            f"{card.rebuffer_ratio:.3f}",
+            card.skipped_frames,
+            card.migrations,
+            card.emergencies,
+            f"{card.emergency_extra_frames:.0f}",
+            "yes" if card.glitch_free else "NO",
+        )
+    return table.render()

@@ -28,7 +28,10 @@ TIMELINE_KINDS = (
     "client.stall",
     "client.skip",
     "client.flow",
+    "client.resume",
+    "client.playback",
     "span.",
+    "slo.",
 )
 
 
@@ -69,7 +72,8 @@ class RunTimeline:
         """Completed + still-open spans, matched begin/end by (span, key).
 
         Begin/end pairs nest per key chronologically; an unmatched begin
-        appears with ``duration_s=None``.
+        appears with ``duration_s=None``.  A ``span.abandoned`` close
+        (the run ended first) counts as an end with ``abandoned=True``.
         """
         finished: List[Dict] = []
         open_spans: Dict[tuple, Dict] = {}
@@ -83,16 +87,19 @@ class RunTimeline:
                     "start": event.get("t"),
                     "end": None,
                     "duration_s": None,
+                    "abandoned": False,
                 }
-            elif kind == "span.end":
+            elif kind in ("span.end", "span.abandoned"):
                 begun = open_spans.pop(ident, None)
                 record = begun or {
                     "span": event.get("span"),
                     "key": event.get("key"),
                     "start": event.get("start"),
+                    "abandoned": False,
                 }
                 record["end"] = event.get("t")
                 record["duration_s"] = event.get("duration_s")
+                record["abandoned"] = kind == "span.abandoned"
                 finished.append(record)
         return finished + list(open_spans.values())
 
@@ -134,7 +141,9 @@ def _describe(event: Dict) -> str:
 
 def render_report(timeline: RunTimeline, max_rows: int = 80) -> str:
     """The ``repro-vod report`` text: header, counts, timeline, spans,
-    buffer levels, summary."""
+    QoE scorecards, SLO verdicts, failover breakdowns, buffer levels,
+    summary.  Degrades gracefully: an empty or meta-only export renders
+    a one-line note instead of empty tables."""
     from repro.metrics.report import Table  # lazy: keeps import order simple
 
     blocks: List[str] = []
@@ -145,6 +154,14 @@ def render_report(timeline: RunTimeline, max_rows: int = 80) -> str:
     if meta:
         header += ": " + " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
     blocks.append(header)
+
+    if not timeline.events:
+        if timeline.meta or timeline.summary:
+            blocks.append("no events recorded (meta-only export)")
+        else:
+            blocks.append("no events recorded (empty export)")
+        _append_summary(timeline, blocks)
+        return "\n\n".join(blocks)
 
     counts = timeline.counts_by_kind()
     count_table = Table("Event counts", ["kind", "events"])
@@ -174,14 +191,38 @@ def render_report(timeline: RunTimeline, max_rows: int = 80) -> str:
         )
         for span in spans:
             duration = span.get("duration_s")
+            if duration is None:
+                shown = "open"
+            else:
+                shown = f"{duration:.3f}"
+                if span.get("abandoned"):
+                    shown += " (abandoned)"
             span_table.add_row(
                 span.get("span"),
                 span.get("key"),
                 _maybe_time(span.get("start")),
                 _maybe_time(span.get("end")),
-                "open" if duration is None else f"{duration:.3f}",
+                shown,
             )
         blocks.append(span_table.render())
+
+    # Derived observability views, all recomputed from the export alone.
+    from repro.telemetry.causal import TraceGraph, failover_breakdowns
+    from repro.telemetry.causal import render_breakdowns
+    from repro.telemetry.qoe import render_scorecards, scorecards_from_timeline
+    from repro.telemetry.slo import render_slo, slo_from_timeline
+
+    cards = scorecards_from_timeline(timeline)
+    if cards:
+        blocks.append(render_scorecards(cards))
+
+    slo_summary = slo_from_timeline(timeline)
+    if any(item.get("windows") for item in slo_summary.values()):
+        blocks.append(render_slo(slo_summary))
+
+    breakdowns = failover_breakdowns(TraceGraph(timeline.events))
+    if breakdowns:
+        blocks.append(render_breakdowns(breakdowns))
 
     series = timeline.series_summaries()
     if series:
@@ -197,23 +238,28 @@ def render_report(timeline: RunTimeline, max_rows: int = 80) -> str:
             )
         blocks.append(series_table.render())
 
-    summary = dict(timeline.summary)
-    if summary:
-        summary.pop("kind", None)
-        summary.pop("metrics", None)
-        blocks.append(
-            "summary: " + " ".join(
-                f"{k}={v}" for k, v in sorted(summary.items())
-                if not isinstance(v, (dict, list))
-            )
-        )
-        dropped = timeline.summary.get("tracer_dropped")
-        if dropped:
-            blocks.append(
-                f"WARNING: kernel tracer dropped {dropped} records "
-                "(trace truncated at max_records)"
-            )
+    _append_summary(timeline, blocks)
     return "\n\n".join(blocks)
+
+
+def _append_summary(timeline: RunTimeline, blocks: List[str]) -> None:
+    summary = dict(timeline.summary)
+    if not summary:
+        return
+    summary.pop("kind", None)
+    summary.pop("metrics", None)
+    blocks.append(
+        "summary: " + " ".join(
+            f"{k}={v}" for k, v in sorted(summary.items())
+            if not isinstance(v, (dict, list))
+        )
+    )
+    dropped = timeline.summary.get("tracer_dropped")
+    if dropped:
+        blocks.append(
+            f"WARNING: kernel tracer dropped {dropped} records "
+            "(trace truncated at max_records)"
+        )
 
 
 def _maybe_time(value: Optional[float]) -> str:

@@ -60,6 +60,38 @@ class Span:
             )
         return self.duration
 
+    def abandon(self, reason: str = "run-end", **attrs) -> float:
+        """Close the span as *abandoned* (the operation never finished).
+
+        Emits ``span.abandoned`` with the duration so far instead of
+        ``span.end`` — a takeover span still open when the simulation
+        stops means the adopter never resumed the stream, and that story
+        must survive into the export rather than vanish.  Idempotent
+        like :meth:`end`; a span already ended is left untouched.
+        """
+        if self.duration is not None:
+            return self.duration
+        telemetry = self.telemetry
+        self.duration = telemetry.clock() - self.start
+        telemetry._forget_span(self)
+        if telemetry.active:
+            # Span attrs may themselves carry a ``reason`` (a takeover
+            # records why it started); the abandonment reason wins on
+            # the span.abandoned record, so merge rather than pass both
+            # as keywords.
+            fields = dict(self.attrs)
+            fields.update(attrs)
+            fields["reason"] = reason
+            telemetry.emit(
+                "span.abandoned",
+                span=self.kind,
+                key=self.key,
+                start=self.start,
+                duration_s=self.duration,
+                **fields,
+            )
+        return self.duration
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = f"dur={self.duration:.3f}s" if self.ended else "open"
         return f"<Span {self.kind}:{self.key} t0={self.start:.3f} {state}>"

@@ -1,0 +1,259 @@
+"""Live terminal dashboard state for ``repro-vod watch``.
+
+A :class:`WatchState` is a bus subscriber that folds the event stream
+into the small amount of state a terminal dashboard needs — per-client
+status and buffer level, the buffer-occupancy distribution, spans still
+in flight, SLO rule state and the last few notable events — and
+:func:`render_watch` draws one frame of it as plain text.
+
+The watcher follows the same contract as every other observer: it never
+schedules simulation events and never draws randomness, so watching a
+run cannot change it.  ``repro-vod watch`` drives the simulator in
+short ``run_until`` slices and redraws between slices; the state here
+is just a fold over events, so it works equally against a live bus or
+a replayed export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Everything the dashboard listens to.
+WATCH_PREFIXES = (
+    "client.", "server.", "gcs.view", "fault.", "span.", "metric.sample",
+    "slo.",
+)
+
+#: How many recent notable events a frame shows.
+RECENT_EVENTS = 8
+
+_NOTABLE = (
+    "fault.", "gcs.view.install", "server.crash", "server.shutdown",
+    "server.session", "client.migrate", "client.stall", "client.resume",
+    "slo.",
+)
+
+
+@dataclass
+class ClientView:
+    """One row of the dashboard's client table."""
+
+    name: str
+    buffer: Optional[float] = None
+    stalled: bool = False
+    stalls: int = 0
+    migrations: int = 0
+    skipped: int = 0
+    server: str = ""
+    playing: bool = False
+    done: bool = False
+
+    @property
+    def status(self) -> str:
+        if self.done:
+            return "done"
+        if self.stalled:
+            return "STALL"
+        if self.playing:
+            return "play"
+        return "start"
+
+
+class WatchState:
+    """Folds bus events into one dashboard frame's worth of state."""
+
+    def __init__(self, telemetry, slo_monitor=None) -> None:
+        self.telemetry = telemetry
+        self.slo_monitor = slo_monitor
+        self.now = 0.0
+        self.events_seen = 0
+        self.clients: Dict[str, ClientView] = {}
+        self.open_spans: Dict[Tuple[str, str], float] = {}
+        self.slo: Dict[str, Dict] = {}
+        self.recent: List[str] = []
+        self.faults = 0
+        self.views_installed = 0
+        self._subscription = telemetry.subscribe(
+            self._on_event, prefixes=WATCH_PREFIXES
+        )
+
+    def close(self) -> None:
+        self._subscription.close()
+
+    # ------------------------------------------------------------------
+    # Fold
+    # ------------------------------------------------------------------
+    def client(self, name: object) -> ClientView:
+        short = str(name).split("@", 1)[0]
+        view = self.clients.get(short)
+        if view is None:
+            view = self.clients[short] = ClientView(name=short)
+        return view
+
+    def _on_event(self, event) -> None:
+        self.events_seen += 1
+        self.now = max(self.now, event.time)
+        kind = event.kind
+        fields = event.fields
+        if kind == "metric.sample":
+            # The dashboard's buffer column is frames; the byte-
+            # denominated hardware series would drown it out.
+            series = str(fields.get("series", ""))
+            if series in ("combined_frames", "software_buffer_frames"):
+                view = self.client(fields.get("owner", "?"))
+                if series == "combined_frames" or view.buffer is None:
+                    view.buffer = float(fields.get("value", 0.0))
+            return
+        if kind.startswith("client."):
+            view = self.client(fields.get("client", "?"))
+            if kind == "client.stall.begin":
+                view.stalled = True
+                view.stalls += 1
+            elif kind == "client.stall.end":
+                view.stalled = False
+            elif kind == "client.migrate":
+                if str(fields.get("from_server")) not in ("None", ""):
+                    view.migrations += 1
+                view.server = str(fields.get("to_server", view.server))
+            elif kind == "client.skip":
+                view.skipped = int(fields.get("total", view.skipped))
+            elif kind == "client.playback.start":
+                view.playing = True
+        elif kind == "span.begin":
+            self.open_spans[
+                (str(fields.get("span")), str(fields.get("key")))
+            ] = event.time
+        elif kind in ("span.end", "span.abandoned"):
+            ident = (str(fields.get("span")), str(fields.get("key")))
+            self.open_spans.pop(ident, None)
+            if fields.get("span") == "client.session":
+                self.client(fields.get("key", "?")).done = (
+                    kind == "span.end"
+                )
+        elif kind == "server.session.start":
+            view = self.client(fields.get("client", "?"))
+            view.server = str(fields.get("server", view.server))
+        elif kind == "fault.fired":
+            self.faults += 1
+        elif kind == "gcs.view.install":
+            self.views_installed += 1
+        elif kind.startswith("slo."):
+            rule = str(fields.get("rule", "?"))
+            item = self.slo.setdefault(
+                rule, {"ok": True, "breaches": 0, "burns": 0, "value": 0.0}
+            )
+            item["value"] = float(fields.get("value", 0.0))
+            if kind == "slo.breach":
+                item["ok"] = False
+                item["breaches"] += 1
+            elif kind == "slo.recover":
+                item["ok"] = True
+            elif kind == "slo.burn":
+                item["burns"] += 1
+        if kind.startswith(_NOTABLE):
+            detail = " ".join(
+                f"{k}={v}" for k, v in fields.items()
+                if k not in ("start",)
+            )
+            self.recent.append(f"{event.time:9.3f}  {kind}  {detail}")
+            del self.recent[:-RECENT_EVENTS]
+
+    # ------------------------------------------------------------------
+    # Derived
+    # ------------------------------------------------------------------
+    def buffer_distribution(self, bins: int = 8) -> List[Tuple[str, int]]:
+        """Histogram of current client buffer levels (frames)."""
+        levels = [
+            view.buffer for view in self.clients.values()
+            if view.buffer is not None
+        ]
+        if not levels:
+            return []
+        top = max(max(levels), 1.0)
+        width = top / bins
+        counts = [0] * bins
+        for level in levels:
+            slot = min(bins - 1, int(level / width))
+            counts[slot] += 1
+        return [
+            (f"{i * width:5.0f}-{(i + 1) * width:5.0f}", counts[i])
+            for i in range(bins)
+        ]
+
+    def slo_rows(self) -> List[Tuple[str, str, str]]:
+        """(rule, state, value) rows — live monitor first, else events."""
+        if self.slo_monitor is not None:
+            return [
+                (name, "OK" if st.ok else "BREACH", f"{st.value:.3f}")
+                for name, st in sorted(self.slo_monitor.states.items())
+            ]
+        return [
+            (rule, "OK" if item["ok"] else "BREACH", f"{item['value']:.3f}")
+            for rule, item in sorted(self.slo.items())
+        ]
+
+
+def render_watch(state: WatchState, max_clients: int = 12) -> str:
+    """One text frame of the live dashboard."""
+    lines: List[str] = []
+    stalled = sum(1 for v in state.clients.values() if v.stalled)
+    done = sum(1 for v in state.clients.values() if v.done)
+    lines.append(
+        f"t={state.now:8.2f}s  clients={len(state.clients)} "
+        f"(stalled={stalled} done={done})  faults={state.faults} "
+        f"views={state.views_installed}  events={state.events_seen}"
+    )
+
+    slo_rows = state.slo_rows()
+    if slo_rows:
+        lines.append("")
+        lines.append("SLO:")
+        for rule, status, value in slo_rows:
+            marker = "  " if status == "OK" else "!!"
+            lines.append(f"  {marker} {rule:<28} {status:<7} {value}")
+
+    dist = state.buffer_distribution()
+    if dist:
+        lines.append("")
+        lines.append("buffer occupancy (frames -> clients):")
+        peak = max(count for _, count in dist) or 1
+        for label, count in dist:
+            bar = "#" * int(round(24 * count / peak)) if count else ""
+            lines.append(f"  {label} | {bar} {count or ''}")
+
+    if state.open_spans:
+        lines.append("")
+        lines.append("active spans:")
+        ordered = sorted(state.open_spans.items(), key=lambda kv: kv[1])
+        for (span, key), start in ordered[:10]:
+            lines.append(
+                f"  {span:<16} {key:<16} open {state.now - start:7.2f}s"
+            )
+
+    worst = sorted(
+        state.clients.values(),
+        key=lambda v: (not v.stalled, -(v.stalls + v.migrations), v.name),
+    )
+    if worst:
+        lines.append("")
+        lines.append(
+            f"clients (worst {min(max_clients, len(worst))} of {len(worst)}):"
+        )
+        lines.append(
+            "  name        status  buffer  stalls  migr  skip  server"
+        )
+        for view in worst[:max_clients]:
+            buffer = "-" if view.buffer is None else f"{view.buffer:6.0f}"
+            lines.append(
+                f"  {view.name:<10}  {view.status:<6} {buffer:>7} "
+                f"{view.stalls:>7} {view.migrations:>5} {view.skipped:>5}  "
+                f"{view.server}"
+            )
+
+    if state.recent:
+        lines.append("")
+        lines.append("recent events:")
+        lines.extend(f"  {line}" for line in state.recent)
+
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""QoE regression gate: compare() verdict logic (measure() is a bench).
+
+The full gate — two observed Figure 4 runs plus a chaos sweep — takes
+minutes and lives in CI (the ``qoe-regression`` job); here we pin down
+the judging rules on synthetic measurements.
+"""
+
+import copy
+
+from repro.experiments.qoe_gate import JUDGED_METRICS, compare
+
+BASE = {
+    "metrics": {
+        "failover_p50_s": 0.43,
+        "failover_p99_s": 0.47,
+        "glitch_total": 4,
+        "stall_s_total": 2.0,
+        "qoe_mean_score": 96.0,
+    },
+    "overhead_pct": 12.0,
+    "overhead_ceiling_pct": 60.0,
+}
+
+
+def measurement(**metric_overrides):
+    current = copy.deepcopy(BASE)
+    current["metrics"].update(metric_overrides)
+    return current
+
+
+def test_identical_measurement_passes():
+    lines, ok = compare(measurement(), BASE)
+    assert ok
+    assert all("FAIL" not in line for line in lines)
+    # Every judged metric plus the overhead ceiling shows up.
+    assert len(lines) == len(JUDGED_METRICS) + 1
+
+
+def test_regression_beyond_tolerance_fails():
+    lines, ok = compare(measurement(stall_s_total=3.0), BASE)
+    assert not ok
+    assert any("FAIL" in line and "stall_s_total" in line for line in lines)
+
+
+def test_absolute_slack_absorbs_near_zero_jitter():
+    # +0.01 s on a 0.43 s failover is within the 0.05 s slack even
+    # though it exceeds 10% of nothing much.
+    _, ok = compare(measurement(failover_p50_s=0.44), BASE, tolerance=0.0)
+    assert ok
+    _, ok = compare(measurement(failover_p50_s=0.55), BASE)
+    assert not ok
+
+
+def test_lower_is_worse_for_scores():
+    _, ok = compare(measurement(qoe_mean_score=80.0), BASE)
+    assert not ok
+    # A score *improvement* never fails the gate.
+    _, ok = compare(measurement(qoe_mean_score=99.5), BASE)
+    assert ok
+
+
+def test_overhead_judged_against_ceiling_not_baseline():
+    current = measurement()
+    current["overhead_pct"] = 59.0  # noisy but under the ceiling
+    _, ok = compare(current, BASE)
+    assert ok
+    current["overhead_pct"] = 61.0
+    lines, ok = compare(current, BASE)
+    assert not ok
+    assert any("overhead_pct" in line and "FAIL" in line for line in lines)
+
+
+def test_missing_metric_is_reported_not_crashed():
+    current = measurement()
+    del current["metrics"]["glitch_total"]
+    lines, ok = compare(current, BASE)
+    assert any("? glitch_total" in line.strip() for line in lines)
+    assert ok  # a missing metric is flagged, not failed

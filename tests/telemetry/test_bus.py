@@ -133,6 +133,76 @@ def test_span_end_is_idempotent_and_unknown_end_is_none():
     assert tel.end_span("takeover", "never-opened") is None
 
 
+def test_snapshot_round_trips_through_json():
+    import json
+    import math
+
+    registry = MetricRegistry()
+    registry.counter("faults").inc(3)
+    registry.gauge("temp").set(21.5)
+    hist = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 50.0):
+        hist.observe(value)
+
+    snap = json.loads(json.dumps(registry.snapshot()))
+    assert snap["faults"] == 3 and isinstance(snap["faults"], int)
+    assert snap["temp"] == 21.5
+    assert snap["lat"]["buckets"] == [0.1, 1.0, 10.0]  # edges survive
+    assert snap["lat"]["counts"] == [1, 1, 0, 1]
+    assert snap["lat"]["count"] == 3
+    assert snap["lat"]["mean"] == pytest.approx(50.55 / 3)
+
+    # Non-finite gauges must not poison the JSON summary.
+    registry.gauge("nan").set(math.nan)
+    registry.gauge("inf").set(math.inf)
+    snap = json.loads(json.dumps(registry.snapshot()))
+    assert snap["nan"] is None
+    assert snap["inf"] is None
+
+
+def test_overlapping_prefixes_deliver_once_per_subscription():
+    tel = Telemetry()
+    # One subscription whose prefixes both match the same kind...
+    once, _ = tel.collect(prefixes=("client.", "client.stall"))
+    # ... and a second, independent subscription that also matches.
+    other, _ = tel.collect(prefixes=("client.stall.", "server."))
+    tel.emit("client.stall.begin", client="c0")
+    assert [e.kind for e in once] == ["client.stall.begin"]
+    assert [e.kind for e in other] == ["client.stall.begin"]
+    assert tel.emitted == 1  # one event, however many deliveries
+
+
+def test_abandon_emits_duration_so_far_and_is_idempotent():
+    now = [5.0]
+    tel = Telemetry(clock=lambda: now[0])
+    events, _ = tel.collect()
+    span = tel.span("takeover", key="client0", reason="crash")
+    now[0] = 7.0
+    assert span.abandon() == pytest.approx(2.0)
+    assert span.abandon(reason="again") == pytest.approx(2.0)  # no re-emit
+    abandoned = [e for e in events if e.kind == "span.abandoned"]
+    assert len(abandoned) == 1
+    fields = abandoned[0].fields
+    assert fields["duration_s"] == pytest.approx(2.0)
+    # The abandonment reason wins over the span's own ``reason`` attr
+    # (why the takeover *started*) without tripping a kwarg collision.
+    assert fields["reason"] == "run-end"
+    assert tel.open_spans() == []
+
+
+def test_abandon_open_spans_sweeps_the_registry():
+    tel = Telemetry(clock=lambda: 1.0)
+    events, _ = tel.collect()
+    tel.span("takeover", key="c0")
+    tel.span("client.session", key="c1")
+    closed = tel.abandon_open_spans(reason="export-close")
+    assert sorted(s.kind for s in closed) == ["client.session", "takeover"]
+    assert tel.open_spans() == []
+    kinds = [e.kind for e in events]
+    assert kinds.count("span.abandoned") == 2
+    assert tel.abandon_open_spans() == []  # second sweep finds nothing
+
+
 def test_tracer_counts_dropped_records():
     tracer = Tracer(enabled=True, max_records=2)
 

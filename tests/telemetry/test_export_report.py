@@ -107,6 +107,73 @@ def test_report_truncation_note(export_path):
     assert "more (raise --max-rows)" in text
 
 
+def test_exporter_context_manager_flushes_summary_on_crash(tmp_path):
+    from repro.telemetry import JsonlExporter, Telemetry
+
+    now = [0.0]
+    tel = Telemetry(clock=lambda: now[0])
+    path = tmp_path / "crashed.jsonl"
+    with pytest.raises(RuntimeError, match="mid-run"):
+        with JsonlExporter(tel, str(path)) as exporter:
+            exporter.meta(scenario="doomed", seed=1)
+            tel.span("takeover", key="client0")
+            now[0] = 3.0
+            tel.emit("fault.fired", action="CrashServing")
+            raise RuntimeError("mid-run failure")
+
+    records = read_jsonl(str(path))
+    summary = records[-1]
+    assert summary["kind"] == "summary"
+    assert summary["crashed"] is True
+    assert summary["error"] == "RuntimeError: mid-run failure"
+    assert summary["open_spans"] == [
+        {"span": "takeover", "key": "client0", "start": 0.0}
+    ]
+    # The abandoned span's event made it into the file before detach.
+    abandoned = [r for r in records if r.get("kind") == "span.abandoned"]
+    assert len(abandoned) == 1
+    assert abandoned[0]["duration_s"] == pytest.approx(3.0)
+
+    # An explicit close beats __exit__; the context manager then no-ops.
+    clean = tmp_path / "clean.jsonl"
+    with JsonlExporter(tel, str(clean)) as exporter:
+        exporter.close(done=True)
+    assert read_jsonl(str(clean))[-1]["done"] is True
+
+
+def test_run_cut_short_abandons_the_session_span(tmp_path):
+    spec = dataclasses.replace(
+        LAN_SCENARIO, name="lan-cut-short",
+        movie_duration_s=240.0, run_duration_s=40.0,
+    )
+    path = tmp_path / "short.jsonl"
+    run_scenario(spec, telemetry_path=str(path))
+    timeline = load_timeline(str(path))
+    sessions = [s for s in timeline.spans() if s["span"] == "client.session"]
+    assert sessions and all(s["abandoned"] for s in sessions)
+    assert sessions[0]["duration_s"] == pytest.approx(40.0)
+    assert timeline.summary["open_spans"]
+    assert "(abandoned)" in render_report(timeline)
+
+
+def test_report_handles_empty_and_meta_only_files(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    text = render_report(load_timeline(str(empty)))
+    assert "(empty export)" in text
+
+    from repro.telemetry import JsonlExporter, Telemetry
+
+    meta_only = tmp_path / "meta.jsonl"
+    exporter = JsonlExporter(Telemetry(), str(meta_only))
+    exporter.meta(scenario="aborted", seed=3)
+    exporter.close()
+    text = render_report(load_timeline(str(meta_only)))
+    assert "no events recorded (meta-only export)" in text
+    assert "scenario=aborted" in text
+    assert "events_written=0" in text
+
+
 def test_cli_trace_then_report(tmp_path, capsys):
     out = tmp_path / "trace.jsonl"
     assert main(["trace", "--scenario", "lan", "--duration", "45",

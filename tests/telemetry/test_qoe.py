@@ -1,0 +1,136 @@
+"""Per-client QoE scorecards: accumulator semantics + scenario runs."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.scenarios import LAN_SCENARIO, run_scenario
+from repro.telemetry import load_timeline, render_scorecards, scorecards_from_timeline
+from repro.telemetry.qoe import QoEAccumulator
+
+CRASH_SPEC = dataclasses.replace(
+    LAN_SCENARIO,
+    name="lan-qoe",
+    movie_duration_s=80.0,
+    run_duration_s=80.0,
+    schedule=((30.0, "crash-serving"),),
+)
+
+NOMINAL_SPEC = dataclasses.replace(
+    LAN_SCENARIO,
+    name="lan-qoe-nominal",
+    movie_duration_s=60.0,
+    run_duration_s=60.0,
+    schedule=(),
+)
+
+
+# ----------------------------------------------------------------------
+# Accumulator unit semantics
+# ----------------------------------------------------------------------
+def test_stall_episode_and_startup_accounting():
+    acc = QoEAccumulator()
+    acc.feed(0.0, "span.begin",
+             {"span": "client.session", "key": "client0", "movie": "m"})
+    acc.feed(1.5, "client.playback.start", {"client": "client0"})
+    acc.feed(10.0, "client.stall.begin", {"client": "client0"})
+    acc.feed(12.5, "client.stall.end", {"client": "client0"})
+    cards = acc.finish(20.0)
+    card = cards["client0"]
+    assert card.startup_s == pytest.approx(1.5)
+    assert card.stall_count == 1
+    assert card.stall_s == pytest.approx(2.5)
+    assert card.watch_s == pytest.approx(20.0)
+    assert card.rebuffer_ratio == pytest.approx(2.5 / 20.0)
+    assert not card.glitch_free
+    assert not card.finished
+
+
+def test_open_stall_settles_at_finish():
+    acc = QoEAccumulator()
+    acc.feed(5.0, "client.stall.begin", {"client": "client0"})
+    card = acc.finish(9.0)["client0"]
+    assert card.stall_s == pytest.approx(4.0)
+
+
+def test_initial_adoption_is_not_a_migration():
+    acc = QoEAccumulator()
+    acc.feed(1.0, "client.migrate",
+             {"client": "client0", "from_server": "None",
+              "to_server": "server0@1"})
+    acc.feed(30.0, "client.migrate",
+             {"client": "client0", "from_server": "server0@1",
+              "to_server": "server1@2"})
+    assert acc.finish()["client0"].migrations == 1
+
+
+def test_server_and_client_spellings_share_one_card():
+    acc = QoEAccumulator()
+    acc.feed(1.0, "client.stall.begin", {"client": "client0"})
+    acc.feed(2.0, "client.stall.end", {"client": "client0@5"})
+    cards = acc.finish()
+    assert list(cards) == ["client0"]
+    assert cards["client0"].stall_s == pytest.approx(1.0)
+
+
+def test_score_is_bounded_and_penalizes_rebuffering():
+    acc = QoEAccumulator()
+    acc.feed(0.0, "span.begin", {"span": "client.session", "key": "c"})
+    acc.feed(0.0, "client.stall.begin", {"client": "c"})
+    acc.feed(100.0, "client.stall.end", {"client": "c"})
+    card = acc.finish(100.0)["c"]
+    assert card.rebuffer_ratio == pytest.approx(1.0)
+    assert 0.0 <= card.score() <= 100.0
+    assert card.score() < 50.0  # stalled the whole session
+
+
+# ----------------------------------------------------------------------
+# Scenario runs
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def crash_run(tmp_path_factory):
+    path = tmp_path_factory.mktemp("qoe") / "crash.jsonl"
+    return run_scenario(CRASH_SPEC, telemetry_path=str(path))
+
+
+def test_crash_run_scorecard_matches_client_stats(crash_run):
+    card = crash_run.qoe["client0"]
+    client = crash_run.client
+    assert card.stall_count == client.decoder.stats.stall_events
+    assert card.stall_s == pytest.approx(client.decoder.stats.stall_time_s)
+    assert card.skipped_frames == client.skipped_total
+    assert card.displayed_frames == client.displayed_total
+    # One real handoff (the takeover); the initial adoption is free.
+    assert card.migrations == 1
+    assert card.resumes == 1
+    assert card.startup_s is not None and card.startup_s > 0
+
+
+def test_offline_scorecards_equal_online(crash_run):
+    offline = scorecards_from_timeline(
+        load_timeline(crash_run.telemetry_path)
+    )
+    assert offline["client0"].as_dict() == crash_run.qoe["client0"].as_dict()
+
+
+def test_scorecards_are_deterministic(tmp_path, crash_run):
+    again = run_scenario(
+        CRASH_SPEC, telemetry_path=str(tmp_path / "again.jsonl")
+    )
+    assert again.qoe["client0"].as_dict() == crash_run.qoe["client0"].as_dict()
+
+
+def test_nominal_run_is_glitch_free(tmp_path):
+    result = run_scenario(
+        NOMINAL_SPEC, telemetry_path=str(tmp_path / "nominal.jsonl")
+    )
+    card = result.qoe["client0"]
+    assert card.glitch_free
+    assert card.migrations == 0
+    assert card.score() > 95.0
+
+
+def test_render_scorecards_orders_worst_first(crash_run):
+    text = render_scorecards(crash_run.qoe)
+    assert "client0" in text
+    assert "glitch-free" in text

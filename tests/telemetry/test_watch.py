@@ -1,0 +1,128 @@
+"""Live dashboard: WatchState fold, frame rendering, CLI smoke."""
+
+from repro.experiments.runner import main
+from repro.telemetry import Telemetry, WatchState, render_watch
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_state():
+    clock = Clock()
+    tel = Telemetry(clock=clock)
+    return clock, tel, WatchState(tel)
+
+
+# ----------------------------------------------------------------------
+# Fold semantics
+# ----------------------------------------------------------------------
+def test_buffer_column_ignores_byte_series_and_prefers_combined():
+    clock, tel, state = make_state()
+    tel.emit("metric.sample", series="hardware_buffer_bytes",
+             owner="client0", value=242637.0)
+    assert state.client("client0").buffer is None  # bytes never shown
+    tel.emit("metric.sample", series="software_buffer_frames",
+             owner="client0", value=40.0)
+    assert state.client("client0").buffer == 40.0
+    tel.emit("metric.sample", series="combined_frames",
+             owner="client0", value=55.0)
+    assert state.client("client0").buffer == 55.0
+    # Combined keeps precedence over a later software-only sample.
+    tel.emit("metric.sample", series="software_buffer_frames",
+             owner="client0", value=10.0)
+    assert state.client("client0").buffer == 55.0
+
+
+def test_stall_and_migration_fold():
+    clock, tel, state = make_state()
+    clock.now = 1.0
+    tel.emit("client.migrate", client="client0", from_server="None",
+             to_server="server0@1")
+    view = state.client("client0")
+    assert view.migrations == 0  # initial adoption is free
+    assert view.server == "server0@1"
+    clock.now = 5.0
+    tel.emit("client.stall.begin", client="client0")
+    assert view.stalled and view.stalls == 1 and view.status == "STALL"
+    tel.emit("client.migrate", client="client0", from_server="server0@1",
+             to_server="server1@2")
+    assert view.migrations == 1
+    tel.emit("client.stall.end", client="client0")
+    assert not view.stalled
+
+
+def test_spans_and_session_lifecycle():
+    clock, tel, state = make_state()
+    clock.now = 2.0
+    tel.emit("span.begin", span="takeover", key="client0@5")
+    assert ("takeover", "client0@5") in state.open_spans
+    clock.now = 3.0
+    tel.emit("span.end", span="takeover", key="client0@5", duration_s=1.0)
+    assert not state.open_spans
+    tel.emit("span.begin", span="client.session", key="client0")
+    tel.emit("span.abandoned", span="client.session", key="client0",
+             reason="run-end")
+    # Abandoned is not "done": the movie never finished.
+    assert not state.client("client0").done
+
+
+def test_slo_and_notable_events_fold():
+    clock, tel, state = make_state()
+    clock.now = 21.0
+    tel.emit("fault.fired", action="CrashServing")
+    tel.emit("gcs.view.install", view=2)
+    tel.emit("slo.breach", rule="glitch_free_fraction", value=0.5)
+    assert state.faults == 1 and state.views_installed == 1
+    assert not state.slo["glitch_free_fraction"]["ok"]
+    tel.emit("slo.recover", rule="glitch_free_fraction", value=1.0)
+    assert state.slo["glitch_free_fraction"]["ok"]
+    assert state.slo["glitch_free_fraction"]["breaches"] == 1
+    assert any("fault.fired" in line for line in state.recent)
+
+
+def test_buffer_distribution_covers_every_client():
+    clock, tel, state = make_state()
+    for i, level in enumerate((5.0, 25.0, 60.0)):
+        tel.emit("metric.sample", series="combined_frames",
+                 owner=f"client{i}", value=level)
+    dist = state.buffer_distribution(bins=4)
+    assert sum(count for _, count in dist) == 3
+
+
+def test_render_watch_has_every_section():
+    clock, tel, state = make_state()
+    clock.now = 12.0
+    tel.emit("metric.sample", series="combined_frames",
+             owner="client0", value=30.0)
+    tel.emit("client.stall.begin", client="client0")
+    tel.emit("span.begin", span="takeover", key="client0@5")
+    tel.emit("slo.breach", rule="glitch_free_fraction", value=0.5)
+    frame = render_watch(state)
+    assert "t=   12.00s" in frame
+    assert "SLO:" in frame and "BREACH" in frame
+    assert "buffer occupancy" in frame
+    assert "active spans:" in frame and "takeover" in frame
+    assert "STALL" in frame
+    assert "recent events:" in frame
+
+
+# ----------------------------------------------------------------------
+# CLI smoke
+# ----------------------------------------------------------------------
+def test_watch_cli_renders_frames_and_scorecards(capsys, tmp_path):
+    code = main([
+        "watch", "--scenario", "lan", "--duration", "30",
+        "--interval", "15",
+        "--telemetry", str(tmp_path / "watch.jsonl"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.count("t=") >= 2  # one frame per interval
+    assert "Per-client QoE scorecards" in out
+    assert "glitch_free_fraction" in out
+    assert "[telemetry artifact written to" in out
