@@ -6,14 +6,22 @@ population and verify the control plane stays negligible and failover
 stays client-count-independent.
 """
 
+import json
+import os
+
 from conftest import show
 
+from repro.experiments.scale import run_scale_point
 from repro.media.catalog import MovieCatalog
 from repro.media.movie import Movie
 from repro.metrics.report import Table
 from repro.net.topologies import build_lan
 from repro.service.deployment import Deployment
 from repro.sim.core import Simulator
+
+FLYWEIGHT_BASELINE = os.path.join(
+    os.path.dirname(__file__), "BENCH_scale_flyweight.json"
+)
 
 
 def run_scaled(n_clients, n_servers=3, duration_s=40.0, seed=77,
@@ -91,3 +99,34 @@ def test_failover_under_load(benchmark):
     assert len(survivors) == 2
     assert sum(loads) == 12
     assert max(stalls) <= 1.0  # nobody saw a human-visible freeze
+
+
+def test_flyweight_20k_smoke(benchmark):
+    """20 000 columnar viewers with a mid-run crash: the population the
+    per-object control plane could never admit.  Measurements must match
+    the committed reference — the run is seed-deterministic, so event-
+    count drift means behaviour changed, not the machine."""
+    point = benchmark.pedantic(
+        lambda: run_scale_point(20000, batch_window_s=1.0, duration_s=10.0,
+                                flyweight=True),
+        rounds=1, iterations=1,
+    )
+    with open(FLYWEIGHT_BASELINE) as fh:
+        baseline = json.load(fh)
+    table = Table("Scale — 20k flyweight viewers, 3 servers, 10 s",
+                  ["metric", "value", "reference"])
+    table.add_row("events", point.events, baseline["events"])
+    table.add_row("frames served", point.frames_delivered,
+                  baseline["frames_delivered"])
+    table.add_row("takeovers", point.takeovers, baseline["takeovers"])
+    table.add_row("wall (s)", f"{point.wall_s:.2f}",
+                  f"< {baseline['tolerances']['wall_ceiling_s']}")
+    show(table.render())
+
+    tol = baseline["tolerances"]
+    assert abs(point.events - baseline["events"]) <= (
+        tol["events_rel"] * baseline["events"]
+    )
+    assert point.takeovers == baseline["takeovers"]
+    assert point.wall_s < tol["wall_ceiling_s"]
+    assert max(point.failover_latencies) < tol["failover_ceiling_s"]

@@ -11,7 +11,7 @@ session group.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.client.buffers import (
     DEFAULT_SW_CAPACITY_FRAMES,
@@ -70,6 +70,19 @@ class ClientConfig:
     # request through the server group (last-resort self-repair).
     reconnect_after_s: float = 6.0
     probe_period_s: float = 0.25
+
+    # Session-group multiplexing: when true the client joins no
+    # per-client session group at all.  It learns (and tracks) its
+    # serving server from the ``server`` field of arriving frames and
+    # sends flow control / VCR commands point-to-point to it.  One
+    # group per *movie* (the servers') replaces N groups per client —
+    # the control-plane cost of a viewer drops to zero GCS state.
+    session_mux: bool = False
+    # Frames to accumulate before starting playback.  While prebuffering
+    # the flow-control policy stays silent (the rising buffer is the
+    # point, not a congestion signal); playback and watermark steering
+    # begin once the buffer reaches this level (or EOS arrives first).
+    prebuffer_frames: int = 0
 
     # Decode capability: None models a hardware MPEG card (decodes at
     # stream rate); a number models a software decoder that can only
@@ -234,12 +247,13 @@ class VoDClient:
             quality_fps = max(1, int(self.config.max_decode_fps * 0.8))
         self.quality_fps = quality_fps
         self.session_name = session_group(self.name)
-        listener = GroupListener(
-            on_view=self._on_session_view, on_message=lambda s, p: None
-        )
-        self.session_handle = self.endpoint.join(
-            self.session_name, self.name, listener
-        )
+        if not self.config.session_mux:
+            listener = GroupListener(
+                on_view=self._on_session_view, on_message=lambda s, p: None
+            )
+            self.session_handle = self.endpoint.join(
+                self.session_name, self.name, listener
+            )
         tel = self.sim.telemetry
         if tel.active:
             self._session_span = tel.span(
@@ -249,6 +263,47 @@ class VoDClient:
         self._connect_timer = Timer(
             self.sim, self.config.connect_retry_s, self._connect_retry
         )
+
+    def adopt_session(
+        self,
+        title: str,
+        serving_server: ProcessId,
+        offset: int,
+        epoch: int = 0,
+        buffered: Sequence[Any] = (),
+    ) -> None:
+        """Resume an in-flight session without a connect handshake.
+
+        Used when a flyweight row is promoted to a full client: the
+        serving server has already converted the row into a real
+        per-client session streaming toward this client's video
+        endpoint, so the client starts mid-movie at ``offset`` with the
+        frames the row notionally buffered (``buffered``, in ascending
+        index order, ending just below ``offset``) pre-loaded.  Only
+        meaningful under ``session_mux`` — there is no session group to
+        join, and the serving server is handed over directly instead of
+        being learnt from the first arriving frame."""
+        if self.movie_title is not None:
+            raise SessionError(f"client {self.name} is already watching a movie")
+        if not self.config.session_mux:
+            raise SessionError("adopt_session requires a session_mux client")
+        self.movie_title = title
+        self.session_name = session_group(self.name)
+        self.epoch = epoch
+        tel = self.sim.telemetry
+        if tel.active:
+            self._session_span = tel.span(
+                "client.session", key=self.name, movie=title
+            )
+        self._note_server(serving_server)
+        first = buffered[0].index if buffered else offset
+        self.decoder.reposition(first)
+        for frame in buffered:
+            self.software_buffer.insert(frame)
+        self._resync_playhead = True
+        self._pump()
+        self._last_frame_at = self.sim.now
+        self._start_playback()
 
     def list_movies(self, callback: Callable[[Tuple[str, ...]], None]) -> None:
         """Ask the service for its catalog; ``callback`` gets the titles."""
@@ -381,7 +436,12 @@ class VoDClient:
 
     def _on_session_view(self, view: View) -> None:
         servers = [member for member in view.members if member != self.process]
-        new_server = min(servers) if servers else None
+        self._note_server(min(servers) if servers else None)
+
+    def _note_server(self, new_server: Optional[ProcessId]) -> None:
+        """Record a serving-server transition (from the session-group
+        view, or — under ``session_mux`` — from the ``server`` field of
+        an arriving frame)."""
         if new_server != self.serving_server:
             tel = self.sim.telemetry
             if tel.active:
@@ -415,6 +475,10 @@ class VoDClient:
         if isinstance(payload, EndOfStream):
             if payload.epoch == self.epoch:
                 self.eos_received = True
+                if not self.playback_started and self.combined_occupancy:
+                    # A movie shorter than the prebuffer target: play
+                    # out whatever arrived.
+                    self._start_playback()
             return
         if isinstance(payload, FrameBurst):
             # Coalesced window (wire fallback): process members exactly
@@ -433,6 +497,10 @@ class VoDClient:
         if packet.epoch != self.epoch:
             self.stats.stale_epoch += 1
             return
+        if self.config.session_mux and packet.server != self.serving_server:
+            # No session group to announce migrations: the stream itself
+            # is the signal.  A frame from a new server IS the takeover.
+            self._note_server(packet.server)
         frame = packet.frame
         self.stats.received += 1
         self.stats.received_bytes += frame.size_bytes
@@ -454,7 +522,7 @@ class VoDClient:
                     self.stats.overflow_discarded_intra += 1
 
         self._pump()
-        if not self.playback_started:
+        if not self.playback_started and self._prebuffer_ready():
             self._start_playback()
         tel = self.sim.telemetry
         if tel.active:
@@ -471,6 +539,8 @@ class VoDClient:
         self._flow_control_step()
 
     def _flow_control_step(self) -> None:
+        if not self.playback_started and self.config.prebuffer_frames > 0:
+            return  # the prebuffer fills at stream rate by design
         message = self.flow.on_frame_received(
             self.combined_occupancy, self.software_buffer.occupancy
         )
@@ -479,7 +549,10 @@ class VoDClient:
         self._send_flow(message)
 
     def _send_flow(self, message: FlowControlMsg) -> None:
-        if self.session_handle is None or not self.session_handle.is_member:
+        if self.config.session_mux:
+            if self.serving_server is None:
+                return
+        elif self.session_handle is None or not self.session_handle.is_member:
             return
         if message.kind == FlowKind.EMERGENCY and not self._emergency_allowed():
             return
@@ -498,7 +571,13 @@ class VoDClient:
                 occupancy=message.occupancy,
             )
             tel.count("client.flow_messages")
-        self.session_handle.multicast(message, message.wire_bytes())
+        if self.config.session_mux:
+            self.endpoint.send_p2p(
+                self.serving_server, message, message.wire_bytes(),
+                sender_name=self.name,
+            )
+        else:
+            self.session_handle.multicast(message, message.wire_bytes())
 
     def _emergency_allowed(self) -> bool:
         """Pace emergency requests: re-request quickly only when the
@@ -514,6 +593,10 @@ class VoDClient:
     # ==================================================================
     # Playback
     # ==================================================================
+    def _prebuffer_ready(self) -> bool:
+        need = self.config.prebuffer_frames
+        return need <= 0 or self.combined_occupancy >= need
+
     def _start_playback(self) -> None:
         self.playback_started = True
         tel = self.sim.telemetry
@@ -720,6 +803,13 @@ class VoDClient:
     # Misc plumbing
     # ==================================================================
     def _send_vcr(self, command: VcrCommand) -> None:
+        if self.config.session_mux:
+            if self.serving_server is not None:
+                self.endpoint.send_p2p(
+                    self.serving_server, command, command.wire_bytes(),
+                    sender_name=self.name,
+                )
+            return
         self.session_handle.multicast(command, command.wire_bytes())
 
     def _on_p2p(self, sender: ProcessId, payload: Any) -> None:
@@ -730,6 +820,13 @@ class VoDClient:
                 callback(payload.titles)
 
     def _require_session(self) -> None:
+        if self.config.session_mux:
+            if self.movie_title is None:
+                raise SessionError(
+                    f"client {self.name} has no session; "
+                    "call request_movie first"
+                )
+            return
         if self.session_handle is None:
             raise SessionError(
                 f"client {self.name} has no session; call request_movie first"

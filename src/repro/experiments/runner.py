@@ -80,6 +80,10 @@ def _spec_from_args(name: str, args: argparse.Namespace) -> ExperimentSpec:
         params["plans"] = args.plans
     if getattr(args, "sizes", None) is not None:
         params["sizes"] = args.sizes
+    if getattr(args, "flyweight_sizes", None) is not None:
+        params["flyweight_sizes"] = args.flyweight_sizes
+    if getattr(args, "wall_budget", None) is not None:
+        params["wall_budget"] = args.wall_budget
     if getattr(args, "duration", None) is not None:
         params["duration"] = args.duration
     if getattr(args, "window", None) is not None:
@@ -168,14 +172,24 @@ def _run_watch(args: argparse.Namespace) -> None:
     )
     state = WatchState(live.sim.telemetry, slo_monitor=live.slo_monitor)
     interval = max(0.1, args.interval)
+    # Event budget per drawn frame: a slice that turns out to be heavy
+    # (a crash storm, a flood of connects) renders a mid-slice frame
+    # instead of freezing the dashboard for the whole slice.  After the
+    # run_until early-exit fix, sim.now is then the last dispatched
+    # event's time, so the loop simply keeps stepping toward the target.
+    slice_budget = 200_000
     with live:
         now = 0.0
         while now < spec.run_duration_s:
-            now = live.step(min(spec.run_duration_s, now + interval))
-            if args.clear:
-                print("\x1b[2J\x1b[H", end="")
-            print(render_watch(state, max_clients=args.max_clients))
-            print()
+            target = min(spec.run_duration_s, now + interval)
+            while True:
+                now = live.step(target, max_events=slice_budget)
+                if args.clear:
+                    print("\x1b[2J\x1b[H", end="")
+                print(render_watch(state, max_clients=args.max_clients))
+                print()
+                if now >= target:
+                    break
     state.close()
     result = live.result
     if result.qoe:
@@ -264,6 +278,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None, help="comma-separated client populations "
                            "(default 100,1000,5000)",
     )
+    p.add_argument(
+        "--flyweight-sizes", dest="flyweight_sizes",
+        type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=None, help="extra populations run in flyweight mode "
+                           "(columnar viewers; e.g. 20000,100000)",
+    )
+    p.add_argument("--wall-budget", dest="wall_budget", type=float,
+                   default=None,
+                   help="abort a point once it exceeds this many wall "
+                        "seconds (the 100k barrier gate)")
     p.add_argument("--duration", type=float, default=None,
                    help="simulated seconds per point (default 12)")
     p.add_argument("--window", type=float, default=None,

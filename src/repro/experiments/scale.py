@@ -18,6 +18,20 @@ than the number of viewers — how a real metropolitan head-end would be
 provisioned — while the video plane still crosses two switched hops per
 frame.  All links are loss-free, so batched sessions stay on the fast
 path for the entire run.
+
+Three population modes:
+
+* ``per-frame`` — full client objects, one timer event per frame (the
+  baseline);
+* ``batched`` — full client objects on the batched fast path;
+* ``flyweight`` — viewers as columnar rows in a
+  :class:`repro.client.flyweight.FlyweightPool`, served by cohort
+  sessions whose playheads are closed-form arithmetic.  This is the
+  mode that breaks the 100 000-viewer barrier: per steady-state viewer
+  the simulator spends ~2 events total (the connect and its retry
+  check), and the control plane shares one
+  :class:`~repro.service.protocol.CohortSync` per movie per sync tick
+  instead of one record per client.
 """
 
 from __future__ import annotations
@@ -70,10 +84,17 @@ class ScalePoint:
     frames_delivered: int
     failover_latencies: List[float] = field(default_factory=list)
     takeovers: int = 0
+    flyweight: bool = False
 
     @property
     def batched(self) -> bool:
         return self.batch_window_s > 0
+
+    @property
+    def mode(self) -> str:
+        if self.flyweight:
+            return "flyweight"
+        return "batched" if self.batched else "per-frame"
 
     @property
     def events_per_s(self) -> float:
@@ -103,12 +124,93 @@ class _FailoverObserver:
 
     def note_crash(self, victim) -> None:
         self.crash_time = self.sim.now
-        self.victim_clients = set(victim.sessions)
+        # served_clients() covers both per-client sessions and flyweight
+        # cohort rows — failover latency is measured identically across
+        # modes (and must stay flat in N for both).
+        self.victim_clients = set(victim.served_clients())
 
     def on_session_start(self, server, record, takeover: bool) -> None:
         if takeover and record.client in self.victim_clients:
             self.victim_clients.discard(record.client)
             self.latencies.append(self.sim.now - self.crash_time)
+
+
+class ConformanceTrace:
+    """Observer recording the service-visible life of every viewer.
+
+    Used to prove flyweight ≡ full-object: the trace deliberately
+    excludes absolute timestamps (the modes' different control-plane
+    wire sizes legitimately shift GCS event times by sub-millisecond
+    amounts) and records, per client, the ordered
+    ``(server, offset, takeover)`` session-start sequence — who served
+    the viewer, from which frame, and whether the start was a
+    takeover."""
+
+    def __init__(self) -> None:
+        self.starts: Dict[str, List[Tuple[str, int, bool]]] = {}
+
+    def on_session_start(self, server, record, takeover: bool) -> None:
+        self.starts.setdefault(record.client.name, []).append(
+            (server.name, int(record.offset), bool(takeover))
+        )
+
+
+def conformance_trace(
+    n_clients: int = 48,
+    duration_s: float = 8.0,
+    seed: int = 77,
+    mode: str = "full",
+    crash_at: Optional[float] = None,
+    batch_window_s: float = 1.0,
+) -> Dict[str, Dict]:
+    """Run the conformance rig and return its canonical trace.
+
+    The rig pins every timing-relevant knob so the two modes are
+    event-for-event comparable: ``connect_window_s=0.0`` (the admission
+    queue drains the whole population in one sorted batch, making
+    placement independent of arrival jitter), ``n_clients`` small
+    enough for one edge node (the GCS daemon set is then identical
+    across modes), and — in full mode — mux clients with a prebuffer
+    deep enough that flow control stays silent, so full-object
+    playheads advance at the fixed base rate exactly like the flyweight
+    arithmetic.  Returns ``{"starts": .., "final": ..}`` where
+    ``final`` maps each still-served viewer to its server-side playhead
+    at ``duration_s``."""
+    sim, deployment, viewers, observer = build_scale_rig(
+        n_clients,
+        batch_window_s,
+        n_servers=3,
+        seed=seed,
+        movie_duration_s=duration_s + 60.0,
+        connect_window_s=0.0,
+        mode=mode,
+        session_mux=True,
+        prebuffer_frames=330,
+    )
+    trace = ConformanceTrace()
+    deployment.add_server_observer(trace)
+    if crash_at is not None:
+        def crash_most_loaded() -> None:
+            victim = max(
+                deployment.live_servers(), key=lambda s: s.n_clients
+            )
+            observer.note_crash(victim)
+            victim.crash()
+
+        sim.call_at(crash_at, crash_most_loaded)
+    sim.run_until(duration_s)
+    final: Dict[str, int] = {}
+    for server in deployment.live_servers():
+        for client, session in server.sessions.items():
+            final[client.name] = int(session.position)
+        for cohort in server._cohorts.values():
+            for client in cohort.rows:
+                final[client.name] = int(cohort.position_of(client))
+    return {
+        "starts": {name: trace.starts[name] for name in sorted(trace.starts)},
+        "final": {name: final[name] for name in sorted(final)},
+        "failover_latencies": sorted(observer.latencies),
+    }
 
 
 def build_edge_lan(
@@ -141,32 +243,65 @@ def build_scale_rig(
     n_servers: int = 3,
     seed: int = 77,
     movie_duration_s: float = 120.0,
-    connect_start_s: float = 2.5,
     connect_window_s: float = 2.0,
     clients_per_edge: int = CLIENTS_PER_EDGE,
-) -> Tuple[Simulator, Deployment, List[VoDClient], _FailoverObserver]:
-    """A service with ``n_clients`` viewers connecting over
-    ``connect_window_s`` seconds starting at ``connect_start_s``.
+    mode: str = "full",
+    session_mux: bool = False,
+    prebuffer_frames: int = 0,
+):
+    """A service with ``n_clients`` viewers connecting over the first
+    ``connect_window_s`` seconds of the run.
 
-    Admission starts *after* the movie group's initial view has settled:
-    connects that land while the view is still forming are redistributed
-    by the join-regime recompute on every record arrival, which thrashes
-    sessions at thousand-client floods.  Real deployments gate admission
-    on service readiness the same way."""
+    Connects start at t=0, before the movie group's first view exists:
+    the servers' admission queue absorbs the flood and admits it once
+    the view settles, so the join-regime recompute never sees a growing
+    record set (the old rig delayed connects instead — a workaround).
+
+    ``mode="full"`` attaches one :class:`VoDClient` per viewer and
+    returns ``(sim, deployment, clients, observer)``; ``session_mux`` /
+    ``prebuffer_frames`` configure those clients (the conformance rig
+    uses mux + a prebuffer deep enough that flow control stays silent).
+    ``mode="flyweight"`` registers the viewers as rows of one
+    :class:`~repro.client.flyweight.FlyweightPool` instead and returns
+    the pool in the clients slot; servers always run mux in this mode
+    (a promoted row needs it)."""
+    if mode not in ("full", "flyweight"):
+        raise ValueError(f"unknown scale-rig mode {mode!r}")
+    flyweight = mode == "flyweight"
     sim = Simulator(seed=seed)
     n_edges = max(1, -(-n_clients // clients_per_edge))
     topology = build_edge_lan(sim, n_servers, n_edges)
     catalog = MovieCatalog(
         [Movie.synthetic("feature", duration_s=movie_duration_s)]
     )
+    from repro.client.player import ClientConfig
+
+    mux = session_mux or flyweight
     deployment = Deployment(
         topology,
         catalog,
         server_nodes=list(range(n_servers)),
-        server_config=ServerConfig(batch_window_s=batch_window_s),
+        server_config=ServerConfig(
+            batch_window_s=batch_window_s, session_mux=mux
+        ),
+        client_config=ClientConfig(
+            session_mux=mux, prebuffer_frames=prebuffer_frames
+        ),
     )
     observer = _FailoverObserver(sim)
     deployment.add_server_observer(observer)
+
+    if flyweight:
+        from repro.client.flyweight import FlyweightConfig
+
+        pool = deployment.attach_flyweight(
+            "feature",
+            config=FlyweightConfig(senders_max=min(4, n_edges)),
+        )
+        for index in range(n_clients):
+            pool.add_viewer(n_servers + index % n_edges)
+        pool.connect_all(connect_window_s)
+        return sim, deployment, pool, observer
 
     edge_endpoints: Dict[int, object] = {}
     clients: List[VoDClient] = []
@@ -182,7 +317,7 @@ def build_scale_rig(
             host_index, endpoint=endpoint, video_port=None
         )
         clients.append(client)
-        offset = connect_start_s + (index * connect_window_s) / max(1, n_clients)
+        offset = (index * connect_window_s) / max(1, n_clients)
         sim.call_at(offset, client.request_movie, "feature")
     return sim, deployment, clients, observer
 
@@ -195,21 +330,29 @@ def run_scale_point(
     seed: int = 77,
     n_servers: int = 3,
     telemetry_path: Optional[str] = None,
+    flyweight: bool = False,
+    wall_budget_s: Optional[float] = None,
 ) -> ScalePoint:
     """Run one population point and return its measurements.
 
     ``crash_at`` (default: mid-run) terminates the most-loaded server;
     its clients fail over to the survivors.  ``telemetry_path`` streams
     a JSONL export — only use it for artifact runs, as the export makes
-    wall-clock figures meaningless."""
+    wall-clock figures meaningless.  ``flyweight`` runs the population
+    as pool rows (see module docstring).  ``wall_budget_s`` bounds the
+    wall clock: the run advances in one-second simulated slices and
+    stops early once the budget is spent (the returned point then
+    covers ``sim.now`` seconds, not ``duration_s`` — a CI guard, not a
+    measurement mode)."""
     if crash_at is None:
         crash_at = duration_s / 2.0
-    sim, deployment, clients, observer = build_scale_rig(
+    sim, deployment, viewers, observer = build_scale_rig(
         n_clients,
         batch_window_s,
         n_servers=n_servers,
         seed=seed,
         movie_duration_s=duration_s + 60.0,
+        mode="flyweight" if flyweight else "full",
     )
     exporter = None
     if telemetry_path is not None:
@@ -220,6 +363,7 @@ def run_scale_point(
             experiment="scale",
             n_clients=n_clients,
             batch_window_s=batch_window_s,
+            mode="flyweight" if flyweight else "full",
             seed=seed,
             duration_s=duration_s,
         )
@@ -232,10 +376,20 @@ def run_scale_point(
     sim.call_at(crash_at, crash_most_loaded)
 
     started = time.perf_counter()
-    events = sim.run_until(duration_s)
+    if wall_budget_s is None:
+        events = sim.run_until(duration_s)
+    else:
+        events = 0
+        while sim.now < duration_s:
+            events += sim.run_until(min(sim.now + 1.0, duration_s))
+            if time.perf_counter() - started > wall_budget_s:
+                break
     wall = time.perf_counter() - started
 
-    frames = sum(client.stats.received for client in clients)
+    if flyweight:
+        frames = viewers.frames_served()
+    else:
+        frames = sum(client.stats.received for client in viewers)
     point = ScalePoint(
         n_clients=n_clients,
         batch_window_s=batch_window_s,
@@ -245,6 +399,7 @@ def run_scale_point(
         frames_delivered=frames,
         failover_latencies=list(observer.latencies),
         takeovers=len(observer.latencies),
+        flyweight=flyweight,
     )
     if exporter is not None:
         exporter.close(
@@ -261,14 +416,20 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
     Params: ``sizes`` (populations to sweep), ``duration`` (simulated
     seconds per point), ``window`` (batch window, seconds; the per-frame
     baseline always uses 0), ``compare_max`` (largest N that also runs
-    the per-frame baseline), ``telemetry_n`` (population of the
-    telemetry-artifact run; ignored without ``spec.telemetry_path``).
+    the per-frame baseline), ``flyweight_sizes`` (populations to run in
+    flyweight mode — this is where 20 000..100 000 live),
+    ``wall_budget`` (optional wall-clock ceiling per flyweight point,
+    seconds), ``telemetry_n`` (population of the telemetry-artifact
+    run; ignored without ``spec.telemetry_path``).
     """
     params = spec.params
     sizes = tuple(params.get("sizes", DEFAULT_SIZES))
     duration = float(params.get("duration", 12.0))
     window = float(params.get("window", 1.0))
     compare_max = int(params.get("compare_max", COMPARE_MAX))
+    flyweight_sizes = tuple(params.get("flyweight_sizes", ()))
+    wall_budget = params.get("wall_budget")
+    wall_budget = None if wall_budget is None else float(wall_budget)
     seed = spec.seed if spec.seed is not None else 77
 
     points: List[ScalePoint] = []
@@ -282,6 +443,13 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
             baselines[n_clients] = run_scale_point(
                 n_clients, 0.0, duration_s=duration, seed=seed
             )
+    for n_clients in flyweight_sizes:
+        points.append(
+            run_scale_point(
+                n_clients, window, duration_s=duration, seed=seed,
+                flyweight=True, wall_budget_s=wall_budget,
+            )
+        )
 
     artifacts: Dict[str, str] = {}
     benchmark_json = params.get("benchmark_json")
@@ -297,7 +465,7 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
             "points": [
                 {
                     "n_clients": row.n_clients,
-                    "mode": "batched" if row.batched else "per-frame",
+                    "mode": row.mode,
                     "events": row.events,
                     "wall_s": row.wall_s,
                     "events_per_s": row.events_per_s,
@@ -330,11 +498,11 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
         ],
     )
     for point in points:
-        baseline = baselines.get(point.n_clients)
+        baseline = None if point.flyweight else baselines.get(point.n_clients)
         for row in filter(None, (baseline, point)):
             table.add_row(
                 row.n_clients,
-                "batched" if row.batched else "per-frame",
+                row.mode,
                 row.events,
                 f"{row.wall_s:.2f}",
                 f"{row.events_per_s:,.0f}",
@@ -346,7 +514,7 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
     blocks = [table.render()]
     speedups = []
     for point in points:
-        baseline = baselines.get(point.n_clients)
+        baseline = None if point.flyweight else baselines.get(point.n_clients)
         if baseline is not None and point.wall_s > 0:
             speedups.append(
                 f"N={point.n_clients}: "

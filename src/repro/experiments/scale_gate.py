@@ -1,0 +1,89 @@
+"""CI gate for the flyweight scale smoke.
+
+Compares one flyweight point of a ``repro-vod scale --benchmark-json``
+sweep against the committed reference
+(``benchmarks/BENCH_scale_flyweight.json``).  The simulation is
+seed-deterministic, so the event count, frame volume and takeover count
+must land inside tight relative bands — drift means the control plane
+started doing different work, not that the machine was slow.  Wall time
+alone gets a generous absolute ceiling, because CI hardware varies.
+
+Usage::
+
+    python -m repro.experiments.scale_gate artifacts/scale-bench.json \
+        [benchmarks/BENCH_scale_flyweight.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+
+def check(measured_path: str, baseline_path: str) -> List[str]:
+    """Return the list of violations (empty means the gate passes)."""
+    with open(measured_path) as fh:
+        sweep = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    n = baseline["n_clients"]
+    points = [
+        p for p in sweep.get("points", ())
+        if p.get("mode") == "flyweight" and p.get("n_clients") == n
+    ]
+    if not points:
+        return [f"no flyweight point for N={n} in {measured_path}"]
+    point = points[0]
+    tol = baseline["tolerances"]
+
+    failures: List[str] = []
+
+    def band(name: str, rel_key: str) -> None:
+        measured, expected = point[name], baseline[name]
+        rel = tol[rel_key]
+        if not expected * (1 - rel) <= measured <= expected * (1 + rel):
+            failures.append(
+                f"{name}: {measured} outside {expected} +/- {rel:.0%}"
+            )
+
+    band("events", "events_rel")
+    band("frames_delivered", "frames_rel")
+    if point["takeovers"] != baseline["takeovers"]:
+        failures.append(
+            f"takeovers: {point['takeovers']} != {baseline['takeovers']} "
+            "(the crash must fail over exactly the victim's share)"
+        )
+    if point["wall_s"] > tol["wall_ceiling_s"]:
+        failures.append(
+            f"wall_s: {point['wall_s']:.1f} above the "
+            f"{tol['wall_ceiling_s']}s ceiling"
+        )
+    if point["max_failover_s"] > tol["failover_ceiling_s"]:
+        failures.append(
+            f"max_failover_s: {point['max_failover_s']:.3f} above the "
+            f"{tol['failover_ceiling_s']}s ceiling (failover must stay "
+            "flat in N)"
+        )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__)
+        return 2
+    baseline = argv[1] if len(argv) > 1 else (
+        "benchmarks/BENCH_scale_flyweight.json"
+    )
+    failures = check(argv[0], baseline)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("scale flyweight smoke matches the committed reference")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main(sys.argv[1:]))

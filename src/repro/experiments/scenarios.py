@@ -245,9 +245,14 @@ class LiveScenario:
     slo_monitor: Optional["SloMonitor"] = None
     _finished: bool = False
 
-    def step(self, until: float) -> float:
-        """Advance the simulation to ``until``; returns the new now."""
-        self.sim.run_until(until)
+    def step(self, until: float, max_events: Optional[int] = None) -> float:
+        """Advance the simulation toward ``until``; returns the new now.
+
+        With an event budget the slice may end early; ``sim.now`` then
+        reflects the last dispatched event (not ``until``), so callers
+        just keep stepping while ``now < until`` — no compensation.
+        """
+        self.sim.run_until(until, max_events=max_events)
         return self.sim.now
 
     def finish(self, error: Optional[BaseException] = None) -> ScenarioResult:

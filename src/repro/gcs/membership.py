@@ -312,7 +312,7 @@ class GroupMember:
             # delivered further than us on some flow reveals messages we
             # silently lost (no later traffic ever exposed the gap).
             for sender, seq in vector.items():
-                if sender != self.local and sender in self.view.members:
+                if sender != self.local and sender in self.view.member_set:
                     self.store.note_remote_progress(
                         sender, seq, self.endpoint.now
                     )
@@ -486,7 +486,7 @@ class GroupMember:
         backlog at it would flood the network during the flush."""
         if peer == self.local:
             return
-        if self.view is None or peer not in self.view.members:
+        if self.view is None or peer not in self.view.member_set:
             return
         daemon = self.endpoint.daemon_of(peer)
         own_vector = self.store.known_prefix_vector()
@@ -641,8 +641,8 @@ class GroupMember:
         self.proposal = None
         self.state = MemberState.NORMAL
         self.installed_views += 1
-        self.pending_joins -= set(view.members)
-        self.pending_leaves &= set(view.members)
+        self.pending_joins -= view.member_set
+        self.pending_leaves &= view.member_set
         # The installation callbacks run synchronously (the endpoint's
         # gcs.view.install emission, then the application's on_view — for
         # a VoD server that reaches _reevaluate/_take_over and the new

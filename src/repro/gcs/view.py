@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, FrozenSet, Tuple
 
 from repro.net.address import NodeId
 
@@ -54,6 +54,12 @@ class View:
     commit carries it, every member (including fresh joiners) derives
     the *same* joined/departed sets, which the VoD layer needs to decide
     between orphan takeover and even re-distribution.
+
+    Derived membership state (``member_set``, ``joined``, ``departed``)
+    is computed once at construction: views are consulted on every
+    connect, sync receipt and heartbeat vector, and recomputing set
+    differences per lookup is what made membership bookkeeping O(n)
+    in the hot path.
     """
 
     group: str
@@ -61,21 +67,25 @@ class View:
     members: Tuple[ProcessId, ...]
     prior: Tuple[ProcessId, ...] = ()
 
+    if TYPE_CHECKING:  # derived attributes, set in __post_init__ —
+        member_set: FrozenSet[ProcessId]  # annotating them here keeps
+        joined: Tuple[ProcessId, ...]  # them out of the dataclass
+        departed: Tuple[ProcessId, ...]  # field list (init/eq/repr).
+
     def __post_init__(self) -> None:
-        object.__setattr__(self, "members", tuple(sorted(self.members)))
-        object.__setattr__(self, "prior", tuple(sorted(self.prior)))
-
-    @property
-    def joined(self) -> Tuple[ProcessId, ...]:
-        """Members that were not in the proposer's previous view."""
-        prior = set(self.prior)
-        return tuple(m for m in self.members if m not in prior)
-
-    @property
-    def departed(self) -> Tuple[ProcessId, ...]:
-        """Prior members no longer present."""
-        members = set(self.members)
-        return tuple(m for m in self.prior if m not in members)
+        members = tuple(sorted(self.members))
+        prior = tuple(sorted(self.prior))
+        member_set = frozenset(members)
+        prior_set = frozenset(prior)
+        object.__setattr__(self, "members", members)
+        object.__setattr__(self, "prior", prior)
+        object.__setattr__(self, "member_set", member_set)
+        object.__setattr__(
+            self, "joined", tuple(m for m in members if m not in prior_set)
+        )
+        object.__setattr__(
+            self, "departed", tuple(m for m in prior if m not in member_set)
+        )
 
     @property
     def coordinator(self) -> ProcessId:
@@ -83,7 +93,7 @@ class View:
         return self.members[0]
 
     def __contains__(self, process: ProcessId) -> bool:
-        return process in self.members
+        return process in self.member_set
 
     def __len__(self) -> int:
         return len(self.members)

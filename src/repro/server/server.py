@@ -17,9 +17,9 @@ Responsibilities (paper Sections 3 and 5):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, SessionError
 from repro.gcs.domain import GcsDomain
 from repro.gcs.endpoint import GcsEndpoint, GroupListener
 from repro.gcs.view import ProcessId, View
@@ -28,10 +28,12 @@ from repro.net.address import VIDEO_PORT, Endpoint
 from repro.net.udp import UdpSocket
 from repro.server.rate_controller import EmergencyConfig
 from repro.server.state import MovieState, join_regime_order, rebalance
-from repro.server.streamer import ClientSession
+from repro.server.streamer import ClientSession, CohortSession
+from repro.service.controller import AdmissionQueue
 from repro.service.protocol import (
     SERVER_GROUP,
     ClientRecord,
+    CohortSync,
     ConnectRequest,
     FlowControlMsg,
     ListMoviesReply,
@@ -42,6 +44,9 @@ from repro.service.protocol import (
     movie_group,
 )
 from repro.sim.process import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.client.flyweight import FlyweightPool
 
 
 @dataclass(frozen=True)
@@ -65,6 +70,13 @@ class ServerConfig:
     # classic one-event-per-frame transmission loop.
     batch_window_s: float = 0.0
     qos_vbr_fraction: float = 0.4
+    # Session-group multiplexing: when true the server joins no
+    # per-client session group.  Flow control and VCR commands arrive
+    # point-to-point (routed by sender), migrations are announced by
+    # the ``server`` field of the frames themselves, and the movie
+    # group's batched state share is the only per-client control-plane
+    # traffic.  Must match the clients' ``ClientConfig.session_mux``.
+    session_mux: bool = False
 
 
 class VoDServer:
@@ -118,6 +130,18 @@ class VoDServer:
         # on_server_shutdown(server, clients), on_session_start(server,
         # record, takeover) and on_session_end(server, client, departed).
         self.observers: List[Any] = []
+        # Connects that land while a movie group's view is settling are
+        # queued, not admitted: admitting mid-settle grows the record
+        # set under the join-regime full recompute, which then bounces
+        # already-admitted clients between replicas on every arrival.
+        self.admission = AdmissionQueue(self)
+        # Flyweight viewer pools by movie title (see
+        # repro.client.flyweight) and the cohort sessions serving their
+        # rows.  A cohort is the flyweight counterpart of the per-client
+        # session set: one object per movie, playheads as arithmetic.
+        self._flyweights: Dict[str, "FlyweightPool"] = {}
+        self._cohorts: Dict[str, CohortSession] = {}
+        self._last_cohort_sync: Dict[str, CohortSync] = {}
 
         self._server_group_handle = self.endpoint.join(
             SERVER_GROUP,
@@ -127,6 +151,8 @@ class VoDServer:
         self.endpoint.register_open_group_handler(
             SERVER_GROUP, self._on_open_request
         )
+        if self.config.session_mux:
+            self.endpoint.register_p2p_handler(name, self._on_p2p)
         for title in catalog.movies_of(name):
             self._join_movie_group(title)
 
@@ -147,12 +173,31 @@ class VoDServer:
         self.catalog.place_replica(title, self.name)
         self._join_movie_group(title)
 
+    def attach_flyweight(self, pool: "FlyweightPool") -> None:
+        """Serve ``pool``'s viewers as flyweight cohort rows.
+
+        Every replica of the pool's movie must attach the same pool
+        (Deployment.attach_flyweight does, present and future servers
+        alike) — the deterministic placement rules assume all replicas
+        can resolve row indices to viewers."""
+        self._flyweights[pool.movie_title] = pool
+
+    def _cohort(self, title: str) -> CohortSession:
+        cohort = self._cohorts.get(title)
+        if cohort is None:
+            pool = self._flyweights.get(title)
+            if pool is None:
+                raise ServiceError(f"no flyweight pool attached for {title!r}")
+            cohort = CohortSession(self, self.catalog.movie(title), pool)
+            self._cohorts[title] = cohort
+        return cohort
+
     def shutdown(self) -> None:
         """Graceful detach: leave all groups so peers react immediately."""
         if not self.running:
             return
         self.running = False
-        served = tuple(self.sessions)
+        served = self.served_clients()
         tel = self.sim.telemetry
         if tel.active:
             cause = self._departure_cause(tel, "shutdown", served)
@@ -167,7 +212,10 @@ class VoDServer:
                 )
         for client in list(self.sessions):
             self._end_session(client, departed=False)
+        for cohort in self._cohorts.values():
+            cohort.stop()
         self._sync_timer.cancel()
+        self.admission.close()
         self.endpoint.shutdown()
         if not self.video_socket.closed:
             self.video_socket.close()
@@ -178,7 +226,7 @@ class VoDServer:
         if not self.running:
             return
         self.running = False
-        served = tuple(self.sessions)
+        served = self.served_clients()
         tel = self.sim.telemetry
         if tel.active:
             cause = self._departure_cause(tel, "crash", served)
@@ -194,7 +242,10 @@ class VoDServer:
         for session in self.sessions.values():
             session.stop()
         self.sessions.clear()
+        for cohort in self._cohorts.values():
+            cohort.stop()
         self._sync_timer.cancel()
+        self.admission.close()
         self.domain.network.node(self.node_id).crash()
         self.endpoint.crash()
         self._notify("on_server_crash", self, served)
@@ -227,7 +278,17 @@ class VoDServer:
 
     @property
     def n_clients(self) -> int:
-        return len(self.sessions)
+        return len(self.sessions) + sum(
+            len(cohort) for cohort in self._cohorts.values()
+        )
+
+    def served_clients(self) -> Tuple[ProcessId, ...]:
+        """Every client this server currently serves — full per-client
+        sessions and flyweight cohort rows alike."""
+        clients = list(self.sessions)
+        for cohort in self._cohorts.values():
+            clients.extend(cohort.rows)
+        return tuple(clients)
 
     # ==================================================================
     # Video plane
@@ -284,12 +345,20 @@ class VoDServer:
             request.client, reply, reply.wire_bytes(), sender_name=self.name
         )
 
-    def _on_connect(self, request: ConnectRequest) -> None:
+    def _on_connect(self, request: ConnectRequest, sync: bool = True) -> None:
         title = request.movie
         state = self.movie_states.get(title)
-        view = self._movie_views.get(title)
-        if state is None or view is None:
+        if state is None:
             return  # we do not hold this movie
+        if self.admission.defer(title, request):
+            return  # the movie group's view is still settling
+        view = self._movie_views.get(title)
+        if view is None:
+            return
+        pool = self._flyweights.get(title)
+        if pool is not None and pool.owns(request.client):
+            self._cohort_connect(title, request, sync)
+            return
         session = self.sessions.get(request.client)
         if session is not None and session.movie.title == title:
             # Already serving this client: the retry raced a stale
@@ -303,8 +372,15 @@ class VoDServer:
             and self.sim.now - existing.updated_at
             <= 3.0 * self.config.sync_interval_s
         )
-        if fresh and existing.server in view.members:
+        if fresh and existing.server in view.member_set:
             return  # already being served; duplicate connect retry
+        if not fresh:
+            # A (re)connect with no fresh record means any cached
+            # placement never materialised (e.g. replicas momentarily
+            # disagreed and each thought the other would serve).  Keep
+            # honouring it and the retry loops forever; recompute from
+            # converged state instead.
+            self._assignments.get(title, {}).pop(request.client, None)
         chosen = self._assign_new_client(title, request.client)
         if chosen != self.process:
             return
@@ -323,7 +399,8 @@ class VoDServer:
         )
         state.put_record(record, self.sim.now)
         self._start_session(record)
-        self._sync_movie(title)  # propagate the new client promptly
+        if sync:
+            self._sync_movie(title)  # propagate the new client promptly
 
     def _assign_new_client(self, title: str, client: ProcessId) -> ProcessId:
         """Deterministic admission: extend the cached assignment with a
@@ -336,7 +413,7 @@ class VoDServer:
         view = self._movie_views[title]
         assignment = self._assignments.setdefault(title, {})
         existing = assignment.get(client)
-        if existing is not None and existing in view.members:
+        if existing is not None and existing in view.member_set:
             return existing
         if (
             self.sim.now < self._assignment_settle_until.get(title, 0.0)
@@ -361,6 +438,111 @@ class VoDServer:
             chosen = min(view.members, key=lambda member: (load[member], member))
         assignment[client] = chosen
         return chosen
+
+    def _cohort_connect(
+        self, title: str, request: ConnectRequest, sync: bool
+    ) -> None:
+        """Admit a flyweight viewer: one columnar row, no session.
+
+        Mirrors the full connect path's deterministic admission over
+        the cohort's own assignment map — every replica that sees the
+        open-group request records the same owner, the owner adds the
+        row."""
+        cohort = self._cohort(title)
+        client = request.client
+        chosen = self._assign_cohort_client(title, client, cohort)
+        if chosen != self.process or client in cohort.rows:
+            return  # not ours, or a duplicate connect retry
+        cohort.add_row(
+            client,
+            max(1, request.resume_offset),
+            request.resume_epoch,
+            takeover=False,
+        )
+        # No prompt state share (unlike the full path): every replica
+        # saw the same open-group connect and ran the same admission
+        # rule, so there is nothing to propagate — and syncing per row
+        # would make a connect flood O(N^2) in shared bytes.  The
+        # periodic CohortSync covers takeover freshness.
+
+    def _assign_cohort_client(
+        self, title: str, client: ProcessId, cohort: CohortSession
+    ) -> ProcessId:
+        """:meth:`_assign_new_client`, keyed on the cohort's assignment
+        map (flyweight rows have no per-client records to consult)."""
+        view = self._movie_views[title]
+        assignment = cohort.assignment
+        existing = assignment.get(client)
+        if existing is not None and existing in view.member_set:
+            if cohort.lists_row(
+                existing,
+                cohort.pool.row_of(client),
+                3.0 * self.config.sync_interval_s,
+            ):
+                return existing
+            # A connect retry against a placement that never
+            # materialised: post-settle connects arrive in different
+            # orders at different replicas, so the least-loaded rule
+            # can disagree and leave a row nobody serves.  Mirror of
+            # the full path's stale-assignment repair — drop the
+            # cached entry and re-admit from converged load state.
+            assignment.pop(client, None)
+        if (
+            self.sim.now < self._assignment_settle_until.get(title, 0.0)
+            and view.joined
+        ):
+            known = sorted(set(assignment) | {client})
+            order = join_regime_order(view.members, view.joined)
+            chosen = order[known.index(client) % len(order)]
+        else:
+            # The OwnerMap's incremental counts make this O(members):
+            # admitting a 100k flood must not scan the assignment.
+            chosen = min(
+                view.members,
+                key=lambda member: (assignment.load_of(member), member),
+            )
+        assignment[client] = chosen
+        return chosen
+
+    # ==================================================================
+    # Flyweight promotion / demotion
+    # ==================================================================
+    def promote_flyweight(self, client: ProcessId) -> ClientRecord:
+        """Convert a cohort row into a real per-client session in place.
+
+        The session resumes at the row's arithmetic playhead with the
+        row's epoch; the record enters the shared state so peers adopt
+        the placement (its ``server`` field is honoured while fresh).
+        Returns the record the session was started from."""
+        for title, cohort in self._cohorts.items():
+            if client in cohort.rows:
+                break
+        else:
+            raise SessionError(f"{client} has no flyweight row on {self.name}")
+        record = cohort.remove_row(client)
+        cohort.assignment.pop(client, None)
+        self.movie_states[title].put_record(record, self.sim.now)
+        self._assignments.setdefault(title, {})[client] = self.process
+        self._start_session(record)
+        self._sync_movie(title)
+        return record
+
+    def demote_to_flyweight(self, client: ProcessId) -> ClientRecord:
+        """Fold a full session back into a flyweight cohort row.
+
+        The session ends as departed (the tombstone clears the record
+        everywhere); the row resumes at the session's final offset."""
+        session = self.sessions.get(client)
+        if session is None:
+            raise SessionError(f"{client} has no session on {self.name}")
+        title = session.movie.title
+        record = session.record()
+        self._end_session(client, departed=True)
+        self._assignments.get(title, {}).pop(client, None)
+        cohort = self._cohort(title)
+        cohort.add_row(client, record.offset, record.epoch, takeover=False)
+        self._sync_movie(title)
+        return record
 
     # ==================================================================
     # Movie groups: state sharing and re-distribution
@@ -393,7 +575,17 @@ class VoDServer:
             if last_sync is not None and handle is not None and handle.is_member:
                 handle.multicast(last_sync, last_sync.wire_bytes())
                 self.state_sync_bytes_sent += last_sync.wire_bytes()
+            # Cohort state transfer rides the same mechanism: the last
+            # batched share lists every row (pre-redistribution), so a
+            # joiner can learn the cohort assignment and take its share.
+            last_cohort = self._last_cohort_sync.get(title)
+            if last_cohort is not None and handle is not None and handle.is_member:
+                handle.multicast(last_cohort, last_cohort.wire_bytes())
+                self.state_sync_bytes_sent += last_cohort.wire_bytes()
         self._reevaluate(title)
+        cohort = self._cohorts.get(title)
+        if cohort is not None:
+            cohort.on_view(view)
 
     def _on_movie_message(
         self, title: str, sender: ProcessId, payload: Any
@@ -404,6 +596,9 @@ class VoDServer:
             state = self.movie_states[title]
             state.merge_sync(payload, self.sim.now)
             self._reevaluate(title)
+        elif isinstance(payload, CohortSync):
+            if title in self._flyweights:
+                self._cohort(title).on_peer_sync(payload)
 
     def _sync_tick(self) -> None:
         if not self.running:
@@ -445,6 +640,12 @@ class VoDServer:
             handle.multicast(sync, sync.wire_bytes())
             self.state_sync_bytes_sent += sync.wire_bytes()
             self._last_sync[title] = sync
+            cohort = self._cohorts.get(title)
+            if cohort is not None:
+                share = cohort.sync_payload()
+                handle.multicast(share, share.wire_bytes())
+                self.state_sync_bytes_sent += share.wire_bytes()
+                self._last_cohort_sync[title] = share
 
     def _reevaluate(self, title: str) -> None:
         """Refresh the deterministic assignment; adjust sessions to match.
@@ -481,8 +682,21 @@ class VoDServer:
             assignment = self._assignments[title]
             for client in [c for c in assignment if c not in state.records]:
                 del assignment[client]
+            fresh_age = 3.0 * self.config.sync_interval_s
             for client in sorted(set(state.records) - set(assignment)):
-                self._assign_new_client(title, client)
+                record = state.records[client]
+                if (
+                    record.server in view.member_set
+                    and self.sim.now - record.updated_at <= fresh_age
+                ):
+                    # A record we never saw the connect for, refreshed
+                    # by a live server: it IS being served (e.g. a
+                    # flyweight row promoted in place).  Honour that
+                    # placement instead of recomputing least-loaded —
+                    # disagreeing here would bounce the session.
+                    assignment[client] = record.server
+                else:
+                    self._assign_new_client(title, client)
 
         # Orphan repair: a served client's record is refreshed every
         # sync period by its server; a record that has gone stale means
@@ -540,15 +754,18 @@ class VoDServer:
             epoch=record.epoch,
         )
         self.sessions[record.client] = session
-        listener = GroupListener(
-            on_view=lambda view, c=record.client: self._on_session_view(c, view),
-            on_message=lambda sender, payload, c=record.client: (
-                self._on_session_message(c, sender, payload)
-            ),
-        )
-        self._session_handles[record.client] = self.endpoint.join(
-            record.session, self.name, listener
-        )
+        if not self.config.session_mux:
+            listener = GroupListener(
+                on_view=lambda view, c=record.client: self._on_session_view(
+                    c, view
+                ),
+                on_message=lambda sender, payload, c=record.client: (
+                    self._on_session_message(c, sender, payload)
+                ),
+            )
+            self._session_handles[record.client] = self.endpoint.join(
+                record.session, self.name, listener
+            )
         tel = self.sim.telemetry
         if tel.active:
             # Prefer the cause recorded on the handoff span this start is
@@ -618,7 +835,7 @@ class VoDServer:
         session = self.sessions.get(client)
         if session is None:
             return
-        if client not in view.members:
+        if client not in view.member_set:
             # Only a present -> absent transition means the client is
             # gone; a view without the client *before we ever saw it*
             # is just our own join still converging with the client's
@@ -662,6 +879,12 @@ class VoDServer:
             session.on_flow_message(payload)
         elif isinstance(payload, VcrCommand):
             self._on_vcr(session, payload)
+
+    def _on_p2p(self, sender: ProcessId, payload: Any) -> None:
+        """Session-mux control path: flow / VCR unicasts routed by their
+        sender, replacing the per-client session group."""
+        if isinstance(payload, (FlowControlMsg, VcrCommand)):
+            self._on_session_message(sender, sender, payload)
 
     def _on_vcr(self, session: ClientSession, command: VcrCommand) -> None:
         if command.op == VcrOp.PAUSE:

@@ -83,6 +83,64 @@ class MovieState:
         return len(self.records)
 
 
+class OwnerMap:
+    """A client -> server map that maintains per-server load counts.
+
+    The deterministic admission rule is least-loaded-lowest-id; naively
+    recomputing the load by scanning the whole map makes admitting N
+    clients O(N^2), which is exactly what the flyweight path exists to
+    avoid.  This map keeps the counts incrementally, so an admission is
+    O(live servers) regardless of population."""
+
+    __slots__ = ("_map", "load")
+
+    def __init__(self) -> None:
+        self._map: Dict[ProcessId, ProcessId] = {}
+        self.load: Dict[ProcessId, int] = {}
+
+    def __setitem__(self, client: ProcessId, server: ProcessId) -> None:
+        previous = self._map.get(client)
+        if previous is not None:
+            self.load[previous] -= 1
+        self._map[client] = server
+        self.load[server] = self.load.get(server, 0) + 1
+
+    def __delitem__(self, client: ProcessId) -> None:
+        server = self._map.pop(client)
+        self.load[server] -= 1
+
+    def pop(self, client: ProcessId, default: object = None):
+        if client in self._map:
+            server = self._map.pop(client)
+            self.load[server] -= 1
+            return server
+        return default
+
+    def get(self, client: ProcessId, default: object = None):
+        return self._map.get(client, default)
+
+    def __getitem__(self, client: ProcessId) -> ProcessId:
+        return self._map[client]
+
+    def __contains__(self, client: object) -> bool:
+        return client in self._map
+
+    def __iter__(self):
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __bool__(self) -> bool:
+        return bool(self._map)
+
+    def load_of(self, server: ProcessId) -> int:
+        return self.load.get(server, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OwnerMap({self._map!r})"
+
+
 def join_regime_order(
     members: Sequence[ProcessId], joined: Sequence[ProcessId]
 ) -> List[ProcessId]:

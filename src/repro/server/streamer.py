@@ -27,17 +27,25 @@ a per-frame run would publish.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import TYPE_CHECKING, List, Optional
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.gcs.view import ProcessId
+from repro.gcs.view import ProcessId, View
 from repro.media.movie import Movie
 from repro.net.address import Endpoint
 from repro.server.rate_controller import RateController
-from repro.service.protocol import ClientRecord, EndOfStream, FramePacket
+from repro.server.state import OwnerMap, join_regime_order
+from repro.service.protocol import (
+    ClientRecord,
+    CohortSync,
+    EndOfStream,
+    FramePacket,
+)
 from repro.sim.core import EventHandle, Simulator
 from repro.sim.process import Timer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.client.flyweight import FlyweightPool
     from repro.server.server import VoDServer
 
 #: End-of-stream notices are repeated over raw UDP for loss tolerance.
@@ -493,4 +501,356 @@ class ClientSession:
         return (
             f"<ClientSession {self.client} {self.movie.title!r} "
             f"pos={self.position} rate={self.rate.current_rate()}fps>"
+        )
+
+
+class CohortSession:
+    """All of one server's flyweight viewers of one movie, as one unit.
+
+    A steady-state viewer on a clean link needs no per-client machinery:
+    its playhead is pure arithmetic.  A :class:`ClientSession` admitted
+    at ``t0`` ticks at ``t0 + k/rate`` (the first transmission one frame
+    period after admission), so its published offset at any time ``T``
+    is ``base + floor((T - t0) * rate)``.  The cohort stores exactly
+    that — ``(base, anchor, epoch)`` per row — and evaluates it on
+    demand: at every batch window boundary (finish detection, the
+    advancing watermark) and at every state-sync tick (the offsets that
+    ride the movie group's single :class:`CohortSync` record).
+
+    The closed form accumulates float error differently from the live
+    timer chain (which adds ``1/rate`` repeatedly), but the divergence
+    after minutes of streaming is ~1e-10 s while ticks are 1/30 s apart;
+    a sync or takeover snapshot only disagrees if it lands within that
+    sliver of a tick boundary.  The conformance suite pins a golden
+    trace against full-object runs to catch exactly that.
+
+    Membership bookkeeping mirrors the full path's deterministic rules
+    one-for-one (``_assign_new_client`` for admission,
+    :func:`repro.server.state.rebalance` for view changes), keyed on the
+    cohort's own ``assignment`` map instead of the per-client record
+    set, so flyweight and full-object runs place every viewer on the
+    same replica in the same order.
+    """
+
+    def __init__(self, server: "VoDServer", movie: Movie,
+                 pool: "FlyweightPool") -> None:
+        self.server = server
+        self.sim: Simulator = server.sim
+        self.movie = movie
+        self.pool = pool
+        self.rate_fps = server.config.default_rate_fps
+        self.delta = 1.0 / self.rate_fps
+        # client -> (base offset, anchor time, epoch).  The playhead of
+        # a row is derived, never stored: position(T) = base +
+        # floor((T - anchor) / delta), clamped to one past the movie.
+        self.rows: Dict[ProcessId, Tuple[int, float, int]] = {}
+        # The cohort's deterministic client -> server map (all replicas
+        # run the identical admission/rebalance rules over it).  An
+        # OwnerMap keeps per-server load counts incrementally — the
+        # least-loaded admission rule must stay O(servers), not O(rows).
+        self.assignment = OwnerMap()
+        # Pool indices of our own rows, for O(1) overlap checks against
+        # incoming peer shares (connect-race duplicate resolution).
+        self._row_indices: set = set()
+        # Last CohortSync heard from each peer replica: the takeover
+        # resume offsets ("from the offset ... last heard").
+        self.peer_shared: Dict[ProcessId, CohortSync] = {}
+        self.frames_finished = 0
+        self._finish_heap: List[Tuple[float, ProcessId]] = []
+        window = server.config.batch_window_s or server.config.sync_interval_s
+        self.window_start = self.sim.now
+        self._window_timer = Timer(self.sim, window, self._window_tick)
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Playhead arithmetic
+    # ------------------------------------------------------------------
+    def position_of(self, client: ProcessId, now: Optional[float] = None) -> int:
+        """Next frame index the row's virtual session would transmit."""
+        base, anchor, _ = self.rows[client]
+        at = self.sim.now if now is None else now
+        ticks = int((at - anchor) / self.delta + 1e-9)
+        if ticks < 0:
+            ticks = 0
+        limit = len(self.movie) + 1
+        position = base + ticks
+        return position if position < limit else limit
+
+    def _window_tick(self) -> None:
+        """Advance the cohort by one batch window.
+
+        The columnar playheads are closed-form, so 'advancing' costs
+        O(1) plus the rows that finished inside the window — never a
+        scan of the cohort."""
+        if self._stopped:
+            return
+        self.window_start = self.sim.now
+        while self._finish_heap and self._finish_heap[0][0] <= self.sim.now:
+            _, client = heappop(self._finish_heap)
+            row = self.rows.get(client)
+            if row is None or self.position_of(client) <= len(self.movie):
+                continue  # stale entry (row moved or re-anchored)
+            self.remove_row(client)
+            self.assignment.pop(client, None)
+            self.pool.note_finished(client, len(self.movie) + 1)
+
+    # ------------------------------------------------------------------
+    # Rows
+    # ------------------------------------------------------------------
+    def add_row(self, client: ProcessId, offset: int, epoch: int,
+                takeover: bool) -> None:
+        base = max(1, min(offset, len(self.movie) + 1))
+        self.rows[client] = (base, self.sim.now, epoch)
+        self._row_indices.add(self.pool.row_of(client))
+        self.assignment[client] = self.server.process
+        if base <= len(self.movie):
+            finish_at = self.sim.now + (len(self.movie) + 1 - base) * self.delta
+            heappush(self._finish_heap, (finish_at, client))
+        record = self.record_of(client)
+        tel = self.sim.telemetry
+        if tel.active:
+            # Mirror _start_session's span bookkeeping so the QoE/SLO
+            # scorecards stay flyweight-aware: a takeover row closes
+            # the handoff span the previous owner's crash/shutdown
+            # opened, feeding the same take-over latency histogram a
+            # full-object takeover would.
+            kind = "takeover"
+            span = tel.open_span(kind, key=str(client))
+            if span is None:
+                kind = "rebalance"
+                span = tel.open_span(kind, key=str(client))
+            cause = span.attrs.get("cause") if span is not None else None
+            if cause is None:
+                cause = tel.cause_for(f"client:{client}")
+            start_fields = dict(
+                server=self.server.name,
+                client=str(client),
+                movie=self.movie.title,
+                offset=base,
+                rate_fps=self.rate_fps,
+                takeover=takeover,
+                flyweight=True,
+            )
+            if cause is not None:
+                tel.attribute(f"client:{client}", cause)
+                start_fields["cause"] = cause
+            tel.emit("server.session.start", **start_fields)
+            if takeover and span is not None:
+                duration = span.end(to_server=self.server.name)
+                if duration is not None:
+                    tel.metrics.histogram(
+                        f"{kind}.latency_s"
+                    ).observe(duration)
+        self.pool.note_started(client, self.server.process)
+        self.server._notify("on_session_start", self.server, record, takeover)
+
+    def remove_row(self, client: ProcessId) -> Optional[ClientRecord]:
+        """Drop a row (shed, finish, or promotion), returning its final
+        snapshot.  The assignment entry is left to the caller: a shed
+        row keeps its (new) owner, a finished/promoted one is erased."""
+        if client not in self.rows:
+            return None
+        record = self.record_of(client)
+        del self.rows[client]
+        self._row_indices.discard(self.pool.row_of(client))
+        return record
+
+    def record_of(self, client: ProcessId) -> ClientRecord:
+        """A full :class:`ClientRecord` view of one row (promotion and
+        observer notifications; never the periodic share)."""
+        base, anchor, epoch = self.rows[client]
+        session, endpoint, quality = self.pool.record_fields(client)
+        return ClientRecord(
+            client=client,
+            movie=self.movie.title,
+            session=session,
+            video_endpoint=endpoint,
+            offset=self.position_of(client),
+            rate_fps=self.rate_fps,
+            quality_fps=quality,
+            paused=False,
+            epoch=epoch,
+            server=self.server.process,
+            updated_at=self.sim.now,
+        )
+
+    # ------------------------------------------------------------------
+    # State sharing
+    # ------------------------------------------------------------------
+    def sync_payload(self) -> CohortSync:
+        # An empty share still matters: it is how peers learn that our
+        # last row left (finished, promoted, or shed) — suppressing it
+        # would freeze their view of our share of the assignment.
+        now = self.sim.now
+        indexed = sorted(
+            (self.pool.row_of(client), client) for client in self.rows
+        )
+        return CohortSync(
+            server=self.server.process,
+            movie=self.movie.title,
+            rows=tuple(index for index, _ in indexed),
+            offsets=tuple(
+                self.position_of(client, now) for _, client in indexed
+            ),
+            rate_fps=self.rate_fps,
+            at=now,
+        )
+
+    def on_peer_sync(self, payload: CohortSync) -> None:
+        previous = self.peer_shared.get(payload.server)
+        self.peer_shared[payload.server] = payload
+        if previous is not None and previous.rows == payload.rows:
+            return  # steady state: same rows, nothing to learn
+        # Learn the *delta* of the peer's share (state transfer for
+        # replicas that missed the original connects), and drop rows
+        # the peer no longer lists (finished, or handed elsewhere —
+        # the new owner's own sync re-claims moved rows).  Delta, not
+        # the full listing: during an admission flood every share
+        # differs from the last, and relearning all N rows per share
+        # would be quadratic.
+        client_of = self.pool.client_of
+        me = self.server.process
+        previous_rows = set() if previous is None else set(previous.rows)
+        payload_rows = set(payload.rows)
+        # Connect-race duplicates: post-settle connects arrive in
+        # different orders at different replicas, so two replicas can
+        # each conclude the least-loaded rule chose *them*.  Resolve
+        # like the full path's session-group rule — the smallest
+        # process id keeps the client, the other sheds its row.
+        for index in payload_rows & self._row_indices:
+            if payload.server < me:
+                client = client_of(index)
+                self.remove_row(client)
+                self.assignment[client] = payload.server
+                self.server._notify(
+                    "on_session_end", self.server, client, False
+                )
+            # else: we outrank the peer; it sheds on our next share.
+        for index in payload_rows - previous_rows:
+            client = client_of(index)
+            if client in self.rows:
+                continue  # duplicate we keep — resolved above
+            self.assignment[client] = payload.server
+        for index in previous_rows - payload_rows:
+            client = client_of(index)
+            if self.assignment.get(client) == payload.server:
+                del self.assignment[client]
+                # The row may still be listed elsewhere (it moved, or
+                # a duplicate resolved in another replica's favour):
+                # adopt that owner rather than leave a bookkeeping gap
+                # a later view change would mis-redistribute.
+                owner = self._listed_owner(index)
+                if owner is not None:
+                    self.assignment[client] = owner
+        # A joiner that learned rows mid-settle re-runs the join-regime
+        # redistribution, exactly like the full path's settle-window
+        # recompute over freshly transferred records (idempotent: rows
+        # already in their round-robin place do not move again).
+        title = self.movie.title
+        view = self.server._movie_views.get(title)
+        settle = self.server._assignment_settle_until.get(title, 0.0)
+        if (
+            view is not None
+            and self.sim.now < settle
+            and set(view.joined) & view.member_set
+        ):
+            self.on_view(view)
+
+    def _listed_owner(self, index: int) -> Optional[ProcessId]:
+        """The smallest replica whose fresh share lists the row."""
+        candidates = []
+        if index in self._row_indices:
+            candidates.append(self.server.process)
+        ttl = 3.0 * self.server.config.sync_interval_s
+        for server, sync in self.peer_shared.items():
+            if self.sim.now - sync.at > ttl:
+                continue
+            lo = bisect_right(sync.rows, index) - 1
+            if 0 <= lo < len(sync.rows) and sync.rows[lo] == index:
+                candidates.append(server)
+        return min(candidates) if candidates else None
+
+    def lists_row(self, server: ProcessId, index: int,
+                  max_age_s: float) -> bool:
+        """Whether ``server``'s share, no older than ``max_age_s``,
+        claims the row (the liveness probe behind stale-assignment
+        repair on connect retries)."""
+        if server == self.server.process:
+            return index in self._row_indices
+        sync = self.peer_shared.get(server)
+        if sync is None or self.sim.now - sync.at > max_age_s:
+            return False
+        lo = bisect_right(sync.rows, index) - 1
+        return 0 <= lo < len(sync.rows) and sync.rows[lo] == index
+
+    def _shared_offset(self, client: ProcessId, previous: ProcessId) -> int:
+        """The row's offset as last heard from its previous server."""
+        sync = self.peer_shared.get(previous)
+        if sync is not None:
+            index = self.pool.row_of(client)
+            lo = bisect_right(sync.rows, index) - 1
+            if 0 <= lo < len(sync.rows) and sync.rows[lo] == index:
+                return sync.offsets[lo]
+        return self.pool.last_offset(client)
+
+    # ------------------------------------------------------------------
+    # Membership changes
+    # ------------------------------------------------------------------
+    def on_view(self, view: View) -> None:
+        """Mirror :func:`repro.server.state.rebalance` over the cohort.
+
+        Join regime: every row is re-distributed round-robin over the
+        live servers, newcomers first.  Failure regime: survivors keep
+        their rows; orphans go to the least-loaded survivors in sorted
+        client order.  All replicas run this on the same view and the
+        same assignment map, so they agree without a protocol round."""
+        if self._stopped or not self.assignment:
+            return
+        me = self.server.process
+        if set(view.joined) & view.member_set:
+            order = join_regime_order(view.members, view.joined)
+            moves = {
+                client: order[position % len(order)]
+                for position, client in enumerate(sorted(self.assignment))
+            }
+        else:
+            moves = {}
+            load: Dict[ProcessId, int] = {m: 0 for m in view.members}
+            orphans = []
+            for client in sorted(self.assignment):
+                owner = self.assignment[client]
+                if owner in view.member_set:
+                    load[owner] += 1
+                else:
+                    orphans.append((client, owner))
+            for client, _ in orphans:
+                target = min(view.members, key=lambda m: (load[m], m))
+                load[target] += 1
+                moves[client] = target
+        for client, target in moves.items():
+            previous = self.assignment[client]
+            if target == previous:
+                continue
+            self.assignment[client] = target
+            if previous == me:
+                self.remove_row(client)
+                self.server._notify(
+                    "on_session_end", self.server, client, False
+                )
+            if target == me:
+                offset = self._shared_offset(client, previous)
+                epoch = self.pool.epoch_of(client)
+                self.add_row(client, offset, epoch, takeover=True)
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._window_timer.cancel()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CohortSession {self.server.name} {self.movie.title!r} "
+            f"rows={len(self.rows)}>"
         )

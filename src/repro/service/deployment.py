@@ -57,6 +57,7 @@ class Deployment:
             self.qos.install()
         self.servers: Dict[str, VoDServer] = {}
         self.clients: Dict[str, VoDClient] = {}
+        self.flyweight_pools: List[Any] = []
         self.controller = ScenarioController(self)
         self._server_counter = 0
         self._client_counter = 0
@@ -95,6 +96,8 @@ class Deployment:
             self.domain, node_id, name, self.catalog, self.server_config
         )
         server.observers.extend(self.server_observers)
+        for pool in self.flyweight_pools:
+            server.attach_flyweight(pool)
         self.servers[name] = server
         return server
 
@@ -148,6 +151,34 @@ class Deployment:
         if client is None:
             raise ServiceError(f"no client named {name!r}")
         return client
+
+    # ------------------------------------------------------------------
+    # Flyweight viewers
+    # ------------------------------------------------------------------
+    def attach_flyweight(
+        self,
+        movie: str,
+        config: Optional[Any] = None,
+        client_config: Optional[ClientConfig] = None,
+    ):
+        """Create a flyweight viewer pool for ``movie`` and attach it to
+        every server, present and future.
+
+        Steady-state viewers then live as columnar rows served by the
+        servers' cohort sessions (see :mod:`repro.client.flyweight`);
+        use :meth:`FlyweightPool.promote` to inflate one into a full
+        :class:`VoDClient` for interaction."""
+        from repro.client.flyweight import FlyweightPool
+
+        if client_config is None and self.client_config.session_mux:
+            client_config = self.client_config
+        pool = FlyweightPool(
+            self, movie, config=config, client_config=client_config
+        )
+        self.flyweight_pools.append(pool)
+        for server in self.servers.values():
+            server.attach_flyweight(pool)
+        return pool
 
     # ------------------------------------------------------------------
     # Convenience

@@ -164,6 +164,32 @@ class StateSync:
         )
 
 
+@dataclass(frozen=True)
+class CohortSync:
+    """A server's flyweight viewers for one movie, as *one* batched
+    state-share record.
+
+    Steady-state viewers need none of :class:`ClientRecord`'s identity
+    fields repeated twice a second: their endpoints and session names
+    are immutable after admission (the flyweight pool holds them), so
+    the periodic share shrinks to row index + playhead offset — a few
+    bytes per viewer in one message per movie group, instead of one
+    40-byte record per client.  ``rows`` are pool row indices, sorted;
+    ``offsets[i]`` is the next frame index of ``rows[i]`` at ``at``.
+    """
+
+    server: ProcessId
+    movie: str
+    rows: Tuple[int, ...]
+    offsets: Tuple[int, ...]
+    rate_fps: int
+    at: float
+
+    def wire_bytes(self) -> int:
+        # ~3B varint row index + ~3B varint offset per viewer.
+        return 32 + 6 * len(self.rows)
+
+
 # ----------------------------------------------------------------------
 # Video plane (server -> client, raw UDP)
 # ----------------------------------------------------------------------

@@ -216,27 +216,35 @@ class Simulator:
         return count
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
-        """Run events with timestamps ``<= time``; advance the clock to it.
+        """Run events with timestamps ``<= time``; return how many ran.
 
-        The clock always ends at exactly ``time`` (even if the queue drains
-        earlier), so back-to-back ``run_until`` calls behave like a real
-        clock that keeps ticking.
+        On a *complete* slice — the queue drained or only holds events
+        past ``time`` — the clock advances to exactly ``time``, so
+        back-to-back ``run_until`` calls behave like a real clock that
+        keeps ticking.  On an *early* exit (the ``max_events`` budget ran
+        out, or ``stop()`` fired) the clock stays at the last dispatched
+        event: events ``<= time`` are still pending, and pretending the
+        interval elapsed would let the caller schedule into their past.
+        Chunked drivers therefore loop ``while sim.now < time`` and need
+        no compensation.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot run backwards to t={time:.6f} from t={self._now:.6f}"
             )
         count = 0
+        exhausted = False
         self._stopped = False
         while not self._stopped:
             if max_events is not None and count >= max_events:
+                exhausted = True
                 break
             nxt = self._peek_next()
             if nxt is None or nxt.time > time:
                 break
             self.step()
             count += 1
-        if not self._stopped:
+        if not self._stopped and not exhausted:
             self._now = max(self._now, time)
         return count
 

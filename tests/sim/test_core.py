@@ -112,6 +112,64 @@ def test_run_until_backwards_raises():
         sim.run_until(5.0)
 
 
+def test_run_until_early_exit_clock_reflects_last_event():
+    # Regression: the clock used to be pinned to the target time even
+    # when the max_events budget stopped dispatch early, letting callers
+    # observe a "now" with due events still pending before it.
+    sim = Simulator()
+    seen = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.call_at(t, seen.append, t)
+    ran = sim.run_until(10.0, max_events=2)
+    assert ran == 2
+    assert seen == [1.0, 2.0]
+    assert sim.now == 2.0  # not 10.0
+    assert sim.next_event_time() == 3.0
+
+
+def test_run_until_early_exit_resumes_without_compensation():
+    sim = Simulator()
+    seen = []
+    for t in (1.0, 2.0, 3.0):
+        sim.call_at(t, seen.append, t)
+    total = 0
+    while sim.now < 10.0:
+        total += sim.run_until(10.0, max_events=1)
+    assert seen == [1.0, 2.0, 3.0]
+    assert total == 3
+    assert sim.now == 10.0
+
+
+def test_run_until_exact_budget_keeps_clock_at_last_event():
+    # Budget == number of due events: still an early exit (the loop
+    # never got to look past the last event), so the clock stays put
+    # and the next call finishes the slice.
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, seen.append, 1.0)
+    ran = sim.run_until(5.0, max_events=1)
+    assert ran == 1 and sim.now == 1.0
+    assert sim.run_until(5.0) == 0
+    assert sim.now == 5.0
+
+
+def test_run_until_complete_slice_still_advances_clock():
+    sim = Simulator()
+    sim.call_at(1.0, lambda: None)
+    ran = sim.run_until(5.0, max_events=100)
+    assert ran == 1
+    assert sim.now == 5.0
+
+
+def test_run_until_stop_keeps_clock_at_last_event():
+    sim = Simulator()
+    sim.call_at(1.0, sim.stop)
+    sim.call_at(2.0, lambda: None)
+    ran = sim.run_until(5.0)
+    assert ran == 1
+    assert sim.now == 1.0
+
+
 def test_consecutive_run_until_calls_continue():
     sim = Simulator()
     seen = []
