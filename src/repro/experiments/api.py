@@ -81,6 +81,7 @@ REGISTRY: Dict[str, Tuple[str, Dict[str, Any]]] = {
     "gcs_latency": ("repro.experiments.gcs_latency", {}),
     "faults": ("repro.experiments.faults", {}),
     "scale": ("repro.experiments.scale", {}),
+    "placement": ("repro.experiments.placement", {}),
     "chaos": ("repro.faulting.chaos", {}),
     "ablations": ("repro.experiments.ablations", {}),
 }

@@ -1,0 +1,120 @@
+"""CI gate for the placement strategy matrix.
+
+Compares a ``repro-vod placement --benchmark-json`` run against the
+committed reference (``benchmarks/BENCH_placement_baseline.json``).
+The simulation is seed-deterministic, so per-strategy storage and
+availability must match the reference inside tight relative bands, and
+two properties are absolute:
+
+* ``markov`` must **strictly beat** ``static`` on availability under
+  the correlated rack crash (the whole point of availability-aware
+  placement), and
+* the :class:`~repro.faulting.invariants.InvariantChecker` must report
+  **zero** violations for every strategy — migrations, the rack crash,
+  the heal pass and the flash crowd all have to preserve
+  exactly-one-adoption and offset continuity.
+
+QoE gets a floor rather than a band (it may improve), and the prefix
+strategy must observe at least one mid-stream handoff.
+
+Usage::
+
+    python -m repro.experiments.placement_gate artifacts/placement-bench.json \
+        [benchmarks/BENCH_placement_baseline.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+
+def check(measured_path: str, baseline_path: str) -> List[str]:
+    """Return the list of violations (empty means the gate passes)."""
+    with open(measured_path) as fh:
+        measured = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    tol = baseline["tolerances"]
+    failures: List[str] = []
+    measured_strategies = measured.get("strategies", {})
+
+    for strategy, expected in baseline["strategies"].items():
+        got = measured_strategies.get(strategy)
+        if got is None:
+            failures.append(f"strategy {strategy!r} missing from the run")
+            continue
+
+        def band(name: str, rel: float) -> None:
+            value, reference = got[name], expected[name]
+            low = reference * (1 - rel)
+            high = reference * (1 + rel)
+            if not low <= value <= high:
+                failures.append(
+                    f"{strategy}.{name}: {value} outside "
+                    f"{reference} +/- {rel:.0%}"
+                )
+
+        band("storage_copies", tol["storage_rel"])
+        band("outage_analytic", tol["availability_rel"])
+        band("outage_measured", tol["availability_rel"])
+        if got["qoe_mean"] < tol["qoe_floor"]:
+            failures.append(
+                f"{strategy}.qoe_mean: {got['qoe_mean']} below the "
+                f"{tol['qoe_floor']} floor"
+            )
+        if got["violations"] != 0:
+            failures.append(
+                f"{strategy}.violations: {got['violations']} "
+                "(the invariant checker must stay silent)"
+            )
+        if got["migrations_aborted"] != expected["migrations_aborted"]:
+            failures.append(
+                f"{strategy}.migrations_aborted: "
+                f"{got['migrations_aborted']} != "
+                f"{expected['migrations_aborted']}"
+            )
+        if got["migrations_completed"] < expected["migrations_completed"]:
+            failures.append(
+                f"{strategy}.migrations_completed: "
+                f"{got['migrations_completed']} below the reference "
+                f"{expected['migrations_completed']}"
+            )
+
+    static = measured_strategies.get("static")
+    markov = measured_strategies.get("markov")
+    if static is not None and markov is not None:
+        if not markov["outage_analytic"] > static["outage_analytic"]:
+            failures.append(
+                "markov does not strictly beat static under the "
+                f"correlated crash: {markov['outage_analytic']} <= "
+                f"{static['outage_analytic']}"
+            )
+    prefix = measured_strategies.get("prefix")
+    if prefix is not None and prefix["prefix_handoffs"] < 1:
+        failures.append(
+            "prefix strategy observed no mid-stream handoffs"
+        )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__)
+        return 2
+    baseline = argv[1] if len(argv) > 1 else (
+        "benchmarks/BENCH_placement_baseline.json"
+    )
+    failures = check(argv[0], baseline)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("placement strategy matrix matches the committed reference")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main(sys.argv[1:]))

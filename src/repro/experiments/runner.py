@@ -37,7 +37,7 @@ from repro.experiments.api import REGISTRY, ExperimentSpec, run
 
 #: Experiments that execute a scenario and therefore export telemetry
 #: artifacts by default.
-TELEMETRY_EXPERIMENTS = ("figure4", "figure5", "chaos", "scale")
+TELEMETRY_EXPERIMENTS = ("figure4", "figure5", "chaos", "scale", "placement")
 
 #: Order in which ``repro-vod all`` runs (excludes the slow chaos/
 #: capacity/gcs sweeps, mirroring the historical behaviour).
@@ -90,6 +90,12 @@ def _spec_from_args(name: str, args: argparse.Namespace) -> ExperimentSpec:
         params["window"] = args.window
     if getattr(args, "benchmark_json", None) is not None:
         params["benchmark_json"] = args.benchmark_json
+    if getattr(args, "strategies", None) is not None:
+        params["strategies"] = args.strategies
+    if getattr(args, "titles", None) is not None:
+        params["titles"] = args.titles
+    if getattr(args, "flash", None) is not None:
+        params["flash"] = args.flash
     return ExperimentSpec(
         name=name,
         seed=args.seed,
@@ -296,6 +302,29 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="benchmark_json",
                    help="write the sweep's measurements (events/s, wall "
                         "time, failover latencies) to this JSON file")
+    p = sub.add_parser(
+        "placement", parents=[common],
+        help="content placement strategies under live migrations, a "
+             "correlated rack crash and a flash crowd",
+    )
+    p.add_argument(
+        "--strategies", type=str, default=None,
+        help="comma-separated strategy names "
+             "(default static,popularity,markov,prefix)",
+    )
+    p.add_argument("--titles", type=int, default=None,
+                   help="catalog size (default 24)")
+    p.add_argument("--clients", type=int, default=None,
+                   help="steady-state viewers (default 18)")
+    p.add_argument("--flash", type=int, default=None,
+                   help="flash-crowd viewers on the rank-1 title "
+                        "(default 6)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="simulated seconds per strategy (default 52)")
+    p.add_argument("--benchmark-json", type=str, default=None,
+                   dest="benchmark_json",
+                   help="write per-strategy measurements (availability, "
+                        "storage, QoE, violations) to this JSON file")
     sub.add_parser("all", parents=[common], help="everything")
 
     p = sub.add_parser(

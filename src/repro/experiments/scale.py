@@ -275,18 +275,28 @@ def build_scale_rig(
         [Movie.synthetic("feature", duration_s=movie_duration_s)]
     )
     from repro.client.player import ClientConfig
+    from repro.placement import PlacementContext, ServerProfile, StaticKWay
 
     mux = session_mux or flyweight
-    deployment = Deployment(
+    # Fully replicated feature as a derived placement (k = n_servers):
+    # the rig's crash point needs every survivor able to adopt any
+    # share of the flood.
+    profiles = [ServerProfile(name=f"server{i}") for i in range(n_servers)]
+    plan = StaticKWay(k=n_servers).build(
+        PlacementContext(catalog=catalog, servers=profiles, k=n_servers)
+    )
+    deployment = Deployment.from_placement(
         topology,
+        plan,
         catalog,
-        server_nodes=list(range(n_servers)),
+        server_hosts={profile.name: i for i, profile in enumerate(profiles)},
         server_config=ServerConfig(
             batch_window_s=batch_window_s, session_mux=mux
         ),
         client_config=ClientConfig(
             session_mux=mux, prebuffer_frames=prebuffer_frames
         ),
+        replicate_all=True,
     )
     observer = _FailoverObserver(sim)
     deployment.add_server_observer(observer)

@@ -23,6 +23,7 @@ from repro.faulting.plan import FaultPlan
 from repro.media.catalog import MovieCatalog
 from repro.media.movie import Movie
 from repro.net.topologies import Topology, build_lan, build_wan
+from repro.placement import PlacementContext, ServerProfile, StaticKWay
 from repro.server.server import ServerConfig
 from repro.service.deployment import Deployment
 from repro.sim.core import Simulator
@@ -341,12 +342,29 @@ def prepare_scenario(
     catalog = MovieCatalog(
         [Movie.synthetic("feature", duration_s=spec.movie_duration_s)]
     )
-    deployment = Deployment(
+    # The replica map is derived, not hand-authored: the paper's
+    # measurement scenarios replicate the single feature at every
+    # initial server, which is exactly a k=n static spread.  Servers
+    # brought up later by the fault plan are unknown to the plan and
+    # fall back to replicate_all, preserving the historical "new
+    # servers hold everything" semantics.
+    profiles = [
+        ServerProfile(name=f"server{i}")
+        for i in range(spec.n_initial_servers)
+    ]
+    plan = StaticKWay(k=spec.n_initial_servers).build(
+        PlacementContext(
+            catalog=catalog, servers=profiles, k=spec.n_initial_servers
+        )
+    )
+    deployment = Deployment.from_placement(
         topology,
+        plan,
         catalog,
-        server_nodes=list(range(spec.n_initial_servers)),
+        server_hosts={profile.name: i for i, profile in enumerate(profiles)},
         server_config=spec.server_config,
         client_config=spec.client_config,
+        replicate_all=True,
     )
     client_host = len(topology.hosts) - 1
     client = deployment.attach_client(client_host)

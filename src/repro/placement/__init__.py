@@ -1,0 +1,48 @@
+"""Content placement as a first-class subsystem.
+
+Scenarios declare a catalog plus a strategy; the replica map — which
+server stores which title, fully or prefix-only — becomes **derived
+state** (:class:`PlacementPlan`) instead of hand-authored config.  See
+docs/PLACEMENT.md for the strategy menu, the rebalancer's migration
+semantics, and the ``placement.*`` telemetry vocabulary.
+"""
+
+from repro.placement.plan import (
+    PlacementContext,
+    PlacementPlan,
+    ServerProfile,
+    build_zipf_catalog,
+    plan_availability,
+    surviving_availability,
+    title_availability,
+)
+from repro.placement.rebalancer import Rebalancer
+from repro.placement.strategies import (
+    STRATEGIES,
+    MarkovAvailability,
+    PlacementStrategy,
+    PopularityProportional,
+    PrefixPlacement,
+    StaticKWay,
+    StaticPlacement,
+    make_strategy,
+)
+
+__all__ = [
+    "MarkovAvailability",
+    "PlacementContext",
+    "PlacementPlan",
+    "PlacementStrategy",
+    "PopularityProportional",
+    "PrefixPlacement",
+    "Rebalancer",
+    "STRATEGIES",
+    "ServerProfile",
+    "StaticKWay",
+    "StaticPlacement",
+    "build_zipf_catalog",
+    "make_strategy",
+    "plan_availability",
+    "surviving_availability",
+    "title_availability",
+]

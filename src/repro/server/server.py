@@ -16,8 +16,8 @@ Responsibilities (paper Sections 3 and 5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServiceError, SessionError
 from repro.gcs.domain import GcsDomain
@@ -168,10 +168,67 @@ class VoDServer:
     # ==================================================================
     # Lifecycle
     # ==================================================================
-    def add_movie(self, title: str) -> None:
-        """Start serving a replica of ``title`` ("added on the fly")."""
-        self.catalog.place_replica(title, self.name)
+    def add_movie(self, title: str, prefix_s: Optional[float] = None) -> None:
+        """Start serving a replica of ``title`` ("added on the fly").
+
+        ``prefix_s`` stores only the first ``prefix_s`` seconds (an
+        edge/prefix cache, see ``repro.placement``): the server admits
+        viewers near the start of the title and hands them off to a
+        full replica before the playhead leaves the prefix."""
+        self.catalog.place_replica(title, self.name, prefix_s=prefix_s)
         self._join_movie_group(title)
+
+    def drop_movie(self, title: str) -> None:
+        """Stop serving a replica of ``title`` (the source side of a
+        live migration, see :class:`repro.placement.Rebalancer`).
+
+        A graceful, crash-shaped departure scoped to one movie group:
+        current viewers get "takeover" spans (reason="migration"), a
+        final state share freshens their offsets, sessions end
+        non-departed, and the group leave makes the surviving replicas
+        adopt the orphans through the ordinary failure-regime
+        redistribution — the same machinery a crash exercises, minus
+        the detection latency."""
+        handle = self._movie_handles.get(title)
+        if handle is None:
+            return
+        clients = [
+            client
+            for client, session in self.sessions.items()
+            if session.movie.title == title
+        ]
+        tel = self.sim.telemetry
+        if tel.active and clients:
+            cause = tel.cause
+            if cause is None:
+                cause = tel.new_cause(f"migration.{self.name}.{title}")
+            for client in clients:
+                tel.attribute(f"client:{client}", cause)
+                tel.span(
+                    "takeover", key=str(client),
+                    reason="migration", from_server=self.name, cause=cause,
+                )
+        # Freshen every viewer's offset in the shared state *before*
+        # leaving — the paper's conservative handoff — then stop the
+        # sessions without tombstoning the clients.
+        if handle.is_member:
+            self._sync_movie(title)
+        for client in clients:
+            self._end_session(client, departed=False)
+        cohort = self._cohorts.pop(title, None)
+        if cohort is not None:
+            cohort.stop()
+        self._movie_handles.pop(title, None)
+        handle.leave()
+        self.movie_states.pop(title, None)
+        self._movie_views.pop(title, None)
+        self._assignments.pop(title, None)
+        self._assignment_view.pop(title, None)
+        self._assignment_settle_until.pop(title, None)
+        self._last_sync.pop(title, None)
+        self._last_cohort_sync.pop(title, None)
+        self._sync_counter.pop(title, None)
+        self.catalog.remove_replica(title, self.name)
 
     def attach_flyweight(self, pool: "FlyweightPool") -> None:
         """Serve ``pool``'s viewers as flyweight cohort rows.
@@ -381,7 +438,9 @@ class VoDServer:
             # honouring it and the retry loops forever; recompute from
             # converged state instead.
             self._assignments.get(title, {}).pop(request.client, None)
-        chosen = self._assign_new_client(title, request.client)
+        chosen = self._assign_new_client(
+            title, request.client, offset=max(1, request.resume_offset)
+        )
         if chosen != self.process:
             return
         record = ClientRecord(
@@ -402,19 +461,25 @@ class VoDServer:
         if sync:
             self._sync_movie(title)  # propagate the new client promptly
 
-    def _assign_new_client(self, title: str, client: ProcessId) -> ProcessId:
+    def _assign_new_client(
+        self, title: str, client: ProcessId, offset: int = 1
+    ) -> ProcessId:
         """Deterministic admission: extend the cached assignment with a
         new client at the least-loaded replica (ties to the lowest id).
 
         Every replica that sees the connect request runs the same rule
         over (converging) assignment state, so they agree on who serves
-        the newcomer without an explicit agreement round.
+        the newcomer without an explicit agreement round.  ``offset``
+        (the client's playhead) filters out prefix-only replicas whose
+        stored prefix the session would outrun — a function of the
+        shared catalog, so the filter is replica-deterministic too.
         """
         view = self._movie_views[title]
         assignment = self._assignments.setdefault(title, {})
         existing = assignment.get(client)
         if existing is not None and existing in view.member_set:
             return existing
+        members = self._eligible_members(title, view.members, offset)
         if (
             self.sim.now < self._assignment_settle_until.get(title, 0.0)
             and view.joined
@@ -428,16 +493,53 @@ class VoDServer:
                 | set(assignment)
                 | {client}
             )
-            order = join_regime_order(view.members, view.joined)
+            order = join_regime_order(members, view.joined)
             chosen = order[known.index(client) % len(order)]
         else:
             load = {member: 0 for member in view.members}
             for server in assignment.values():
                 if server in load:
                     load[server] += 1
-            chosen = min(view.members, key=lambda member: (load[member], member))
+            chosen = min(members, key=lambda member: (load[member], member))
         assignment[client] = chosen
         return chosen
+
+    def _handoff_margin_frames(self, title: str) -> int:
+        """How far before the prefix boundary a handoff must trigger:
+        two sync periods of playback, so the successor adopts the
+        session before the prefix runs dry."""
+        movie = self.catalog.movie(title)
+        return max(1, int(2.0 * self.config.sync_interval_s * movie.fps))
+
+    def _eligible_members(
+        self, title: str, members: Sequence[ProcessId], offset: int
+    ) -> List[ProcessId]:
+        """Members whose stored copy can carry a session at ``offset``
+        past the handoff margin.  Falls back to all members when nothing
+        qualifies — a degraded stream beats an orphaned client."""
+        if not self.catalog.prefixed_replicas(title):
+            return list(members)
+        margin = self._handoff_margin_frames(title)
+        eligible = []
+        for member in members:
+            limit = self.catalog.prefix_frames(title, member.name)
+            if limit is None or offset < limit - margin:
+                eligible.append(member)
+        return eligible or list(members)
+
+    def _can_serve_rule(self, title: str):
+        """The ``can_serve`` predicate for :func:`rebalance`, or None
+        when no replica of ``title`` is prefix-limited (the common case
+        — keeps the recompute allocation-free)."""
+        if not self.catalog.prefixed_replicas(title):
+            return None
+        margin = self._handoff_margin_frames(title)
+
+        def can_serve(record: ClientRecord, server: ProcessId) -> bool:
+            limit = self.catalog.prefix_frames(title, server.name)
+            return limit is None or record.offset < limit - margin
+
+        return can_serve
 
     def _cohort_connect(
         self, title: str, request: ConnectRequest, sync: bool
@@ -469,8 +571,17 @@ class VoDServer:
         self, title: str, client: ProcessId, cohort: CohortSession
     ) -> ProcessId:
         """:meth:`_assign_new_client`, keyed on the cohort's assignment
-        map (flyweight rows have no per-client records to consult)."""
+        map (flyweight rows have no per-client records to consult).
+
+        Flyweight rows live for the whole movie, so prefix-only
+        replicas never take them: their closed-form playheads would
+        silently play past the stored prefix."""
         view = self._movie_views[title]
+        members = [
+            member
+            for member in view.members
+            if self.catalog.prefix_of(title, member.name) is None
+        ] or list(view.members)
         assignment = cohort.assignment
         existing = assignment.get(client)
         if existing is not None and existing in view.member_set:
@@ -492,13 +603,13 @@ class VoDServer:
             and view.joined
         ):
             known = sorted(set(assignment) | {client})
-            order = join_regime_order(view.members, view.joined)
+            order = join_regime_order(members, view.joined)
             chosen = order[known.index(client) % len(order)]
         else:
             # The OwnerMap's incremental counts make this O(members):
             # admitting a 100k flood must not scan the assignment.
             chosen = min(
-                view.members,
+                members,
                 key=lambda member: (assignment.load_of(member), member),
             )
         assignment[client] = chosen
@@ -595,6 +706,7 @@ class VoDServer:
         if isinstance(payload, StateSync):
             state = self.movie_states[title]
             state.merge_sync(payload, self.sim.now)
+            self._apply_directed_handoffs(title, payload)
             self._reevaluate(title)
         elif isinstance(payload, CohortSync):
             if title in self._flyweights:
@@ -604,6 +716,7 @@ class VoDServer:
         if not self.running:
             return
         for title in list(self._movie_handles):
+            self._check_prefix_handoffs(title)
             self._sync_movie(title)
             # Periodic self-check: peers' syncs trigger re-evaluation,
             # but a lone replica must still run the orphan repair.
@@ -647,6 +760,119 @@ class VoDServer:
                 self.state_sync_bytes_sent += share.wire_bytes()
                 self._last_cohort_sync[title] = share
 
+    def _check_prefix_handoffs(self, title: str) -> None:
+        """Hand sessions approaching our stored prefix boundary to a
+        full replica, mid-stream and glitch-free.
+
+        For each such session we rewrite its record's ``server`` field
+        to the chosen successor (the least-loaded eligible replica),
+        multicast the rewritten records immediately, and end the local
+        session.  Receivers treat a fresh record whose ``server`` is
+        not its sender as a *directed handoff*
+        (:meth:`_apply_directed_handoffs`): the named successor adopts
+        without waiting for the record to go stale.  The margin (two
+        sync periods of playback) is the headroom that keeps the viewer
+        streaming through the switch."""
+        limit = self.catalog.prefix_frames(title, self.name)
+        if limit is None:
+            return
+        view = self._movie_views.get(title)
+        if view is None:
+            return
+        margin = self._handoff_margin_frames(title)
+        state = self.movie_states[title]
+        assignment = self._assignments.setdefault(title, {})
+        handed_off: List[ClientRecord] = []
+        for client in [
+            c for c, s in self.sessions.items() if s.movie.title == title
+        ]:
+            session = self.sessions[client]
+            if session.position < limit - margin:
+                continue
+            eligible = []
+            for member in view.members:
+                if member == self.process:
+                    continue
+                peer_limit = self.catalog.prefix_frames(title, member.name)
+                if peer_limit is None or session.position < peer_limit - margin:
+                    eligible.append(member)
+            if not eligible:
+                # No live replica can carry the session further than we
+                # can: keep streaming past the stored prefix rather
+                # than strand the viewer (see docs/PLACEMENT.md).
+                continue
+            load = {member: 0 for member in view.members}
+            for server in assignment.values():
+                if server in load:
+                    load[server] += 1
+            successor = min(
+                eligible, key=lambda member: (load[member], member)
+            )
+            record = replace(
+                session.record(), server=successor, updated_at=self.sim.now
+            )
+            tel = self.sim.telemetry
+            if tel.active:
+                cause = tel.cause_for(f"client:{client}")
+                if cause is None:
+                    cause = tel.new_cause(f"prefix.{self.name}")
+                tel.attribute(f"client:{client}", cause)
+                tel.span(
+                    "placement.handoff", key=str(client),
+                    from_server=self.name, to_server=successor.name,
+                    movie=title, offset=record.offset, cause=cause,
+                )
+                tel.emit(
+                    "placement.prefix.handoff", server=self.name,
+                    to_server=successor.name, client=str(client),
+                    movie=title, offset=record.offset, cause=cause,
+                )
+            self._end_session(client, departed=False)
+            state.put_record(record, self.sim.now)
+            assignment[client] = successor
+            handed_off.append(record)
+        if handed_off:
+            sync = StateSync(
+                server=self.process,
+                movie=title,
+                records=tuple(handed_off),
+                departed=state.recently_departed(),
+            )
+            handle = self._movie_handles.get(title)
+            if handle is not None and handle.is_member:
+                handle.multicast(sync, sync.wire_bytes())
+                self.state_sync_bytes_sent += sync.wire_bytes()
+
+    def _apply_directed_handoffs(self, title: str, sync: StateSync) -> None:
+        """Honour handoffs addressed to other servers by their sender.
+
+        A fresh record multicast by one server but naming *another* in
+        its ``server`` field is an explicit transfer (a prefix boundary
+        handoff): the sender is disclaiming the client and nominating a
+        successor.  Updating the cached assignment here — but only
+        where it still points at the disclaiming sender — makes every
+        replica converge on the successor in the same sync round,
+        instead of waiting for the record to go stale and the orphan
+        repair to fire.  Third-party echoes are unaffected: an echoed
+        record names the server actually serving, which is what the
+        assignment already says."""
+        assignment = self._assignments.get(title)
+        if not assignment:
+            return
+        view = self._movie_views.get(title)
+        if view is None:
+            return
+        fresh_age = 3.0 * self.config.sync_interval_s
+        for record in sync.records:
+            if record.server == sync.server:
+                continue
+            if record.server not in view.member_set:
+                continue
+            if self.sim.now - record.updated_at > fresh_age:
+                continue
+            if assignment.get(record.client) == sync.server:
+                assignment[record.client] = record.server
+
     def _reevaluate(self, title: str) -> None:
         """Refresh the deterministic assignment; adjust sessions to match.
 
@@ -670,7 +896,10 @@ class VoDServer:
             # joiner that receives the state transfer re-derives exactly
             # the assignment the existing members computed.
             assignment = rebalance(
-                list(state.records.values()), list(view.members), view.joined
+                list(state.records.values()),
+                list(view.members),
+                view.joined,
+                can_serve=self._can_serve_rule(title),
             )
             self._assignments[title] = assignment
             if new_view:
@@ -696,7 +925,7 @@ class VoDServer:
                     # disagreeing here would bounce the session.
                     assignment[client] = record.server
                 else:
-                    self._assign_new_client(title, client)
+                    self._assign_new_client(title, client, offset=record.offset)
 
         # Orphan repair: a served client's record is refreshed every
         # sync period by its server; a record that has gone stale means
@@ -710,7 +939,7 @@ class VoDServer:
             if self.sim.now - record.updated_at <= orphan_age:
                 continue
             assignment.pop(client, None)
-            self._assign_new_client(title, client)
+            self._assign_new_client(title, client, offset=record.offset)
 
         for client, server in assignment.items():
             if server == self.process and client not in self.sessions:
@@ -773,11 +1002,16 @@ class VoDServer:
             # the client); fall back to the client's attributed cause or
             # the ambient one (a view-install chain reaching here
             # synchronously).
-            kind = "takeover"
-            span = tel.open_span(kind, key=str(record.client))
-            if span is None:
-                kind = "rebalance"
-                span = tel.open_span(kind, key=str(record.client))
+            # Several reassignment spans can be open for one client (a
+            # stale rebalance prediction plus a fresh prefix handoff):
+            # the newest one is the operation this start resolves.
+            kind, span = "takeover", None
+            for candidate in ("takeover", "rebalance", "placement.handoff"):
+                open_span = tel.open_span(candidate, key=str(record.client))
+                if open_span is not None and (
+                    span is None or open_span.start > span.start
+                ):
+                    kind, span = candidate, open_span
             cause = span.attrs.get("cause") if span is not None else None
             if cause is None:
                 cause = tel.cause_for(f"client:{record.client}")

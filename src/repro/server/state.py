@@ -11,7 +11,7 @@ therefore reaches the same assignment without any extra agreement round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.gcs.view import ProcessId
 from repro.service.protocol import ClientRecord, StateSync
@@ -154,6 +154,7 @@ def rebalance(
     records: Sequence[ClientRecord],
     servers: Sequence[ProcessId],
     joined: Sequence[ProcessId] = (),
+    can_serve: Optional[Callable[[ClientRecord, ProcessId], bool]] = None,
 ) -> Dict[ProcessId, ProcessId]:
     """Deterministic client re-distribution at a membership change.
 
@@ -168,6 +169,14 @@ def rebalance(
       clients of the crashed server"): clients of surviving servers stay
       put; orphans go to the least-loaded survivors.
 
+    ``can_serve(record, server)`` restricts which servers may carry a
+    given client — e.g. a prefix-only replica cannot serve a playhead
+    beyond its stored prefix (see ``repro.placement``).  It must be a
+    pure function of state every replica shares (the catalog and the
+    record), or replicas would disagree.  When no eligible server
+    exists the restriction is waived for that record: a degraded
+    stream beats an orphaned client.
+
     All replicas call this with the same view (and the commit-supplied
     ``joined`` set) and converging record sets, so they agree without an
     extra protocol round.  Returns a client -> server mapping.
@@ -177,24 +186,34 @@ def rebalance(
         return {}
     ordered = sorted(records, key=lambda record: record.client)
 
+    def eligible(record: ClientRecord, pool: List[ProcessId]) -> List[ProcessId]:
+        if can_serve is None:
+            return pool
+        allowed = [server for server in pool if can_serve(record, server)]
+        return allowed or pool
+
     if set(joined) & set(live):
         order = join_regime_order(live, joined)
-        return {
-            record.client: order[position % len(order)]
-            for position, record in enumerate(ordered)
-        }
+        assignment = {}
+        for position, record in enumerate(ordered):
+            pool = eligible(record, order)
+            assignment[record.client] = pool[position % len(pool)]
+        return assignment
 
     assignment: Dict[ProcessId, ProcessId] = {}
     load = {server: 0 for server in live}
     orphans: List[ClientRecord] = []
     for record in ordered:
-        if record.server in load:
+        if record.server in load and (
+            can_serve is None or can_serve(record, record.server)
+        ):
             assignment[record.client] = record.server
             load[record.server] += 1
         else:
             orphans.append(record)
     for record in orphans:
-        target = min(live, key=lambda server: (load[server], server))
+        pool = eligible(record, live)
+        target = min(pool, key=lambda server: (load[server], server))
         assignment[record.client] = target
         load[target] += 1
     return assignment

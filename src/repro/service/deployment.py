@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.client.player import ClientConfig, VoDClient
 from repro.errors import ServiceError
@@ -10,8 +12,34 @@ from repro.gcs.domain import GcsDomain
 from repro.media.catalog import MovieCatalog
 from repro.net.address import VIDEO_PORT
 from repro.net.topologies import Topology
+from repro.placement.plan import PlacementPlan
+from repro.placement.strategies import StaticPlacement
 from repro.server.server import ServerConfig, VoDServer
 from repro.service.controller import ScenarioController
+
+
+@dataclass
+class ClientSpec:
+    """One admission surface for both viewer flavours.
+
+    ``mode="full"`` attaches a real :class:`VoDClient` on
+    ``topology.hosts[host]``; ``mode="flyweight"`` creates (or extends)
+    the columnar viewer pool for ``movie`` — see
+    :meth:`Deployment.attach`.  The legacy ``attach_client`` /
+    ``attach_flyweight`` methods are thin wrappers building one of
+    these.
+    """
+
+    mode: str = "full"
+    # full mode
+    host: Optional[int] = None
+    name: Optional[str] = None
+    config: Optional[Any] = None  # ClientConfig (full) / FlyweightConfig
+    endpoint: Optional[Any] = None
+    video_port: Optional[int] = VIDEO_PORT
+    # flyweight mode
+    movie: Optional[str] = None
+    client_config: Optional[ClientConfig] = None
 
 
 class Deployment:
@@ -23,11 +51,16 @@ class Deployment:
         The network to deploy on (see :mod:`repro.net.topologies`).
     catalog:
         The movies.  When ``replicate_all`` is true every server gets a
-        replica of every movie; otherwise use
-        :meth:`MovieCatalog.place_replica` beforehand (or per server via
-        the ``movies=`` argument of :meth:`add_server`).
+        replica of every movie; pass a ``placement`` plan (or build via
+        :meth:`from_placement`) to derive the replica map from a
+        strategy instead.
     server_nodes:
         Host indices (into ``topology.hosts``) that run servers at start.
+    placement:
+        A :class:`~repro.placement.PlacementPlan` consulted by
+        :meth:`add_server` for each server's stored titles (full or
+        prefix).  Servers unknown to the plan fall back to
+        ``replicate_all``.
     """
 
     def __init__(
@@ -40,6 +73,7 @@ class Deployment:
         replicate_all: bool = True,
         fd_timeout: Optional[float] = None,
         enable_qos: bool = False,
+        placement: Optional[PlacementPlan] = None,
     ) -> None:
         self.topology = topology
         self.network = topology.network
@@ -48,6 +82,7 @@ class Deployment:
         self.server_config = server_config or ServerConfig()
         self.client_config = client_config or ClientConfig()
         self.replicate_all = replicate_all
+        self.placement = placement
         self.domain = GcsDomain(self.sim, self.network, fd_timeout=fd_timeout)
         self.qos = None
         if enable_qos:
@@ -68,6 +103,41 @@ class Deployment:
             self.add_server(host_index)
 
     # ------------------------------------------------------------------
+    # Placement-first construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_placement(
+        cls,
+        topology: Topology,
+        plan: PlacementPlan,
+        catalog: MovieCatalog,
+        server_hosts: Optional[Mapping[str, int]] = None,
+        **kwargs: Any,
+    ) -> "Deployment":
+        """Build a running service from a placement plan.
+
+        The plan is validated against the catalog (every title needs a
+        full replica), applied to it, and one server is brought up per
+        plan server — on ``server_hosts[name]`` when given, else on
+        hosts 0, 1, ... in sorted name order.  The deployment keeps the
+        plan (``deployment.placement``) so late servers started by the
+        scenario controller inherit their assignments too.  Remaining
+        keyword arguments go to :class:`Deployment`.
+        """
+        plan.validate(catalog)
+        plan.apply(catalog)
+        kwargs.setdefault("replicate_all", False)
+        deployment = cls(topology, catalog, placement=plan, **kwargs)
+        names = plan.servers()
+        if server_hosts is None:
+            server_hosts = {name: index for index, name in enumerate(names)}
+        for name in names:
+            if name not in server_hosts:
+                raise ServiceError(f"no host mapping for plan server {name!r}")
+            deployment.add_server(server_hosts[name], name=name)
+        return deployment
+
+    # ------------------------------------------------------------------
     # Servers
     # ------------------------------------------------------------------
     def add_server(
@@ -76,18 +146,41 @@ class Deployment:
         name: Optional[str] = None,
         movies: Optional[Iterable[str]] = None,
     ) -> VoDServer:
-        """Bring a server up on the fly on ``topology.hosts[host_index]``."""
+        """Bring a server up on the fly on ``topology.hosts[host_index]``.
+
+        The server's stored titles come from, in order: the deprecated
+        ``movies=`` list (routed through an explicit
+        :class:`~repro.placement.StaticPlacement`), the deployment's
+        placement plan, or — for servers the plan does not know — the
+        ``replicate_all`` default.
+        """
         if name is None:
             name = f"server{self._server_counter}"
         self._server_counter += 1
         if name in self.servers:
             raise ServiceError(f"server name {name!r} already in use")
         if movies is not None:
-            for title in movies:
-                self.catalog.place_replica(title, name)
-        elif self.replicate_all:
-            for title in self.catalog.titles():
-                self.catalog.place_replica(title, name)
+            warnings.warn(
+                "add_server(movies=...) is deprecated; build the replica "
+                "map with a placement strategy (repro.placement) and "
+                "Deployment.from_placement instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            static = StaticPlacement.from_server_movies({name: movies})
+            static.as_plan().apply(self.catalog)
+        else:
+            assigned = (
+                self.placement.movies_for(name)
+                if self.placement is not None
+                else None
+            )
+            if assigned is not None:
+                for title, prefix_s in assigned:
+                    self.catalog.place_replica(title, name, prefix_s=prefix_s)
+            elif self.replicate_all:
+                for title in self.catalog.titles():
+                    self.catalog.place_replica(title, name)
         node_id = self.topology.host(host_index)
         node = self.network.node(node_id)
         if not node.alive:
@@ -117,8 +210,59 @@ class Deployment:
         return [server for server in self.servers.values() if server.running]
 
     # ------------------------------------------------------------------
-    # Clients
+    # Clients — one admission surface
     # ------------------------------------------------------------------
+    def attach(self, spec: ClientSpec) -> Any:
+        """Admit viewers through one placement-aware entry point.
+
+        ``spec.mode="full"`` attaches a :class:`VoDClient` on
+        ``topology.hosts[spec.host]`` and returns it.  Large
+        deployments can pack many clients onto one host by sharing a
+        GCS ``endpoint`` and passing ``video_port=None`` so each client
+        binds an ephemeral video port (the edge-concentrator rig of the
+        scale experiment does both).
+
+        ``spec.mode="flyweight"`` creates a columnar viewer pool for
+        ``spec.movie``, attaches it to every server — present and
+        future — and returns the pool (see
+        :mod:`repro.client.flyweight`)."""
+        if spec.mode == "full":
+            if spec.host is None:
+                raise ServiceError("ClientSpec(mode='full') needs a host")
+            name = spec.name
+            if name is None:
+                name = f"client{self._client_counter}"
+            self._client_counter += 1
+            if name in self.clients:
+                raise ServiceError(f"client name {name!r} already in use")
+            node_id = self.topology.host(spec.host)
+            client = VoDClient(
+                self.domain, node_id, name, spec.config or self.client_config,
+                endpoint=spec.endpoint, video_port=spec.video_port,
+            )
+            self.clients[name] = client
+            return client
+        if spec.mode == "flyweight":
+            if spec.movie is None:
+                raise ServiceError("ClientSpec(mode='flyweight') needs a movie")
+            from repro.client.flyweight import FlyweightPool
+
+            client_config = spec.client_config
+            if client_config is None and self.client_config.session_mux:
+                client_config = self.client_config
+            pool = FlyweightPool(
+                self, spec.movie, config=spec.config,
+                client_config=client_config,
+            )
+            self.flyweight_pools.append(pool)
+            for server in self.servers.values():
+                server.attach_flyweight(pool)
+            return pool
+        raise ServiceError(
+            f"unknown ClientSpec mode {spec.mode!r} "
+            "(expected 'full' or 'flyweight')"
+        )
+
     def attach_client(
         self,
         host_index: int,
@@ -127,24 +271,13 @@ class Deployment:
         endpoint: Optional[Any] = None,
         video_port: Optional[int] = VIDEO_PORT,
     ) -> VoDClient:
-        """Attach a client to ``topology.hosts[host_index]``.
-
-        Large deployments can pack many clients onto one host by sharing
-        a GCS ``endpoint`` and passing ``video_port=None`` so each client
-        binds an ephemeral video port (the edge-concentrator rig of the
-        scale experiment does both)."""
-        if name is None:
-            name = f"client{self._client_counter}"
-        self._client_counter += 1
-        if name in self.clients:
-            raise ServiceError(f"client name {name!r} already in use")
-        node_id = self.topology.host(host_index)
-        client = VoDClient(
-            self.domain, node_id, name, config or self.client_config,
-            endpoint=endpoint, video_port=video_port,
+        """Compatibility wrapper over :meth:`attach` (mode="full")."""
+        return self.attach(
+            ClientSpec(
+                mode="full", host=host_index, name=name, config=config,
+                endpoint=endpoint, video_port=video_port,
+            )
         )
-        self.clients[name] = client
-        return client
 
     def client(self, name: str) -> VoDClient:
         client = self.clients.get(name)
@@ -161,24 +294,18 @@ class Deployment:
         config: Optional[Any] = None,
         client_config: Optional[ClientConfig] = None,
     ):
-        """Create a flyweight viewer pool for ``movie`` and attach it to
-        every server, present and future.
+        """Compatibility wrapper over :meth:`attach` (mode="flyweight").
 
         Steady-state viewers then live as columnar rows served by the
         servers' cohort sessions (see :mod:`repro.client.flyweight`);
         use :meth:`FlyweightPool.promote` to inflate one into a full
         :class:`VoDClient` for interaction."""
-        from repro.client.flyweight import FlyweightPool
-
-        if client_config is None and self.client_config.session_mux:
-            client_config = self.client_config
-        pool = FlyweightPool(
-            self, movie, config=config, client_config=client_config
+        return self.attach(
+            ClientSpec(
+                mode="flyweight", movie=movie, config=config,
+                client_config=client_config,
+            )
         )
-        self.flyweight_pools.append(pool)
-        for server in self.servers.values():
-            server.attach_flyweight(pool)
-        return pool
 
     # ------------------------------------------------------------------
     # Convenience

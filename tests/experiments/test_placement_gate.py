@@ -1,0 +1,127 @@
+"""Placement matrix gate: check() verdict logic on synthetic benches.
+
+The full matrix — four strategies through migrations, a rack crash and
+a flash crowd — runs in CI (the ``placement-matrix`` job); here we pin
+down the judging rules.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments.placement_gate import check
+
+STRATEGY = {
+    "storage_copies": 2.0,
+    "steady_availability": 0.9993,
+    "outage_analytic": 0.7156,
+    "outage_measured": 0.9139,
+    "qoe_mean": 98.8,
+    "stall_events": 1,
+    "migrations_completed": 2,
+    "migrations_aborted": 0,
+    "prefix_handoffs": 0,
+    "heal_additions": 15,
+    "violations": 0,
+}
+
+BASELINE = {
+    "strategies": {
+        "static": dict(STRATEGY),
+        "markov": dict(
+            STRATEGY, outage_analytic=1.0, outage_measured=1.0
+        ),
+        "prefix": dict(
+            STRATEGY, storage_copies=2.6, outage_analytic=0.65,
+            prefix_handoffs=3,
+        ),
+    },
+    "tolerances": {
+        "storage_rel": 0.01,
+        "availability_rel": 0.02,
+        "qoe_floor": 90.0,
+    },
+}
+
+
+@pytest.fixture
+def paths(tmp_path):
+    def write(measured, baseline=BASELINE):
+        measured_path = tmp_path / "measured.json"
+        baseline_path = tmp_path / "baseline.json"
+        measured_path.write_text(json.dumps(measured))
+        baseline_path.write_text(json.dumps(baseline))
+        return str(measured_path), str(baseline_path)
+
+    return write
+
+
+def matching_run(**overrides):
+    run = {"strategies": copy.deepcopy(BASELINE["strategies"])}
+    for strategy, fields in overrides.items():
+        run["strategies"][strategy].update(fields)
+    return run
+
+
+def test_identical_run_passes(paths):
+    assert check(*paths(matching_run())) == []
+
+
+def test_missing_strategy_fails(paths):
+    run = matching_run()
+    del run["strategies"]["markov"]
+    failures = check(*paths(run))
+    assert any("markov" in f and "missing" in f for f in failures)
+
+
+def test_violations_always_fail(paths):
+    failures = check(*paths(matching_run(static={"violations": 1})))
+    assert any("violations" in f for f in failures)
+
+
+def test_availability_drift_fails(paths):
+    failures = check(
+        *paths(matching_run(static={"outage_analytic": 0.60}))
+    )
+    assert any("outage_analytic" in f for f in failures)
+
+
+def test_markov_must_strictly_beat_static(paths):
+    failures = check(
+        *paths(
+            matching_run(
+                markov={"outage_analytic": 0.7156, "outage_measured": 0.9139}
+            )
+        )
+    )
+    assert any("strictly beat" in f for f in failures)
+
+
+def test_prefix_needs_a_handoff(paths):
+    failures = check(*paths(matching_run(prefix={"prefix_handoffs": 0})))
+    assert any("handoff" in f for f in failures)
+
+
+def test_qoe_floor(paths):
+    failures = check(*paths(matching_run(static={"qoe_mean": 42.0})))
+    assert any("qoe_mean" in f for f in failures)
+
+
+def test_aborted_migration_drift_fails(paths):
+    failures = check(
+        *paths(matching_run(static={"migrations_aborted": 1}))
+    )
+    assert any("migrations_aborted" in f for f in failures)
+
+
+def test_committed_baseline_is_self_consistent():
+    """The repository baseline must pass its own gate."""
+    from pathlib import Path
+
+    baseline = str(
+        Path(__file__).resolve().parents[2]
+        / "benchmarks"
+        / "BENCH_placement_baseline.json"
+    )
+    assert check(baseline, baseline) == []

@@ -1,7 +1,7 @@
 """Tests for the terminal chart renderer."""
 
 from repro.metrics.ascii_chart import render_chart, render_timeseries
-from repro.metrics.collector import TimeSeries
+from repro.telemetry.series import TimeSeries
 
 
 def ramp(n=100):

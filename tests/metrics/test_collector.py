@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.collector import Counter, Probe, TimeSeries
+from repro.telemetry.series import Counter, Probe, TimeSeries
 from repro.sim.core import Simulator
 
 
@@ -88,3 +88,12 @@ class TestProbe:
         count = len(series)
         sim.run_until(5.0)
         assert len(series) == count
+
+
+def test_removed_shim_paths_stay_removed():
+    """The PR-2 deprecation shims are gone; the canonical homes are
+    repro.telemetry.series and repro.telemetry.trace."""
+    with pytest.raises(ImportError):
+        import repro.metrics.collector  # noqa: F401
+    with pytest.raises(ImportError):
+        import repro.sim.trace  # noqa: F401

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.collector import TimeSeries
+from repro.telemetry.series import TimeSeries
 from repro.metrics.report import Table, format_series_summary
 
 

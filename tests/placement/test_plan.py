@@ -1,0 +1,133 @@
+"""PlacementPlan: the derived replica map and its analytic metrics."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.placement import (
+    PlacementContext,
+    PlacementPlan,
+    ServerProfile,
+    plan_availability,
+    surviving_availability,
+    title_availability,
+)
+from repro.placement.plan import build_zipf_catalog
+
+
+def profiles(n=4, **kwargs):
+    return [
+        ServerProfile(name=f"server{i}", domain=f"rack{i // 2}", **kwargs)
+        for i in range(n)
+    ]
+
+
+class TestPlanBasics:
+    def test_place_and_replicas(self):
+        plan = PlacementPlan()
+        plan.place("a", "server1")
+        plan.place("a", "server0")
+        plan.place("a", "server2", prefix_s=30.0)
+        assert plan.replicas("a") == ["server0", "server1"]
+        assert plan.prefix_holders("a") == {"server2": 30.0}
+        assert plan.replication_degree("a") == 2  # full copies only
+
+    def test_prefix_upgrade_to_full(self):
+        plan = PlacementPlan()
+        plan.place("a", "server0", prefix_s=30.0)
+        plan.place("a", "server0")  # upgrade
+        assert plan.replicas("a") == ["server0"]
+        assert plan.prefix_holders("a") == {}
+
+    def test_movies_for_unknown_server_is_none(self):
+        plan = PlacementPlan()
+        plan.place("a", "server0")
+        assert plan.movies_for("server0") == [("a", None)]
+        assert plan.movies_for("stranger") is None
+
+    def test_validate_requires_a_full_replica(self):
+        catalog = build_zipf_catalog(2, duration_s=10.0)
+        plan = PlacementPlan()
+        plan.place("title0001", "server0")
+        plan.place("title0002", "server1", prefix_s=5.0)  # prefix only
+        with pytest.raises(ServiceError):
+            plan.validate(catalog)
+
+    def test_apply_writes_the_catalog(self):
+        catalog = build_zipf_catalog(2, duration_s=10.0)
+        plan = PlacementPlan()
+        plan.place("title0001", "server0")
+        plan.place("title0002", "server0")
+        plan.place("title0002", "server1", prefix_s=4.0)
+        plan.validate(catalog)
+        plan.apply(catalog)
+        assert catalog.full_replicas("title0002") == {"server0"}
+        assert catalog.prefix_of("title0002", "server1") == 4.0
+
+    def test_storage_copies(self):
+        catalog = build_zipf_catalog(2, duration_s=10.0)
+        plan = PlacementPlan()
+        for title in catalog.titles():
+            plan.place(title, "server0")
+            plan.place(title, "server1")
+        assert plan.storage_copies(catalog) == pytest.approx(2.0)
+
+    def test_prefix_counts_fractionally_toward_storage(self):
+        catalog = build_zipf_catalog(1, duration_s=100.0)
+        plan = PlacementPlan()
+        plan.place("title0001", "server0")
+        plan.place("title0001", "server1", prefix_s=50.0)
+        assert plan.storage_copies(catalog) == pytest.approx(1.5)
+
+
+class TestAvailability:
+    def test_title_availability_is_one_minus_product(self):
+        plan = PlacementPlan()
+        plan.place("a", "server0")
+        plan.place("a", "server1")
+        pool = {
+            p.name: p
+            for p in profiles(2, fail_rate=1.0, repair_rate=1.0)  # a = 0.5
+        }
+        assert title_availability(plan, "a", pool) == pytest.approx(0.75)
+
+    def test_plan_availability_weights_by_popularity(self):
+        catalog = build_zipf_catalog(2, duration_s=10.0)
+        servers = profiles(2, fail_rate=1.0, repair_rate=1.0)
+        ctx = PlacementContext(catalog=catalog, servers=servers, k=1)
+        plan = PlacementPlan()
+        plan.place("title0001", "server0")
+        plan.place("title0001", "server1")  # hot title: a = 0.75
+        plan.place("title0002", "server0")  # cold title: a = 0.5
+        shares = ctx.shares()
+        expected = shares["title0001"] * 0.75 + shares["title0002"] * 0.5
+        assert plan_availability(plan, ctx) == pytest.approx(expected)
+
+    def test_surviving_availability_under_correlated_crash(self):
+        catalog = build_zipf_catalog(2, duration_s=10.0)
+        servers = profiles(4)
+        ctx = PlacementContext(catalog=catalog, servers=servers, k=2)
+        plan = PlacementPlan()
+        plan.place("title0001", "server0")
+        plan.place("title0001", "server1")  # both replicas in rack0
+        plan.place("title0002", "server0")
+        plan.place("title0002", "server2")  # spread across racks
+        shares = ctx.shares()
+        survived = surviving_availability(plan, ctx, ["server0", "server1"])
+        assert survived == pytest.approx(shares["title0002"])
+        assert surviving_availability(plan, ctx, []) == pytest.approx(1.0)
+
+
+class TestContext:
+    def test_rejects_duplicate_servers(self):
+        catalog = build_zipf_catalog(1, duration_s=10.0)
+        twin = [ServerProfile(name="s"), ServerProfile(name="s")]
+        with pytest.raises(ServiceError):
+            PlacementContext(catalog=catalog, servers=twin)
+
+    def test_shares_sum_to_one_and_decrease_with_rank(self):
+        catalog = build_zipf_catalog(5, duration_s=10.0)
+        ctx = PlacementContext(catalog=catalog, servers=profiles(2), k=1)
+        shares = ctx.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        values = [shares[t] for t in catalog.titles()]
+        assert values == sorted(values, reverse=True)

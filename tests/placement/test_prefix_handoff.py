@@ -1,0 +1,79 @@
+"""Prefix placement: edge admission and the mid-stream handoff."""
+
+from repro.faulting.invariants import InvariantChecker
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+
+def make_world(prefix_s=8.0, movie_s=40.0, seed=11):
+    """One core server with the full movie, one edge with a prefix.
+
+    A decoy viewer is parked on the core first, so least-loaded
+    admission sends the viewer under test to the edge cache."""
+    sim = Simulator(seed=seed)
+    topology = build_lan(sim, n_hosts=4)
+    catalog = MovieCatalog([Movie.synthetic("feature", duration_s=movie_s)])
+    deployment = Deployment(topology, catalog, replicate_all=False)
+    deployment.add_server(0, name="core")
+    deployment.add_server(1, name="edge")
+    deployment.server("core").add_movie("feature")
+    deployment.server("edge").add_movie("feature", prefix_s=prefix_s)
+    decoy = deployment.attach_client(2)
+    client = deployment.attach_client(3)
+    decoy.request_movie("feature")
+    sim.call_at(1.0, lambda: client.request_movie("feature"))
+    return sim, deployment, decoy, client
+
+
+class TestHandoff:
+    def test_session_hands_off_before_the_prefix_runs_out(self):
+        sim, deployment, decoy, client = make_world()
+        events, subscription = sim.telemetry.collect(prefixes=("placement.",))
+        checker = InvariantChecker(deployment).install()
+        sim.run_until(5.0)
+        assert client.process in deployment.server("edge").sessions
+        sim.run_until(30.0)
+        checker.stop()
+        subscription.close()
+        handoffs = [
+            event for event in events
+            if event.kind == "placement.prefix.handoff"
+        ]
+        assert len(handoffs) == 1
+        assert handoffs[0].fields["server"] == "edge"
+        assert handoffs[0].fields["to_server"] == "core"
+        # The viewer noticed nothing: playback ran through the boundary
+        # and the edge is out of the loop.
+        assert checker.violations == []
+        assert client.decoder.stats.stall_events == 0
+        assert client.displayed_total > 25 * 30
+        assert client.process in deployment.server("core").sessions
+        assert deployment.server("edge").sessions == {}
+
+    def test_handoff_span_closes_into_latency_histogram(self):
+        sim, deployment, decoy, client = make_world()
+        events, subscription = sim.telemetry.collect(prefixes=("span.",))
+        sim.run_until(30.0)
+        subscription.close()
+        ends = [
+            event for event in events
+            if event.kind == "span.end"
+            and event.fields.get("span") == "placement.handoff"
+        ]
+        assert len(ends) == 1
+        histogram = sim.telemetry.metrics.histogram(
+            "placement.handoff.latency_s"
+        )
+        assert histogram.count == 1
+
+    def test_no_eligible_successor_keeps_streaming(self):
+        """With no full-copy member alive the edge keeps serving past
+        its stored prefix rather than orphaning the viewer."""
+        sim, deployment, decoy, client = make_world()
+        sim.call_at(3.0, lambda: deployment.server("core").crash())
+        sim.run_until(20.0)
+        assert client.process in deployment.server("edge").sessions
+        assert client.displayed_total > 13 * 30

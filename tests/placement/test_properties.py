@@ -1,0 +1,122 @@
+"""Property-based guarantees of the placement subsystem (Hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faulting.invariants import InvariantChecker
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.placement import (
+    PlacementContext,
+    Rebalancer,
+    ServerProfile,
+    make_strategy,
+)
+from repro.placement.plan import build_zipf_catalog
+from repro.service.deployment import Deployment
+from repro.sim.core import Simulator
+
+STRATEGY_NAMES = ("static", "popularity", "markov", "prefix")
+
+
+def make_ctx(n_titles, n_servers, k, alpha):
+    catalog = build_zipf_catalog(n_titles, duration_s=10.0)
+    servers = [
+        ServerProfile(
+            name=f"server{i}",
+            domain=f"rack{i // 2}",
+            fail_rate=0.01 * (1 + i % 3),
+            repair_rate=1.0,
+            # prefix needs a core: mark at most the last server edge.
+            edge=(i == n_servers - 1 and n_servers >= 3),
+        )
+        for i in range(n_servers)
+    ]
+    return PlacementContext(
+        catalog=catalog, servers=servers, k=k, alpha=alpha
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    strategy=st.sampled_from(STRATEGY_NAMES),
+    n_titles=st.integers(min_value=1, max_value=20),
+    n_servers=st.integers(min_value=3, max_value=8),
+    k=st.integers(min_value=1, max_value=3),
+    alpha=st.floats(min_value=0.0, max_value=1.5),
+)
+def test_every_strategy_meets_the_k_floor(
+    strategy, n_titles, n_servers, k, alpha
+):
+    """With unbounded capacity every title gets >= k full replicas
+    (``prefix`` is floored by its core size)."""
+    ctx = make_ctx(n_titles, n_servers, k, alpha)
+    plan = make_strategy(strategy).build(ctx)
+    floor = k
+    if strategy == "prefix":
+        floor = min(k, sum(1 for p in ctx.servers if not p.edge))
+    for title in ctx.titles:
+        assert plan.replication_degree(title) >= floor
+    plan.validate(ctx.catalog)  # every title streams from somewhere
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_titles=st.integers(min_value=2, max_value=40),
+    n_servers=st.integers(min_value=2, max_value=10),
+    k=st.integers(min_value=1, max_value=4),
+    alpha=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_popularity_counts_are_monotone_in_rank(
+    n_titles, n_servers, k, alpha
+):
+    k = min(k, n_servers)
+    ctx = make_ctx(n_titles, n_servers, k, alpha)
+    counts = make_strategy("popularity").replica_counts(ctx)
+    values = [counts[title] for title in ctx.titles]  # rank order
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert all(value >= k for value in values)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    crash_target=st.booleans(),
+    crash_delay=st.floats(min_value=0.2, max_value=4.5),
+)
+def test_mid_migration_crash_never_violates_invariants(
+    crash_target, crash_delay
+):
+    """Crashing either endpoint mid-migration (copy started, drop not
+    yet executed) leaves the title served and the invariant checker
+    silent: a migration can lose the *copy*, never the *title*."""
+    sim = Simulator(seed=7)
+    topology = build_lan(sim, n_hosts=4)
+    catalog = MovieCatalog([Movie.synthetic("feature", duration_s=40.0)])
+    deployment = Deployment(
+        topology, catalog, replicate_all=False,
+    )
+    deployment.add_server(0, name="source")
+    deployment.add_server(1, name="spare")
+    deployment.add_server(2, name="target")
+    # Source and spare both hold the feature; target starts empty.
+    deployment.server("source").add_movie("feature")
+    deployment.server("spare").add_movie("feature")
+    checker = InvariantChecker(deployment).install()
+    client = deployment.attach_client(3)
+    client.request_movie("feature")
+
+    rebalancer = Rebalancer(deployment)  # settle = 6 * sync = 3 s
+    sim.call_at(
+        6.0, lambda: rebalancer.migrate("feature", "source", "target")
+    )
+    victim = "target" if crash_target else "source"
+    sim.call_at(6.0 + crash_delay, lambda: deployment.server(victim).crash())
+    sim.run_until(22.0)
+    checker.stop()
+
+    assert checker.violations == []
+    live = {server.name for server in deployment.live_servers()}
+    assert catalog.full_replicas("feature") & live
+    assert len(rebalancer.completed) + len(rebalancer.aborted) == 1
+    assert client.displayed_total > 15 * 30  # playback survived

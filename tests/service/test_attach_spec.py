@@ -1,0 +1,120 @@
+"""The unified admission surface: ClientSpec, attach, from_placement."""
+
+import pytest
+
+from repro.client.player import VoDClient
+from repro.errors import ServiceError
+from repro.media.catalog import MovieCatalog
+from repro.media.movie import Movie
+from repro.net.topologies import build_lan
+from repro.placement import PlacementContext, ServerProfile, StaticKWay
+from repro.placement.plan import build_zipf_catalog
+from repro.service.deployment import ClientSpec, Deployment
+from repro.sim.core import Simulator
+
+
+def make_deployment(n_servers=2, n_hosts=6, replicate_all=True):
+    sim = Simulator(seed=11)
+    topology = build_lan(sim, n_hosts=n_hosts)
+    catalog = MovieCatalog([Movie.synthetic("feature", duration_s=30.0)])
+    deployment = Deployment(
+        topology, catalog, server_nodes=list(range(n_servers)),
+        replicate_all=replicate_all,
+    )
+    return sim, deployment
+
+
+class TestAttach:
+    def test_full_mode_returns_a_client(self):
+        sim, deployment = make_deployment()
+        client = deployment.attach(ClientSpec(mode="full", host=2))
+        assert isinstance(client, VoDClient)
+        assert client.name in deployment.clients
+        client.request_movie("feature")
+        sim.run_until(8.0)
+        assert client.displayed_total > 150
+
+    def test_full_mode_requires_a_host(self):
+        _, deployment = make_deployment()
+        with pytest.raises(ServiceError):
+            deployment.attach(ClientSpec(mode="full"))
+
+    def test_flyweight_mode_returns_a_pool(self):
+        from repro.client.flyweight import FlyweightPool
+
+        sim, deployment = make_deployment()
+        pool = deployment.attach(ClientSpec(mode="flyweight", movie="feature"))
+        assert isinstance(pool, FlyweightPool)
+        assert pool in deployment.flyweight_pools
+
+    def test_flyweight_mode_requires_a_movie(self):
+        _, deployment = make_deployment()
+        with pytest.raises(ServiceError):
+            deployment.attach(ClientSpec(mode="flyweight"))
+
+    def test_unknown_mode_rejected(self):
+        _, deployment = make_deployment()
+        with pytest.raises(ServiceError):
+            deployment.attach(ClientSpec(mode="holographic"))
+
+    def test_wrappers_delegate_to_attach(self):
+        from repro.client.flyweight import FlyweightPool
+
+        _, deployment = make_deployment()
+        client = deployment.attach_client(2, name="alice")
+        assert isinstance(client, VoDClient)
+        assert deployment.client("alice") is client
+        pool = deployment.attach_flyweight("feature")
+        assert isinstance(pool, FlyweightPool)
+
+
+class TestFromPlacement:
+    def test_replica_map_is_derived_from_the_plan(self):
+        sim = Simulator(seed=11)
+        topology = build_lan(sim, n_hosts=5)
+        catalog = build_zipf_catalog(4, duration_s=20.0)
+        profiles = [ServerProfile(name=f"server{i}") for i in range(3)]
+        plan = StaticKWay(k=2).build(
+            PlacementContext(catalog=catalog, servers=profiles, k=2)
+        )
+        deployment = Deployment.from_placement(topology, plan, catalog)
+        assert sorted(deployment.servers) == ["server0", "server1", "server2"]
+        assert deployment.placement is plan
+        for title in catalog.titles():
+            assert catalog.full_replicas(title) == set(plan.replicas(title))
+            assert len(catalog.full_replicas(title)) == 2
+
+    def test_plan_served_catalog_streams(self):
+        sim = Simulator(seed=11)
+        topology = build_lan(sim, n_hosts=5)
+        catalog = build_zipf_catalog(4, duration_s=20.0)
+        profiles = [ServerProfile(name=f"server{i}") for i in range(3)]
+        plan = StaticKWay(k=2).build(
+            PlacementContext(catalog=catalog, servers=profiles, k=2)
+        )
+        deployment = Deployment.from_placement(topology, plan, catalog)
+        client = deployment.attach_client(4)
+        client.request_movie(catalog.titles()[0])
+        sim.run_until(8.0)
+        assert client.displayed_total > 150
+
+    def test_missing_host_mapping_rejected(self):
+        sim = Simulator(seed=11)
+        topology = build_lan(sim, n_hosts=5)
+        catalog = build_zipf_catalog(2, duration_s=20.0)
+        profiles = [ServerProfile(name=f"server{i}") for i in range(2)]
+        plan = StaticKWay(k=1).build(
+            PlacementContext(catalog=catalog, servers=profiles, k=1)
+        )
+        with pytest.raises(ServiceError):
+            Deployment.from_placement(
+                topology, plan, catalog, server_hosts={"server0": 0}
+            )
+
+
+class TestDeprecatedMoviesKwarg:
+    def test_movies_kwarg_warns_and_routes_through_placement(self):
+        sim, deployment = make_deployment(n_servers=1, replicate_all=False)
+        with pytest.warns(DeprecationWarning):
+            deployment.add_server(1, name="extra", movies=["feature"])
+        assert "extra" in deployment.catalog.full_replicas("feature")
