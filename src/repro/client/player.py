@@ -37,6 +37,7 @@ from repro.service.protocol import (
     FramePacket,
     ListMoviesReply,
     ListMoviesRequest,
+    QualityNotice,
     VcrCommand,
     VcrOp,
     session_group,
@@ -818,6 +819,12 @@ class VoDClient:
             if callback is not None:
                 self._movie_list_callback = None
                 callback(payload.titles)
+        elif isinstance(payload, QualityNotice):
+            # Admission degraded this session: adopt the granted quality
+            # so the pump treats server-skipped frames as intentional
+            # gaps and reconnects re-request the same stream.
+            if payload.movie == self.movie_title and not self.finished:
+                self.quality_fps = payload.quality_fps
 
     def _require_session(self) -> None:
         if self.config.session_mux:

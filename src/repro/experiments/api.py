@@ -82,6 +82,7 @@ REGISTRY: Dict[str, Tuple[str, Dict[str, Any]]] = {
     "faults": ("repro.experiments.faults", {}),
     "scale": ("repro.experiments.scale", {}),
     "placement": ("repro.experiments.placement", {}),
+    "matrix": ("repro.experiments.matrix", {}),
     "chaos": ("repro.faulting.chaos", {}),
     "ablations": ("repro.experiments.ablations", {}),
 }

@@ -1,0 +1,115 @@
+"""CI gate for the seeded scenario-matrix SLO sweep.
+
+Compares a ``repro-vod matrix --preset gate --benchmark-json`` run
+against the committed reference
+(``benchmarks/BENCH_matrix_baseline.json``).  The sweep is
+seed-deterministic, so:
+
+* every baseline cell must be present with the **same verdict**
+  (ok/breach) and the same reject/degrade counts;
+* the :class:`~repro.faulting.invariants.InvariantChecker` must report
+  **zero** violations in every cell — fault schedules, populations and
+  admission throttling all have to preserve exactly-one-adoption and
+  offset continuity;
+* per-cell mean and p10 QoE stay inside a relative band of the
+  reference (and above an absolute floor);
+* the admission faceoff must show the degrade policy **strictly
+  beating** reject-only on p10 QoE at equal token-bucket capacity —
+  the policy layer's reason to exist.
+
+Usage::
+
+    python -m repro.experiments.matrix_gate artifacts/matrix-bench.json \
+        [benchmarks/BENCH_matrix_baseline.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+
+def check(measured_path: str, baseline_path: str) -> List[str]:
+    """Return the list of violations (empty means the gate passes)."""
+    with open(measured_path) as fh:
+        measured = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    tol = baseline["tolerances"]
+    failures: List[str] = []
+    measured_cells = measured.get("cells", {})
+
+    for cell_id, expected in baseline["cells"].items():
+        got = measured_cells.get(cell_id)
+        if got is None:
+            failures.append(f"cell {cell_id!r} missing from the run")
+            continue
+
+        def band(name: str, rel: float) -> None:
+            value, reference = got[name], expected[name]
+            low = reference * (1 - rel)
+            high = reference * (1 + rel)
+            if not low <= value <= high:
+                failures.append(
+                    f"{cell_id}.{name}: {value} outside "
+                    f"{reference} +/- {rel:.0%}"
+                )
+
+        if got["verdict"] != expected["verdict"]:
+            failures.append(
+                f"{cell_id}.verdict: {got['verdict']!r} != "
+                f"{expected['verdict']!r}"
+            )
+        if got["violations"] != 0:
+            failures.append(
+                f"{cell_id}.violations: {got['violations']} "
+                "(the invariant checker must stay silent)"
+            )
+        band("qoe_mean", tol["qoe_rel"])
+        band("qoe_p10", tol["qoe_rel"])
+        if got["qoe_mean"] < tol["qoe_floor"]:
+            failures.append(
+                f"{cell_id}.qoe_mean: {got['qoe_mean']} below the "
+                f"{tol['qoe_floor']} floor"
+            )
+        for counter in ("clients", "rejects", "degrades"):
+            if got[counter] != expected[counter]:
+                failures.append(
+                    f"{cell_id}.{counter}: {got[counter]} != "
+                    f"{expected[counter]} (seeded sweep must be "
+                    "deterministic)"
+                )
+
+    faceoff = measured.get("faceoff", {})
+    reject = faceoff.get("reject")
+    degrade = faceoff.get("degrade")
+    if reject is None or degrade is None:
+        failures.append("faceoff results missing from the run")
+    elif not degrade["qoe_p10"] > reject["qoe_p10"]:
+        failures.append(
+            "degrade does not strictly beat reject-only on p10 QoE at "
+            f"equal capacity: {degrade['qoe_p10']} <= {reject['qoe_p10']}"
+        )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__)
+        return 2
+    baseline = argv[1] if len(argv) > 1 else (
+        "benchmarks/BENCH_matrix_baseline.json"
+    )
+    failures = check(argv[0], baseline)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("scenario matrix matches the committed reference")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main(sys.argv[1:]))

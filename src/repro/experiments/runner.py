@@ -96,6 +96,8 @@ def _spec_from_args(name: str, args: argparse.Namespace) -> ExperimentSpec:
         params["titles"] = args.titles
     if getattr(args, "flash", None) is not None:
         params["flash"] = args.flash
+    if getattr(args, "preset", None) is not None:
+        params["preset"] = args.preset
     return ExperimentSpec(
         name=name,
         seed=args.seed,
@@ -325,6 +327,21 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="benchmark_json",
                    help="write per-strategy measurements (availability, "
                         "storage, QoE, violations) to this JSON file")
+    p = sub.add_parser(
+        "matrix", parents=[common],
+        help="scenario-matrix SLO sweep: topology x workload x faults "
+             "cells with per-cell QoE/SLO verdicts, plus the admission "
+             "reject-vs-degrade faceoff",
+    )
+    p.add_argument(
+        "--preset", choices=("full", "gate"), default=None,
+        help="cell selection: full (24 cells) or gate (the 12-cell CI "
+             "sub-matrix; default full)",
+    )
+    p.add_argument("--benchmark-json", type=str, default=None,
+                   dest="benchmark_json",
+                   help="write the per-cell verdicts and the faceoff to "
+                        "this JSON file (scenario-matrix CI gate input)")
     sub.add_parser("all", parents=[common], help="everything")
 
     p = sub.add_parser(

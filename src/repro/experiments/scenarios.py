@@ -14,24 +14,110 @@ resolves the victim dynamically from the client's session at fire time.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.client.player import ClientConfig, VoDClient
+from repro.errors import ServiceError
 from repro.faulting.injector import FaultInjector
 from repro.faulting.plan import FaultPlan
 from repro.media.catalog import MovieCatalog
 from repro.media.movie import Movie
-from repro.net.topologies import Topology, build_lan, build_wan
+from repro.net.topologies import (
+    Topology,
+    build_hierarchy,
+    build_lan,
+    build_wan,
+)
 from repro.placement import PlacementContext, ServerProfile, StaticKWay
+from repro.server.admission import AdmissionSpec
 from repro.server.server import ServerConfig
 from repro.service.deployment import Deployment
 from repro.sim.core import Simulator
+from repro.workloads import (
+    CHANNEL_SURFER,
+    COUCH_POTATO,
+    VCR_STORM,
+    ViewerProfile,
+    WorkloadDriver,
+    ZipfCatalogSampler,
+    burst_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.export import JsonlExporter
     from repro.telemetry.qoe import QoECollector, QoEScorecard
     from repro.telemetry.slo import SloMonitor
+
+
+#: Viewer-behaviour profiles a :class:`WorkloadSpec` can name.
+VIEWER_PROFILES: Dict[str, ViewerProfile] = {
+    "couch-potato": COUCH_POTATO,
+    "channel-surfer": CHANNEL_SURFER,
+    "vcr-storm": VCR_STORM,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A declarative client population riding along the measured client.
+
+    ``kind`` names the arrival process (``flash-crowd`` — everybody
+    within ``spread_s`` of ``at_s``; ``diurnal`` — a sinusoidal swell
+    from ``base_rate_per_s`` to ``peak_rate_per_s`` over ``window_s``;
+    ``poisson`` — a flat Poisson stream at ``peak_rate_per_s``), and
+    ``profile`` names the per-viewer behaviour script from
+    :data:`VIEWER_PROFILES`.
+
+    :meth:`arrival_times` is a *pure* function of ``(self, seed)`` — it
+    draws from a private ``random.Random(seed)``, never the simulator's
+    streams — so the same (seed, cell) always yields the identical
+    schedule, matrix-wide, regardless of evaluation order.
+    """
+
+    kind: str = "flash-crowd"
+    n_viewers: int = 8
+    at_s: float = 6.0
+    spread_s: float = 2.0
+    base_rate_per_s: float = 0.05
+    peak_rate_per_s: float = 0.4
+    window_s: float = 40.0
+    profile: str = "couch-potato"
+
+    def arrival_times(self, seed: int) -> List[float]:
+        """The population's arrival schedule for ``seed``."""
+        rng = random.Random(seed)
+        if self.kind == "flash-crowd":
+            return burst_arrivals(
+                rng, self.n_viewers, self.at_s, self.spread_s
+            )
+        if self.kind == "diurnal":
+            return diurnal_arrivals(
+                rng,
+                self.base_rate_per_s,
+                self.peak_rate_per_s,
+                self.window_s,
+                start_s=self.at_s,
+                limit=self.n_viewers,
+            )
+        if self.kind == "poisson":
+            return poisson_arrivals(
+                rng,
+                self.peak_rate_per_s,
+                self.window_s,
+                start_s=self.at_s,
+                limit=self.n_viewers,
+            )
+        raise ServiceError(f"unknown workload kind {self.kind!r}")
+
+    def viewer_profile(self) -> ViewerProfile:
+        profile = VIEWER_PROFILES.get(self.profile)
+        if profile is None:
+            raise ServiceError(f"unknown viewer profile {self.profile!r}")
+        return profile
 
 
 @dataclass(frozen=True)
@@ -42,10 +128,18 @@ class ScenarioSpec:
     ``(time, action)`` tuples — or from an explicit ``plan`` built with
     the full :class:`~repro.faulting.plan.FaultPlan` DSL; ``plan`` wins
     when both are set.
+
+    The population fields are additive and default-off: with
+    ``workload=None``, ``admission=None`` and ``n_client_hosts=1`` a
+    spec builds the historical single-client world byte-for-byte.  A
+    ``workload`` attaches a :class:`WorkloadDriver` population on the
+    last ``n_client_hosts - 1`` hosts (the measured client keeps the
+    final host); an ``admission`` spec installs the pool-level policy
+    from :mod:`repro.server.admission` on every server.
     """
 
     name: str
-    network: str  # "lan" | "wan"
+    network: str  # "lan" | "wan" | "hierarchy"
     movie_duration_s: float = 240.0
     run_duration_s: float = 240.0
     n_initial_servers: int = 2
@@ -55,6 +149,9 @@ class ScenarioSpec:
     seed: int = 11
     client_config: Optional[ClientConfig] = None
     server_config: Optional[ServerConfig] = None
+    workload: Optional[WorkloadSpec] = None
+    admission: Optional[AdmissionSpec] = None
+    n_client_hosts: int = 1
 
 
 #: Section 6.1: crash at ~38 s, new server (load balance) ~24 s later.
@@ -88,6 +185,8 @@ class ScenarioResult:
     # The executed fault plan and injector (fire log, resolved targets).
     plan: Optional[FaultPlan] = None
     injector: Optional[FaultInjector] = None
+    # The riding-along population, when the spec declared a workload.
+    driver: Optional[WorkloadDriver] = None
     # Times at which schedule actions actually fired.
     crash_times: List[float] = field(default_factory=list)
     server_up_times: List[float] = field(default_factory=list)
@@ -156,16 +255,28 @@ class ScenarioResult:
                 "video_bytes": self.total_video_bytes(),
                 "control_bytes": self.total_control_bytes(),
             },
+            # A missing endpoint is null, not the string "None" — the
+            # startup adoption's from-server round-trips as the absence
+            # it is.
             "migrations": [
-                {"t": t, "from": str(old), "to": str(new)}
+                {
+                    "t": t,
+                    "from": None if old is None else str(old),
+                    "to": None if new is None else str(new),
+                }
                 for t, old, new in stats.migrations
             ],
+            # Every ClientStats series, not just the float-friendly
+            # subset an earlier version cherry-picked.
             "series": {
                 "sw_occupancy": series(stats.sw_occupancy),
                 "hw_occupancy_bytes": series(stats.hw_occupancy_bytes),
+                "combined_occupancy": series(stats.combined_occupancy),
                 "skipped_cum": series(stats.skipped_cum),
                 "late_cum": series(stats.late_cum),
                 "overflow_cum": series(stats.overflow_cum),
+                "received_bytes_cum": series(stats.received_bytes_cum),
+                "displayed_cum": series(stats.displayed_cum),
             },
         }
 
@@ -187,14 +298,24 @@ class ScenarioResult:
 
 def build_topology(spec: ScenarioSpec, sim: Simulator) -> Topology:
     if spec.network == "lan":
-        # Hosts: up to 4 server slots + 1 client.
-        return build_lan(sim, n_hosts=spec.n_initial_servers + 3)
+        # Hosts: server slots + 2 spares, client hosts last.
+        return build_lan(
+            sim, n_hosts=spec.n_initial_servers + 2 + spec.n_client_hosts
+        )
     if spec.network == "wan":
-        # Server slots at site A, the client at site B (7 hops away).
+        # Server slots at site A, the clients at site B (7 hops away).
         return build_wan(
             sim,
             n_hosts_site_a=spec.n_initial_servers + 2,
-            n_hosts_site_b=1,
+            n_hosts_site_b=spec.n_client_hosts,
+        )
+    if spec.network == "hierarchy":
+        # Server slots at the head-end core, clients behind the edge
+        # concentrators.
+        return build_hierarchy(
+            sim,
+            n_core_hosts=spec.n_initial_servers + 2,
+            n_edge_hosts=spec.n_client_hosts,
         )
     raise ValueError(f"unknown network kind {spec.network!r}")
 
@@ -314,7 +435,8 @@ def prepare_scenario(
     All of these are pure observers, so results are identical with or
     without them.
     """
-    sim = Simulator(seed=spec.seed if seed is None else seed)
+    effective_seed = spec.seed if seed is None else seed
+    sim = Simulator(seed=effective_seed)
     exporter = None
     if telemetry_path is not None:
         from repro.telemetry.export import JsonlExporter
@@ -325,7 +447,7 @@ def prepare_scenario(
         exporter.meta(
             scenario=spec.name,
             network=spec.network,
-            seed=spec.seed if seed is None else seed,
+            seed=effective_seed,
             run_duration_s=spec.run_duration_s,
         )
     qoe_collector = None
@@ -337,7 +459,14 @@ def prepare_scenario(
         from repro.telemetry.slo import SloMonitor
 
         qoe_collector = QoECollector(sim.telemetry)
-        slo_monitor = SloMonitor(sim.telemetry)
+        slo_rules = None
+        if spec.admission is not None:
+            # Admission is opt-in, and so is its SLO rule — keeping
+            # default summaries stable for policy-free runs.
+            from repro.telemetry.slo import AdmissionStormRule, default_rules
+
+            slo_rules = default_rules() + (AdmissionStormRule(),)
+        slo_monitor = SloMonitor(sim.telemetry, rules=slo_rules)
     topology = build_topology(spec, sim)
     catalog = MovieCatalog(
         [Movie.synthetic("feature", duration_s=spec.movie_duration_s)]
@@ -365,14 +494,40 @@ def prepare_scenario(
         server_config=spec.server_config,
         client_config=spec.client_config,
         replicate_all=True,
+        admission_policy=(
+            spec.admission.build() if spec.admission is not None else None
+        ),
     )
     client_host = len(topology.hosts) - 1
     client = deployment.attach_client(client_host)
     client.request_movie("feature")
 
+    driver = None
+    if spec.workload is not None:
+        if spec.n_client_hosts < 2:
+            raise ServiceError(
+                "a workload population needs n_client_hosts >= 2 (the "
+                "measured client keeps the last host)"
+            )
+        # The measured client holds the final host; the population gets
+        # the client hosts before it.
+        viewer_hosts = list(
+            range(len(topology.hosts) - spec.n_client_hosts, client_host)
+        )
+        driver = WorkloadDriver(
+            deployment,
+            viewer_hosts,
+            sampler=ZipfCatalogSampler(["feature"]),
+            profile=spec.workload.viewer_profile(),
+            workload_seed=effective_seed,
+        )
+        driver.schedule_arrivals(spec.workload.arrival_times(effective_seed))
+
     plan = plan_for_spec(spec)
     injector = FaultInjector(deployment, plan, client=client).start()
-    result = ScenarioResult(spec, sim, deployment, client, plan, injector)
+    result = ScenarioResult(
+        spec, sim, deployment, client, plan, injector, driver
+    )
     return LiveScenario(
         spec=spec,
         sim=sim,

@@ -272,7 +272,14 @@ class InvariantChecker:
 
     def _sample_client(self, client: Any) -> None:
         track = self._track(client.name)
-        if client.movie_title is None or client.finished:
+        # A closed video socket means the viewer tore itself down
+        # (stopped/abandoned) — it departed on purpose, it is not an
+        # orphan the service failed to re-adopt.
+        if (
+            client.movie_title is None
+            or client.finished
+            or client.video_socket.closed
+        ):
             track.prev_sampled = False
             track.zero_serving_since = None
             track.double_serving_since = None
@@ -401,7 +408,11 @@ class InvariantChecker:
     def final_check(self) -> List[Violation]:
         """Run the settle-time assertions; returns all violations."""
         for client in self.deployment.clients.values():
-            if client.movie_title is None or client.finished:
+            if (
+                client.movie_title is None
+                or client.finished
+                or client.video_socket.closed
+            ):
                 continue
             track = self._track(client.name)
             serving = self._servers_serving(client)

@@ -24,6 +24,20 @@ LAN_LINK = LinkParams(
     delay_s=0.0001, jitter_s=0.0, loss_prob=0.0, bandwidth_bps=100e6
 )
 
+#: Metro aggregation trunk: head-end switch to an edge concentrator.
+#: 155 Mbps (OC-3 of the era), ~1 ms, clean — the operator owns it.
+METRO_LINK = LinkParams(
+    delay_s=0.001, jitter_s=0.0, loss_prob=0.0, bandwidth_bps=155e6
+)
+
+#: Edge access port: concentrator to a subscriber set-top box.  25 Mbps
+#: (ADSL2+/early cable of the era), a few ms, lossless by default —
+#: lossy last-mile client mixes inject loss as a fault-plan impairment
+#: so the link's own streams stay comparable across cells.
+EDGE_LINK = LinkParams(
+    delay_s=0.005, jitter_s=0.0, loss_prob=0.0, bandwidth_bps=25e6
+)
+
 #: One Internet backbone hop: 34 Mbps (an E3/ATM trunk of the era),
 #: a few ms propagation, per-hop jitter, a small loss probability so the
 #: end-to-end path loses a fraction of a percent of packets, and rare
@@ -112,5 +126,56 @@ def build_wan(
     for index in range(n_hosts_site_b):
         host = network.add_node(f"siteB-host{index}")
         network.add_link(host.node_id, switch_b.node_id, lan_link)
+        topology.hosts.append(host.node_id)
+    return topology
+
+
+def build_hierarchy(
+    sim: Simulator,
+    n_core_hosts: int,
+    n_edge_hosts: int,
+    n_concentrators: int = 2,
+    core_link: LinkParams = LAN_LINK,
+    metro_link: LinkParams = METRO_LINK,
+    edge_link: LinkParams = EDGE_LINK,
+) -> Topology:
+    """An edge-concentrator hierarchy: the cable/ISP deployment shape.
+
+    Servers live on ``n_core_hosts`` hosts behind a head-end core
+    switch; ``n_concentrators`` concentrator switches hang off the core
+    over metro trunks; ``n_edge_hosts`` subscriber hosts attach to the
+    concentrators round-robin over access links.  ``hosts`` lists the
+    core hosts first, then the edge hosts — the same "server slots
+    first, client hosts last" convention as the other builders.
+    """
+    if n_core_hosts < 1:
+        raise NetworkError(
+            f"a hierarchy needs at least one core host, got {n_core_hosts}"
+        )
+    if n_edge_hosts < 1:
+        raise NetworkError(
+            f"a hierarchy needs at least one edge host, got {n_edge_hosts}"
+        )
+    if n_concentrators < 1:
+        raise NetworkError(
+            f"need at least one concentrator, got {n_concentrators}"
+        )
+    network = Network(sim)
+    core = network.add_node("core-switch")
+    topology = Topology(network=network, infrastructure=[core.node_id])
+    concentrators: List[int] = []
+    for index in range(n_concentrators):
+        concentrator = network.add_node(f"concentrator{index}")
+        topology.infrastructure.append(concentrator.node_id)
+        network.add_link(core.node_id, concentrator.node_id, metro_link)
+        concentrators.append(concentrator.node_id)
+    for index in range(n_core_hosts):
+        host = network.add_node(f"core-host{index}")
+        network.add_link(host.node_id, core.node_id, core_link)
+        topology.hosts.append(host.node_id)
+    for index in range(n_edge_hosts):
+        host = network.add_node(f"edge-host{index}")
+        concentrator = concentrators[index % n_concentrators]
+        network.add_link(host.node_id, concentrator, edge_link)
         topology.hosts.append(host.node_id)
     return topology

@@ -38,6 +38,7 @@ from repro.service.protocol import (
     FlowControlMsg,
     ListMoviesReply,
     ListMoviesRequest,
+    QualityNotice,
     StateSync,
     VcrCommand,
     VcrOp,
@@ -90,12 +91,19 @@ class VoDServer:
         catalog: MovieCatalog,
         config: Optional[ServerConfig] = None,
         endpoint: Optional[GcsEndpoint] = None,
+        admission_policy: Optional[Any] = None,
     ) -> None:
         self.domain = domain
         self.sim = domain.sim
         self.name = name
         self.catalog = catalog
         self.config = config or ServerConfig()
+        # Pool-level admission policy (see repro.server.admission).
+        # None = the historical admit-all path, with no policy hook at
+        # all.  The policy object is shared by every replica but only
+        # ever consulted by the deterministically chosen owner, so its
+        # bucket state cannot diverge between replicas.
+        self.admission_policy = admission_policy
         self.endpoint = endpoint or domain.create_endpoint(node_id)
         self.process = self.endpoint.process_id(name)
         self.node_id = self.endpoint.daemon_id
@@ -443,6 +451,17 @@ class VoDServer:
         )
         if chosen != self.process:
             return
+        quality_fps = request.quality_fps
+        if self.admission_policy is not None:
+            decision = self._admission_check(title, request)
+            if not decision.admitted:
+                # The client's 1 s connect retry is the busy-signal
+                # queue; the cached assignment stays (every replica
+                # still holds it, and all of them pop it together on
+                # the retry's no-fresh-record recompute).
+                return
+            if decision.action == "degrade":
+                quality_fps = decision.quality_fps
         record = ClientRecord(
             client=request.client,
             movie=title,
@@ -450,7 +469,7 @@ class VoDServer:
             video_endpoint=request.video_endpoint,
             offset=max(1, request.resume_offset),
             rate_fps=self.config.default_rate_fps,
-            quality_fps=request.quality_fps,
+            quality_fps=quality_fps,
             paused=False,
             epoch=request.resume_epoch,
             server=self.process,
@@ -458,8 +477,43 @@ class VoDServer:
         )
         state.put_record(record, self.sim.now)
         self._start_session(record)
+        if quality_fps != request.quality_fps:
+            # Policy degrade: tell the client its granted quality so the
+            # pump expects the thinned stream (and reconnects carry it).
+            notice = QualityNotice(
+                movie=title, quality_fps=quality_fps,
+                epoch=request.resume_epoch,
+            )
+            self.endpoint.send_p2p(
+                request.client, notice, notice.wire_bytes(),
+                sender_name=self.name,
+            )
         if sync:
             self._sync_movie(title)  # propagate the new client promptly
+
+    def _admission_check(self, title: str, request: ConnectRequest):
+        """Consult the pool admission policy — owner side only.
+
+        Only the deterministically chosen owner calls this, so the
+        shared policy's bucket state advances identically no matter
+        which replicas saw the connect.  Emits ``server.admission.*``
+        telemetry for the QoE scorecards and the SLO monitor.
+        """
+        decision = self.admission_policy.decide(self.sim.now, request)
+        tel = self.sim.telemetry
+        if tel.active:
+            fields = dict(
+                server=self.name,
+                client=str(request.client),
+                movie=title,
+                tclass=decision.tclass,
+            )
+            if decision.quality_fps is not None:
+                fields["quality_fps"] = decision.quality_fps
+                fields["base_fps"] = self.config.default_rate_fps
+            tel.emit(f"server.admission.{decision.action}", **fields)
+            tel.count(f"server.admission.{decision.action}")
+        return decision
 
     def _assign_new_client(
         self, title: str, client: ProcessId, offset: int = 1
@@ -555,6 +609,13 @@ class VoDServer:
         chosen = self._assign_cohort_client(title, client, cohort)
         if chosen != self.process or client in cohort.rows:
             return  # not ours, or a duplicate connect retry
+        if self.admission_policy is not None:
+            decision = self._admission_check(title, request)
+            if not decision.admitted:
+                return  # the row's connect retry is the queue
+            # Degrades admit as-is: flyweight rows share the cohort's
+            # closed-form playhead, so there is no per-row quality to
+            # grant (the decision still emitted its telemetry).
         cohort.add_row(
             client,
             max(1, request.resume_offset),

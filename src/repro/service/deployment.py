@@ -74,6 +74,7 @@ class Deployment:
         fd_timeout: Optional[float] = None,
         enable_qos: bool = False,
         placement: Optional[PlacementPlan] = None,
+        admission_policy: Optional[Any] = None,
     ) -> None:
         self.topology = topology
         self.network = topology.network
@@ -83,6 +84,10 @@ class Deployment:
         self.client_config = client_config or ClientConfig()
         self.replicate_all = replicate_all
         self.placement = placement
+        # One pool-level admission policy shared by every server,
+        # present and future (see repro.server.admission); None keeps
+        # the historical admit-all behaviour byte-for-byte.
+        self.admission_policy = admission_policy
         self.domain = GcsDomain(self.sim, self.network, fd_timeout=fd_timeout)
         self.qos = None
         if enable_qos:
@@ -186,7 +191,8 @@ class Deployment:
         if not node.alive:
             node.restart()
         server = VoDServer(
-            self.domain, node_id, name, self.catalog, self.server_config
+            self.domain, node_id, name, self.catalog, self.server_config,
+            admission_policy=self.admission_policy,
         )
         server.observers.extend(self.server_observers)
         for pool in self.flyweight_pools:

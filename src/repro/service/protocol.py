@@ -75,6 +75,23 @@ class ListMoviesReply:
         return 8 + sum(len(title) + 2 for title in self.titles)
 
 
+@dataclass(frozen=True)
+class QualityNotice:
+    """Server -> client (reliable p2p): admission granted a different
+    stream quality than requested (policy degrade under overload).
+
+    The client adopts ``quality_fps`` so its re-ordering logic treats
+    the server-skipped frames as intentional gaps, and its reconnects
+    carry the granted quality forward."""
+
+    movie: str
+    quality_fps: int
+    epoch: int = 0
+
+    def wire_bytes(self) -> int:
+        return 16 + len(self.movie)
+
+
 # ----------------------------------------------------------------------
 # Flow control (client -> server, session-group multicast)
 # ----------------------------------------------------------------------

@@ -53,6 +53,8 @@ class QoEScorecard:
     resumes: int = 0
     emergencies: int = 0
     emergency_extra_frames: float = 0.0
+    admission_rejects: int = 0
+    degrade_fraction: float = 0.0
     finished: bool = False
 
     @property
@@ -87,6 +89,14 @@ class QoEScorecard:
         shown = max(1, self.displayed_frames + self.skipped_frames)
         penalty += 15.0 * min(1.0, self.skipped_frames / shown)
         penalty += min(5.0, float(self.migrations))
+        # Admission outcomes: each busy-signal reject delays the viewer
+        # a retry round — being denied service repeatedly outweighs
+        # watching a degraded stream, though rebuffering still dominates
+        # — and a degraded grant costs by how much quality was shaved.
+        # Without these a never-admitted client would score a perfect
+        # 100.
+        penalty += min(35.0, 3.0 * self.admission_rejects)
+        penalty += min(10.0, 10.0 * max(0.0, self.degrade_fraction))
         return max(0.0, 100.0 - penalty)
 
     def as_dict(self) -> Dict:
@@ -106,6 +116,8 @@ class QoEScorecard:
             "emergencies": self.emergencies,
             "emergency_extra_frames": self.emergency_extra_frames,
             "emergency_share": self.emergency_share,
+            "admission_rejects": self.admission_rejects,
+            "degrade_fraction": self.degrade_fraction,
             "glitch_free": self.glitch_free,
             "finished": self.finished,
             "score": self.score(),
@@ -139,6 +151,8 @@ class QoEAccumulator:
         self._last_t = max(self._last_t, t)
         if kind.startswith("client."):
             self._feed_client(t, kind, fields)
+        elif kind.startswith("server.admission."):
+            self._feed_admission(t, kind, fields)
         elif kind in ("server.rate", "server.emergency.step"):
             self._feed_rate(t, kind, fields)
         elif kind in ("span.begin", "span.end", "span.abandoned"):
@@ -180,6 +194,23 @@ class QoEAccumulator:
         elif kind == "client.flow":
             if fields.get("message") == "emergency":
                 card.emergencies += 1
+
+    def _feed_admission(self, t: float, kind: str, fields: Dict) -> None:
+        # Only policy outcomes carry a client; other server.admission.*
+        # events (e.g. the view-settle queue's drain) are not per-client.
+        if kind not in (
+            "server.admission.reject", "server.admission.degrade",
+        ):
+            return
+        card = self.card(fields.get("client", "?"))
+        card.end_t = max(card.end_t, t)
+        if kind == "server.admission.reject":
+            card.admission_rejects += 1
+        else:
+            granted = float(fields.get("quality_fps", 0.0))
+            base = float(fields.get("base_fps", 0.0))
+            if base > 0:
+                card.degrade_fraction = max(0.0, 1.0 - granted / base)
 
     def _feed_rate(self, t: float, kind: str, fields: Dict) -> None:
         card = self.card(fields.get("client", "?"))
@@ -242,7 +273,8 @@ class QoEAccumulator:
 
 #: Bus prefixes a QoE observer needs (everything else is noise to it).
 QOE_PREFIXES = (
-    "client.", "server.rate", "server.emergency", "span.", "metric.sample",
+    "client.", "server.rate", "server.emergency", "server.admission",
+    "span.", "metric.sample",
 )
 
 

@@ -40,6 +40,7 @@ class WindowSnapshot:
     window_failovers: int
     extra_frames: float
     base_frames: float
+    rejects: int = 0  # admission rejects in this window
 
 
 @dataclass
@@ -135,6 +136,30 @@ class EmergencyBandwidthRule(SloRule):
                        target=self.limit)
 
 
+@dataclass
+class AdmissionStormRule(SloRule):
+    """At most ``limit`` admission rejects per window.
+
+    A healthy overload policy sheds a trickle of load; a storm of
+    rejects means capacity is mis-provisioned or the bucket is mis-
+    tuned.  Not part of :func:`default_rules` — admission is opt-in,
+    and runs without a policy should keep their historical summaries —
+    so scenarios with an :class:`~repro.server.admission.AdmissionSpec`
+    add it explicitly.
+    """
+
+    limit: int = 50
+
+    def __post_init__(self) -> None:
+        self.name = "admission_rejects_per_window"
+        self.description = f"<= {self.limit} admission rejects per window"
+
+    def evaluate(self, window: WindowSnapshot) -> Verdict:
+        value = float(window.rejects)
+        return Verdict(value=value, ok=value <= self.limit,
+                       target=float(self.limit))
+
+
 def quantile(values: List[float], q: float) -> float:
     """Nearest-rank quantile (deterministic, no interpolation)."""
     ordered = sorted(values)
@@ -206,6 +231,7 @@ class SloMonitor:
         self._window_failovers = 0
         self._extra_frames = 0.0
         self._base_frames = 0.0
+        self._rejects = 0
         # Per-client rate integration: [last_t, extra_fps, base_fps].
         self._rate_state: Dict[str, List[float]] = {}
         self._finished = False
@@ -236,6 +262,8 @@ class SloMonitor:
                 if duration is not None:
                     self._failovers.append(float(duration))
                     self._window_failovers += 1
+        elif kind == "server.admission.reject":
+            self._rejects += 1
         elif kind in ("server.rate", "server.emergency.step"):
             self._feed_rate(t, kind, fields)
 
@@ -278,6 +306,7 @@ class SloMonitor:
             window_failovers=self._window_failovers,
             extra_frames=self._extra_frames,
             base_frames=self._base_frames,
+            rejects=self._rejects,
         )
         for rule in self.rules:
             self._judge(rule, window)
@@ -287,6 +316,7 @@ class SloMonitor:
         self._window_failovers = 0
         self._extra_frames = 0.0
         self._base_frames = 0.0
+        self._rejects = 0
 
     def _judge(self, rule: SloRule, window: WindowSnapshot) -> None:
         verdict = rule.evaluate(window)

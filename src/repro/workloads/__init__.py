@@ -14,16 +14,29 @@ single-client measurement runs of Section 6:
   population-level quality-of-experience statistics.
 """
 
-from repro.workloads.arrivals import burst_arrivals, poisson_arrivals
+from repro.workloads.arrivals import (
+    burst_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+)
 from repro.workloads.driver import PopulationStats, WorkloadDriver
 from repro.workloads.popularity import ZipfCatalogSampler
-from repro.workloads.viewer import ViewerProfile
+from repro.workloads.viewer import (
+    CHANNEL_SURFER,
+    COUCH_POTATO,
+    VCR_STORM,
+    ViewerProfile,
+)
 
 __all__ = [
+    "CHANNEL_SURFER",
+    "COUCH_POTATO",
     "PopulationStats",
+    "VCR_STORM",
     "ViewerProfile",
     "WorkloadDriver",
     "ZipfCatalogSampler",
     "burst_arrivals",
+    "diurnal_arrivals",
     "poisson_arrivals",
 ]

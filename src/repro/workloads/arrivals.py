@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import math
 import random
-from typing import List
+from typing import List, Optional
 
 from repro.errors import ServiceError
 
@@ -39,3 +40,41 @@ def burst_arrivals(
     if n_clients < 0:
         raise ServiceError(f"negative client count {n_clients!r}")
     return sorted(at_s + rng.uniform(0.0, spread_s) for _ in range(n_clients))
+
+
+def diurnal_arrivals(
+    rng: random.Random,
+    base_rate_per_s: float,
+    peak_rate_per_s: float,
+    duration_s: float,
+    period_s: Optional[float] = None,
+    start_s: float = 0.0,
+    limit: int = 10_000,
+) -> List[float]:
+    """Sinusoidal prime-time swell: a non-homogeneous Poisson process.
+
+    The instantaneous rate sweeps from ``base_rate_per_s`` (the trough
+    at ``start_s``) up to ``peak_rate_per_s`` half a period later and
+    back, via thinning against the peak rate.  ``period_s`` defaults to
+    ``duration_s`` so one run covers exactly one trough-peak-trough arc.
+    """
+    if base_rate_per_s <= 0 or peak_rate_per_s < base_rate_per_s:
+        raise ServiceError(
+            "need 0 < base rate <= peak rate, got "
+            f"{base_rate_per_s!r} / {peak_rate_per_s!r}"
+        )
+    if period_s is None:
+        period_s = duration_s
+    times: List[float] = []
+    t = start_s
+    while len(times) < limit:
+        t += rng.expovariate(peak_rate_per_s)
+        if t >= start_s + duration_s:
+            break
+        phase = (t - start_s) / period_s
+        rate = base_rate_per_s + (peak_rate_per_s - base_rate_per_s) * 0.5 * (
+            1.0 - math.cos(2.0 * math.pi * phase)
+        )
+        if rng.random() < rate / peak_rate_per_s:
+            times.append(t)
+    return times

@@ -56,3 +56,14 @@ class ViewerProfile:
 
 COUCH_POTATO = ViewerProfile(pause_prob=0.1, seek_prob=0.05, abandon_prob=0.02)
 CHANNEL_SURFER = ViewerProfile(pause_prob=0.2, seek_prob=0.5, abandon_prob=0.25)
+
+#: Remote-control abuse: rapid-fire pause/seek with barely a breath
+#: between actions, and nobody gives up — a stress profile for the
+#: VCR-interaction path rather than a realistic audience.
+VCR_STORM = ViewerProfile(
+    pause_prob=0.35,
+    seek_prob=0.55,
+    abandon_prob=0.0,
+    pause_length_s=(0.5, 3.0),
+    actions_spacing_s=(2.0, 8.0),
+)

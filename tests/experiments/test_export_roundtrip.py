@@ -1,0 +1,82 @@
+"""Round-trip regression for ``ScenarioResult.export_json``.
+
+An earlier version of ``export_dict`` cherry-picked a float-friendly
+subset of the client's time series and stringified absent migration
+endpoints as ``"None"``.  This file pins the fixed contract: every
+``ClientStats`` series is exported, everything survives a JSON
+round-trip, and a missing migration endpoint is ``null``.
+"""
+
+import dataclasses
+import json
+
+from repro.experiments.scenarios import LAN_SCENARIO, run_scenario
+
+#: Every ClientStats time series the export must carry.
+SERIES_KEYS = (
+    "sw_occupancy",
+    "hw_occupancy_bytes",
+    "combined_occupancy",
+    "skipped_cum",
+    "late_cum",
+    "overflow_cum",
+    "received_bytes_cum",
+    "displayed_cum",
+)
+
+SHORT_LAN = dataclasses.replace(
+    LAN_SCENARIO,
+    name="export-roundtrip",
+    movie_duration_s=80.0,
+    run_duration_s=80.0,
+    schedule=((30.0, "crash-serving"), (50.0, "server-up")),
+)
+
+
+def roundtripped(tmp_path):
+    result = run_scenario(SHORT_LAN)
+    path = tmp_path / "export.json"
+    result.export_json(str(path))
+    with open(path) as fh:
+        return result, json.load(fh)
+
+
+def test_export_carries_every_client_series(tmp_path):
+    result, loaded = roundtripped(tmp_path)
+    assert sorted(loaded["series"]) == sorted(SERIES_KEYS)
+    stats = result.client.stats
+    for key in SERIES_KEYS:
+        ts = getattr(stats, key if key != "displayed_cum" else "displayed_cum")
+        assert loaded["series"][key]["t"] == list(ts.times)
+        assert loaded["series"][key]["v"] == list(ts.values)
+        # A run that crashed and migrated has real samples to lose —
+        # make sure these series are not silently empty.
+        assert len(loaded["series"][key]["t"]) == len(
+            loaded["series"][key]["v"]
+        )
+    assert len(loaded["series"]["displayed_cum"]["t"]) > 0
+    assert len(loaded["series"]["received_bytes_cum"]["t"]) > 0
+
+
+def test_export_round_trips_exactly(tmp_path):
+    result, loaded = roundtripped(tmp_path)
+    # json.dump . json.load is the identity on the export dict.
+    assert loaded == json.loads(json.dumps(result.export_dict()))
+    assert loaded["spec"]["name"] == "export-roundtrip"
+    assert loaded["counters"]["displayed"] == result.client.displayed_total
+
+
+def test_startup_adoption_exports_null_from_server(tmp_path):
+    _, loaded = roundtripped(tmp_path)
+    migrations = loaded["migrations"]
+    # Startup adoption + crash failover + load-balance rebalance.
+    assert len(migrations) >= 2
+    assert migrations[0]["from"] is None  # not the string "None"
+    assert isinstance(migrations[0]["to"], str)
+    # Rebalance records a detach step with a null destination; whatever
+    # side is absent must be null, never the string "None".
+    for m in migrations:
+        for side in ("from", "to"):
+            assert m[side] is None or (
+                isinstance(m[side], str) and m[side] != "None"
+            )

@@ -1,0 +1,66 @@
+"""Conformance: the matrix's all-default cell IS the legacy LAN run.
+
+The population/admission fields on :class:`ScenarioSpec` are additive
+and default-off, and ``spec_for_cell`` promises that the all-default
+cell (lan / single / crash-recover / hardware) reproduces
+:data:`LAN_SCENARIO` exactly, modulo name and seed.  This file pins
+both levels of that promise:
+
+* **spec level** — field-for-field dataclass equality;
+* **trace level** — running the default cell at LAN_SCENARIO's seed
+  produces a byte-for-byte identical telemetry JSONL stream (only the
+  meta line's ``scenario`` name differs, by construction).
+"""
+
+import dataclasses
+import json
+
+from repro.experiments.matrix import Cell, default_matrix, spec_for_cell
+from repro.experiments.scenarios import LAN_SCENARIO, run_scenario
+
+DEFAULT_CELL = Cell.of(
+    topology="lan",
+    workload="single",
+    faults="crash-recover",
+    clients="hardware",
+)
+
+
+def test_default_cell_is_in_the_default_matrix():
+    assert DEFAULT_CELL in default_matrix().cells()
+
+
+def test_default_cell_spec_equals_lan_scenario_modulo_identity():
+    spec = spec_for_cell(DEFAULT_CELL)
+    relabelled = dataclasses.replace(
+        LAN_SCENARIO, name=spec.name, seed=spec.seed
+    )
+    assert spec == relabelled
+
+
+def strip_scenario_name(path):
+    """The JSONL lines with the meta line's scenario name normalized
+    (it is the one legitimate difference between the two runs)."""
+    lines = []
+    with open(path) as fh:
+        for raw in fh:
+            record = json.loads(raw)
+            if record.get("kind") == "meta":
+                record.get("fields", record).pop("scenario", None)
+                record.pop("scenario", None)
+            lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def test_default_cell_trace_is_byte_identical_to_lan_scenario(tmp_path):
+    cell_spec = dataclasses.replace(
+        spec_for_cell(DEFAULT_CELL), seed=LAN_SCENARIO.seed
+    )
+    cell_path = tmp_path / "cell.jsonl"
+    lan_path = tmp_path / "lan.jsonl"
+    run_scenario(cell_spec, telemetry_path=str(cell_path))
+    run_scenario(LAN_SCENARIO, telemetry_path=str(lan_path))
+    cell_lines = strip_scenario_name(cell_path)
+    lan_lines = strip_scenario_name(lan_path)
+    assert len(cell_lines) == len(lan_lines)
+    assert cell_lines == lan_lines

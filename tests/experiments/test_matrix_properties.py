@@ -1,0 +1,141 @@
+"""Property-based tests for the scenario-matrix determinism contract.
+
+Three promises the DSL makes (see :mod:`repro.experiments.matrix`):
+
+* :meth:`ScenarioMatrix.cells` enumerates **every axis combination
+  exactly once**;
+* cell identities and the cell list are **stable under axis
+  reordering** — declaration order is presentation, not semantics;
+* the same ``(matrix_seed, cell)`` always derives the same scenario
+  seed, and through it the **identical fault plan and arrival
+  schedule** — the property the seeded CI gate rests on.
+"""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.matrix import (
+    Axis,
+    Cell,
+    ScenarioMatrix,
+    default_matrix,
+    spec_for_cell,
+)
+from repro.experiments.scenarios import WorkloadSpec, plan_for_spec
+
+#: A pool of plausible axis names/values to draw matrices from.
+AXIS_NAMES = ("topology", "workload", "faults", "clients", "codec", "region")
+VALUE_POOL = tuple(f"v{i}" for i in range(6))
+
+
+@st.composite
+def matrices(draw):
+    names = draw(
+        st.lists(
+            st.sampled_from(AXIS_NAMES), min_size=1, max_size=4, unique=True
+        )
+    )
+    axes = tuple(
+        Axis(
+            name,
+            tuple(
+                draw(
+                    st.lists(
+                        st.sampled_from(VALUE_POOL),
+                        min_size=1,
+                        max_size=4,
+                        unique=True,
+                    )
+                )
+            ),
+        )
+        for name in names
+    )
+    return ScenarioMatrix(axes=axes)
+
+
+@given(matrix=matrices())
+@settings(max_examples=150, deadline=None)
+def test_cells_cover_every_combination_exactly_once(matrix):
+    cells = matrix.cells()
+    assert len(cells) == len(matrix)
+    # Every combination of the declared axis values appears once, as a
+    # frozen coordinate set (order-insensitive comparison).
+    expected = {
+        frozenset(zip((a.name for a in matrix.axes), combo))
+        for combo in product(*(a.values for a in matrix.axes))
+    }
+    got = [frozenset(cell.coords) for cell in cells]
+    assert set(got) == expected
+    assert len(set(got)) == len(got)  # no duplicates
+    # Cell ids are unique too — they key the benchmark JSON.
+    assert len({cell.cell_id for cell in cells}) == len(cells)
+
+
+@given(matrix=matrices(), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_cell_list_is_stable_under_axis_reordering(matrix, data):
+    shuffled = ScenarioMatrix(
+        axes=tuple(data.draw(st.permutations(matrix.axes)))
+    )
+    assert shuffled.cells() == matrix.cells()
+    assert [c.cell_id for c in shuffled.cells()] == [
+        c.cell_id for c in matrix.cells()
+    ]
+
+
+@given(
+    coords=st.dictionaries(
+        st.sampled_from(AXIS_NAMES),
+        st.sampled_from(VALUE_POOL),
+        min_size=1,
+        max_size=4,
+    ),
+    matrix_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_cell_identity_and_seed_ignore_coordinate_order(coords, matrix_seed):
+    forward = Cell(coords=tuple(coords.items()))
+    backward = Cell(coords=tuple(reversed(list(coords.items()))))
+    assert forward.cell_id == backward.cell_id
+    assert forward.seed(matrix_seed) == backward.seed(matrix_seed)
+    assert Cell.of(**coords) == Cell(coords=tuple(sorted(coords.items())))
+    assert 0 <= forward.seed(matrix_seed) < 2**31
+
+
+@given(
+    matrix_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_same_seed_and_cell_give_identical_plan_and_arrivals(
+    matrix_seed, data
+):
+    cell = data.draw(st.sampled_from(default_matrix().cells()))
+    spec_a = spec_for_cell(cell, matrix_seed)
+    spec_b = spec_for_cell(cell, matrix_seed)
+    assert spec_a == spec_b
+    assert spec_a.seed == cell.seed(matrix_seed)
+    # The derived fault plan is step-for-step identical...
+    assert plan_for_spec(spec_a).describe() == plan_for_spec(spec_b).describe()
+    # ...and so is the population's arrival schedule (pure in the seed).
+    if spec_a.workload is not None:
+        assert spec_a.workload.arrival_times(spec_a.seed) == (
+            spec_b.workload.arrival_times(spec_b.seed)
+        )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    kind=st.sampled_from(("flash-crowd", "diurnal", "poisson")),
+)
+@settings(max_examples=100, deadline=None)
+def test_arrival_schedules_are_pure_sorted_and_bounded(seed, kind):
+    workload = WorkloadSpec(kind=kind, n_viewers=6)
+    times = workload.arrival_times(seed)
+    assert times == workload.arrival_times(seed)
+    assert times == sorted(times)
+    assert len(times) <= workload.n_viewers
+    assert all(t >= workload.at_s or kind == "flash-crowd" for t in times)

@@ -3,13 +3,18 @@
 The benchmark harness asserts the figure shapes on the default seed;
 this locks the invariant facts (the ones that must hold *whatever* the
 seed) across several seeds on shortened runs, so a regression that only
-bites under unlucky timing still gets caught.
+bites under unlucky timing still gets caught.  A second battery samples
+random non-LAN cells of the scenario matrix (WAN and hierarchy
+topologies, population workloads) so the fault-tolerance invariants are
+exercised off the beaten LAN path too.
 """
 
 import dataclasses
+import random
 
 import pytest
 
+from repro.experiments.matrix import default_matrix, run_cell
 from repro.experiments.scenarios import LAN_SCENARIO, run_scenario
 
 SEEDS = [211, 223, 227, 229]
@@ -64,3 +69,47 @@ def test_nearly_every_frame_displayed(lan_run):
 
 def test_bounded_skips(lan_run):
     assert lan_run.client.skipped_total <= 40
+
+
+# ----------------------------------------------------------------------
+# Sampled matrix cells: WAN / hierarchy coverage
+# ----------------------------------------------------------------------
+def sampled_matrix_cells(n=3, sample_seed=3):
+    """``n`` deterministically-sampled non-LAN cells of the full matrix.
+
+    The LAN single-client column is already covered above (and by the
+    golden trace); this draws from the rest — WAN and hierarchy
+    topologies, population workloads — with a fixed sampling seed so
+    every run exercises the same cells.
+    """
+    cells = [
+        cell for cell in default_matrix().cells()
+        if cell.value("topology", "lan") != "lan"
+    ]
+    return random.Random(sample_seed).sample(cells, n)
+
+
+@pytest.fixture(
+    scope="module",
+    params=sampled_matrix_cells(),
+    ids=lambda cell: cell.cell_id,
+)
+def matrix_verdict(request):
+    return run_cell(request.param, matrix_seed=17)
+
+
+def test_matrix_cell_holds_the_invariants(matrix_verdict):
+    assert matrix_verdict["violations"] == 0
+
+
+def test_matrix_cell_plays_video(matrix_verdict):
+    assert matrix_verdict["displayed"] > 0
+    assert matrix_verdict["clients"] >= 1
+
+
+def test_matrix_cell_verdict_is_reproducible(matrix_verdict):
+    cell = next(
+        cell for cell in default_matrix().cells()
+        if cell.cell_id == matrix_verdict["cell"]
+    )
+    assert run_cell(cell, matrix_seed=17) == matrix_verdict
