@@ -311,13 +311,38 @@ def run_cell(cell: Cell, matrix_seed: int = 11) -> Dict:
     }
 
 
+def _run_cell_task(task: Tuple[Cell, int]) -> Dict:
+    """Spawn-importable wrapper: one ``(cell, matrix_seed)`` work item.
+
+    Top-level by design — the parallel matrix ships these through the
+    shard worker pool, and spawned processes import the worker by
+    module path and rebuild all simulation state from the (frozen,
+    picklable) cell."""
+    cell, matrix_seed = task
+    return run_cell(cell, matrix_seed)
+
+
 def run_matrix(
-    matrix: Optional[ScenarioMatrix] = None, matrix_seed: int = 11
+    matrix: Optional[ScenarioMatrix] = None,
+    matrix_seed: int = 11,
+    workers: Optional[int] = None,
 ) -> List[Dict]:
-    """Run every cell; returns one verdict dict per cell, in cell order."""
+    """Run every cell; returns one verdict dict per cell, in cell order.
+
+    ``workers=None`` keeps the historical serial in-process sweep.  An
+    integer fans the cells out over that many spawned worker processes
+    (the pool of :mod:`repro.shard.runner`); cells are independent
+    seeded simulations, so the parallel sweep returns byte-identical
+    verdicts in the same cell order — the scenario-matrix CI gate runs
+    parallel and asserts against a serially-generated baseline."""
     if matrix is None:
         matrix = default_matrix()
-    return [run_cell(cell, matrix_seed) for cell in matrix.cells()]
+    if workers is None:
+        return [run_cell(cell, matrix_seed) for cell in matrix.cells()]
+    from repro.shard.runner import map_tasks
+
+    tasks = [(cell, matrix_seed) for cell in matrix.cells()]
+    return map_tasks(_run_cell_task, tasks, workers=workers)
 
 
 # ----------------------------------------------------------------------
@@ -433,7 +458,10 @@ def benchmark_dict(
 
 
 def run(spec: ExperimentSpec) -> ExperimentResult:
-    """``repro-vod matrix``: sweep a preset sub-matrix + the faceoff."""
+    """``repro-vod matrix``: sweep a preset sub-matrix + the faceoff.
+
+    ``params["workers"]`` fans the cells out across that many spawned
+    processes (verdicts stay byte-identical to the serial sweep)."""
     preset = spec.params.get("preset", "full")
     if preset == "full":
         matrix = default_matrix()
@@ -442,7 +470,9 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
     else:
         raise ServiceError(f"unknown matrix preset {preset!r}")
     matrix_seed = spec.seed if spec.seed is not None else 11
-    verdicts = run_matrix(matrix, matrix_seed)
+    workers = spec.params.get("workers")
+    workers = None if workers is None else int(workers)
+    verdicts = run_matrix(matrix, matrix_seed, workers=workers)
     faceoff = run_faceoff(matrix_seed)
     title = (
         f"Scenario matrix ({preset} preset, {len(verdicts)} cells, "

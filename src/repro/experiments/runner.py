@@ -82,6 +82,14 @@ def _spec_from_args(name: str, args: argparse.Namespace) -> ExperimentSpec:
         params["sizes"] = args.sizes
     if getattr(args, "flyweight_sizes", None) is not None:
         params["flyweight_sizes"] = args.flyweight_sizes
+    if getattr(args, "sharded_sizes", None) is not None:
+        params["sharded_sizes"] = args.sharded_sizes
+    if getattr(args, "shards", None) is not None:
+        params["shards"] = args.shards
+    if getattr(args, "workers", None) is not None:
+        params["workers"] = args.workers
+    if getattr(args, "shard_inline", False):
+        params["shard_inline"] = True
     if getattr(args, "wall_budget", None) is not None:
         params["wall_budget"] = args.wall_budget
     if getattr(args, "duration", None) is not None:
@@ -209,6 +217,58 @@ def _run_watch(args: argparse.Namespace) -> None:
         print(f"\n[telemetry artifact written to {telemetry_path}]")
 
 
+def _run_profile(args: argparse.Namespace) -> int:
+    """``repro-vod profile <experiment>``: cProfile a registered run.
+
+    Writes the raw pstats dump (for ``snakeviz``/``pstats`` digging)
+    and prints the top-N hot-function table.  Profiled wall clocks are
+    *not* comparable to unprofiled runs — cProfile's tracing costs
+    3-4x on event-loop-dominated workloads — so use the output for
+    time *shares*, and the benchmark JSONs for absolute walls.
+    """
+    import cProfile
+    import io
+    import json
+    import pstats
+
+    params = {}
+    for item in args.arg or ():
+        key, sep, raw = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--arg {item!r} is not KEY=VALUE")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    spec = ExperimentSpec(
+        name=args.target, seed=args.seed, params=params, telemetry_path=None
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run(spec)
+    finally:
+        profiler.disable()
+    out = args.out or os.path.join(
+        "artifacts", f"profile-{args.target}.pstats"
+    )
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    profiler.dump_stats(out)
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(result.render())
+    print()
+    print(f"== cProfile: top {args.top} by {args.sort} "
+          "(walls inflated by tracing; read shares, not seconds) ==")
+    print(stream.getvalue().rstrip())
+    print(f"[pstats dump written to {out}]")
+    return 0
+
+
 def _run_qoe_check(args: argparse.Namespace) -> int:
     from repro.experiments.qoe_gate import run_gate
 
@@ -292,6 +352,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None, help="extra populations run in flyweight mode "
                            "(columnar viewers; e.g. 20000,100000)",
     )
+    p.add_argument(
+        "--sharded-sizes", dest="sharded_sizes",
+        type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=None, help="extra populations run shared-nothing across "
+                           "worker processes (e.g. 1000000)",
+    )
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard count for --sharded-sizes points "
+                        "(default 4)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool cap for sharded points "
+                        "(default: one per core)")
+    p.add_argument("--shard-inline", dest="shard_inline",
+                   action="store_true",
+                   help="run shards sequentially in-process "
+                        "(determinism checks; no parallelism)")
     p.add_argument("--wall-budget", dest="wall_budget", type=float,
                    default=None,
                    help="abort a point once it exceeds this many wall "
@@ -342,7 +418,32 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="benchmark_json",
                    help="write the per-cell verdicts and the faceoff to "
                         "this JSON file (scenario-matrix CI gate input)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="run the cells across this many spawned worker "
+                        "processes (verdicts identical to the serial "
+                        "sweep; default serial)")
     sub.add_parser("all", parents=[common], help="everything")
+
+    p = sub.add_parser(
+        "profile", parents=[common],
+        help="run a registered experiment under cProfile: writes a "
+             "pstats dump and prints the top hot functions",
+    )
+    p.add_argument("target", choices=sorted(REGISTRY),
+                   help="experiment to profile")
+    p.add_argument("--top", type=int, default=25,
+                   help="hot functions to print (default 25)")
+    p.add_argument("--sort", choices=("cumulative", "tottime", "calls"),
+                   default="cumulative",
+                   help="pstats sort key (default cumulative)")
+    p.add_argument("--out", type=str, default=None,
+                   help="pstats dump path (default "
+                        "artifacts/profile-<target>.pstats)")
+    p.add_argument("--arg", action="append", default=None,
+                   metavar="KEY=VALUE",
+                   help="experiment param (VALUE parsed as JSON when "
+                        "possible); repeatable, e.g. "
+                        "--arg sizes=[1000] --arg compare_max=0")
 
     p = sub.add_parser(
         "trace", parents=[common],
@@ -422,6 +523,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_watch(args)
     elif name == "qoe-check":
         return _run_qoe_check(args)
+    elif name == "profile":
+        return _run_profile(args)
     else:
         assert name in REGISTRY, f"subcommand {name!r} missing from registry"
         _run_experiment(name, args)

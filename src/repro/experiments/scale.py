@@ -52,7 +52,17 @@ from repro.net.network import Network
 from repro.net.topologies import Topology
 from repro.server.server import ServerConfig
 from repro.service.deployment import Deployment
+from repro.shard.merge import (
+    MergeError,
+    ScoreHistogram,
+    merge_failovers,
+    merge_score_histograms,
+    sharded_slo_summary,
+)
+from repro.shard.plan import ShardPlan, ShardTask
+from repro.shard.runner import run_shards
 from repro.sim.core import Simulator
+from repro.sim.gcgate import paused_gc
 
 #: Server uplink: a head-end trunk.  Loss-free and fat enough that a
 #: third of the 5 000-viewer load stays far below saturation.
@@ -74,7 +84,14 @@ COMPARE_MAX = 1000
 
 @dataclass
 class ScalePoint:
-    """Measurements from one (N, mode) run."""
+    """Measurements from one (N, mode) run.
+
+    A merged shared-nothing run (``n_shards > 1``) is the same shape
+    plus the fields one process cannot produce alone: per-shard wall
+    clocks, the merged QoE score histogram, the SLO verdicts over the
+    merged facts, and the invariant-violation count summed across
+    shards.  ``wall_s`` is then the coordinator-measured makespan of
+    the whole sharded run."""
 
     n_clients: int
     batch_window_s: float
@@ -85,6 +102,12 @@ class ScalePoint:
     failover_latencies: List[float] = field(default_factory=list)
     takeovers: int = 0
     flyweight: bool = False
+    violations: int = 0
+    n_shards: int = 1
+    shard_walls: List[float] = field(default_factory=list)
+    qoe: Optional[Dict] = None
+    slo: Optional[Dict] = None
+    merge_deterministic: Optional[bool] = None
 
     @property
     def batched(self) -> bool:
@@ -92,6 +115,8 @@ class ScalePoint:
 
     @property
     def mode(self) -> str:
+        if self.n_shards > 1:
+            return "sharded"
         if self.flyweight:
             return "flyweight"
         return "batched" if self.batched else "per-frame"
@@ -133,6 +158,21 @@ class _FailoverObserver:
         if takeover and record.client in self.victim_clients:
             self.victim_clients.discard(record.client)
             self.latencies.append(self.sim.now - self.crash_time)
+
+
+def make_crash_most_loaded(deployment: Deployment, observer: _FailoverObserver):
+    """The rigs' shared mid-run fault: kill the busiest server.
+
+    Returns a zero-argument action (for ``sim.call_at``) that crashes
+    the most-loaded live server after noting the crash on ``observer``
+    so failover latencies are measured from the instant of failure."""
+
+    def crash_most_loaded() -> None:
+        victim = max(deployment.live_servers(), key=lambda s: s.n_clients)
+        observer.note_crash(victim)
+        victim.crash()
+
+    return crash_most_loaded
 
 
 class ConformanceTrace:
@@ -190,14 +230,7 @@ def conformance_trace(
     trace = ConformanceTrace()
     deployment.add_server_observer(trace)
     if crash_at is not None:
-        def crash_most_loaded() -> None:
-            victim = max(
-                deployment.live_servers(), key=lambda s: s.n_clients
-            )
-            observer.note_crash(victim)
-            victim.crash()
-
-        sim.call_at(crash_at, crash_most_loaded)
+        sim.call_at(crash_at, make_crash_most_loaded(deployment, observer))
     sim.run_until(duration_s)
     final: Dict[str, int] = {}
     for server in deployment.live_servers():
@@ -342,6 +375,7 @@ def run_scale_point(
     telemetry_path: Optional[str] = None,
     flyweight: bool = False,
     wall_budget_s: Optional[float] = None,
+    invariants: bool = False,
 ) -> ScalePoint:
     """Run one population point and return its measurements.
 
@@ -353,7 +387,11 @@ def run_scale_point(
     wall clock: the run advances in one-second simulated slices and
     stops early once the budget is spent (the returned point then
     covers ``sim.now`` seconds, not ``duration_s`` — a CI guard, not a
-    measurement mode)."""
+    measurement mode).  ``invariants`` installs a
+    :class:`~repro.faulting.InvariantChecker` for the run and reports
+    its violation count on the point — note its sampling timer adds
+    (deterministic) events, so only compare event counts across runs
+    with the same setting."""
     if crash_at is None:
         crash_at = duration_s / 2.0
     sim, deployment, viewers, observer = build_scale_rig(
@@ -378,23 +416,31 @@ def run_scale_point(
             duration_s=duration_s,
         )
 
-    def crash_most_loaded() -> None:
-        victim = max(deployment.live_servers(), key=lambda s: s.n_clients)
-        observer.note_crash(victim)
-        victim.crash()
+    sim.call_at(crash_at, make_crash_most_loaded(deployment, observer))
 
-    sim.call_at(crash_at, crash_most_loaded)
+    checker = None
+    if invariants:
+        from repro.faulting import InvariantChecker
 
+        checker = InvariantChecker(deployment).install()
+
+    # The sim heap is cycle-free (profiling found 859 collector passes
+    # freeing zero objects over a 20k-viewer run), so automatic cyclic
+    # GC only adds wall time — ~33% at N=20k.  Pause it for the
+    # measured section.
     started = time.perf_counter()
-    if wall_budget_s is None:
-        events = sim.run_until(duration_s)
-    else:
-        events = 0
-        while sim.now < duration_s:
-            events += sim.run_until(min(sim.now + 1.0, duration_s))
-            if time.perf_counter() - started > wall_budget_s:
-                break
+    with paused_gc():
+        if wall_budget_s is None:
+            events = sim.run_until(duration_s)
+        else:
+            events = 0
+            while sim.now < duration_s:
+                events += sim.run_until(min(sim.now + 1.0, duration_s))
+                if time.perf_counter() - started > wall_budget_s:
+                    break
     wall = time.perf_counter() - started
+    if checker is not None:
+        checker.stop()
 
     if flyweight:
         frames = viewers.frames_served()
@@ -410,6 +456,7 @@ def run_scale_point(
         failover_latencies=list(observer.latencies),
         takeovers=len(observer.latencies),
         flyweight=flyweight,
+        violations=len(checker.violations) if checker is not None else 0,
     )
     if exporter is not None:
         exporter.close(
@@ -420,6 +467,156 @@ def run_scale_point(
     return point
 
 
+def _scale_shard_worker(task: ShardTask) -> Dict:
+    """One shared-nothing shard of a sharded scale point.
+
+    Top-level by design: spawned workers import this by module path and
+    rebuild everything from the plain-data :class:`ShardTask`.  Each
+    shard is a complete independent head-end — ``run_scale_point`` in
+    flyweight mode under the shard's derived seed — and returns plain
+    mergeable facts plus a :class:`ScoreHistogram` QoE summary (on the
+    rig's clean links a row never stalls, so a viewer's score is 100
+    minus the migration penalty of its takeovers — here 0 or 1)."""
+    params = task.params
+    point = run_scale_point(
+        task.n_viewers,
+        float(params.get("batch_window_s", 1.0)),
+        duration_s=float(params.get("duration_s", 12.0)),
+        crash_at=params.get("crash_at"),
+        seed=task.seed,
+        flyweight=True,
+        wall_budget_s=params.get("wall_budget_s"),
+        invariants=bool(params.get("invariants", False)),
+    )
+    histogram = ScoreHistogram()
+    clean = max(0, point.n_clients - point.takeovers)
+    if clean:
+        histogram.add(100.0, clean)
+    if point.takeovers:
+        histogram.add(99.0, point.takeovers)
+    return {
+        "shard_id": task.shard_id,
+        "seed": task.seed,
+        "n_clients": point.n_clients,
+        "events": point.events,
+        "wall_s": point.wall_s,
+        "frames": point.frames_delivered,
+        "failover_latencies": list(point.failover_latencies),
+        "takeovers": point.takeovers,
+        "violations": point.violations,
+        "qoe": histogram.as_dict(),
+    }
+
+
+def run_sharded_scale_point(
+    n_clients: int,
+    batch_window_s: float,
+    duration_s: float = 12.0,
+    crash_at: Optional[float] = None,
+    seed: int = 77,
+    n_shards: int = 4,
+    workers: Optional[int] = None,
+    inline: bool = False,
+    wall_budget_s: Optional[float] = None,
+    invariants: bool = False,
+) -> ScalePoint:
+    """Run one population as ``n_shards`` shared-nothing head-ends.
+
+    The population splits evenly across shards (plus one viewer for the
+    first ``n % n_shards``); every shard runs the flyweight scale rig
+    to ``duration_s`` under its content-addressed seed and crashes its
+    own most-loaded server at ``crash_at``.  The merged point sums
+    events/frames/takeovers/violations, unions failover latencies,
+    folds the per-shard QoE histograms and evaluates the paper's SLO
+    rules over the merged facts.  ``wall_s`` is the coordinator-side
+    makespan; per-shard walls ride along in ``shard_walls``.
+
+    The merge is re-applied over the reversed shard order and compared;
+    ``merge_deterministic`` records that order-independence held (the
+    shard gate asserts it)."""
+    plan = ShardPlan(n_shards=n_shards, seed=seed)
+    tasks = plan.tasks(
+        n_clients,
+        params={
+            "batch_window_s": batch_window_s,
+            "duration_s": duration_s,
+            "crash_at": crash_at,
+            "wall_budget_s": wall_budget_s,
+            "invariants": invariants,
+        },
+    )
+    started = time.perf_counter()
+    shard_results = run_shards(
+        tasks, _scale_shard_worker, workers=workers, inline=inline
+    )
+    wall = time.perf_counter() - started
+
+    histograms = [ScoreHistogram.from_dict(r["qoe"]) for r in shard_results]
+    qoe = merge_score_histograms(histograms)
+    qoe_reversed = merge_score_histograms(reversed(histograms))
+    latencies = merge_failovers(r["failover_latencies"] for r in shard_results)
+    latencies_reversed = merge_failovers(
+        r["failover_latencies"] for r in reversed(shard_results)
+    )
+    deterministic = (
+        qoe.as_dict() == qoe_reversed.as_dict()
+        and latencies == latencies_reversed
+    )
+    if not deterministic:
+        raise MergeError(
+            "sharded merge produced order-dependent results; the merge "
+            "layer's commutativity contract is broken"
+        )
+    slo = sharded_slo_summary(
+        n_clients=sum(r["n_clients"] for r in shard_results),
+        duration_s=duration_s,
+        failover_latencies=latencies,
+    )
+    return ScalePoint(
+        n_clients=sum(r["n_clients"] for r in shard_results),
+        batch_window_s=batch_window_s,
+        duration_s=duration_s,
+        events=sum(r["events"] for r in shard_results),
+        wall_s=wall,
+        frames_delivered=sum(r["frames"] for r in shard_results),
+        failover_latencies=latencies,
+        takeovers=sum(r["takeovers"] for r in shard_results),
+        flyweight=True,
+        violations=sum(r["violations"] for r in shard_results),
+        n_shards=n_shards,
+        shard_walls=[r["wall_s"] for r in shard_results],
+        qoe=qoe.as_dict(),
+        slo=slo,
+        merge_deterministic=deterministic,
+    )
+
+
+def _point_payload(row: ScalePoint) -> Dict:
+    """One benchmark-JSON row; sharded points carry their extra facts."""
+    payload = {
+        "n_clients": row.n_clients,
+        "mode": row.mode,
+        "events": row.events,
+        "wall_s": row.wall_s,
+        "events_per_s": row.events_per_s,
+        "frames_delivered": row.frames_delivered,
+        "frames_per_wall_s": row.frames_per_wall_s,
+        "takeovers": row.takeovers,
+        "max_failover_s": row.max_failover_s,
+        "failover_latencies": row.failover_latencies,
+    }
+    if row.n_shards > 1:
+        payload.update(
+            n_shards=row.n_shards,
+            shard_walls=row.shard_walls,
+            violations=row.violations,
+            qoe=row.qoe,
+            slo=row.slo,
+            merge_deterministic=row.merge_deterministic,
+        )
+    return payload
+
+
 def run(spec: ExperimentSpec) -> ExperimentResult:
     """Entry point for ``ExperimentSpec(name="scale")``.
 
@@ -428,9 +625,14 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
     baseline always uses 0), ``compare_max`` (largest N that also runs
     the per-frame baseline), ``flyweight_sizes`` (populations to run in
     flyweight mode — this is where 20 000..100 000 live),
-    ``wall_budget`` (optional wall-clock ceiling per flyweight point,
-    seconds), ``telemetry_n`` (population of the telemetry-artifact
-    run; ignored without ``spec.telemetry_path``).
+    ``sharded_sizes`` (populations to run shared-nothing across
+    ``shards`` worker processes — this is where 1 000 000 lives),
+    ``shards`` (shard count for those, default 4), ``workers``
+    (process-pool cap, default one per core), ``shard_inline`` (run
+    shards sequentially in-process — determinism checks on small
+    boxes), ``wall_budget`` (optional wall-clock ceiling per flyweight
+    point, seconds), ``telemetry_n`` (population of the
+    telemetry-artifact run; ignored without ``spec.telemetry_path``).
     """
     params = spec.params
     sizes = tuple(params.get("sizes", DEFAULT_SIZES))
@@ -438,6 +640,11 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
     window = float(params.get("window", 1.0))
     compare_max = int(params.get("compare_max", COMPARE_MAX))
     flyweight_sizes = tuple(params.get("flyweight_sizes", ()))
+    sharded_sizes = tuple(params.get("sharded_sizes", ()))
+    n_shards = int(params.get("shards", 4))
+    workers = params.get("workers")
+    workers = None if workers is None else int(workers)
+    shard_inline = bool(params.get("shard_inline", False))
     wall_budget = params.get("wall_budget")
     wall_budget = None if wall_budget is None else float(wall_budget)
     seed = spec.seed if spec.seed is not None else 77
@@ -460,6 +667,14 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
                 flyweight=True, wall_budget_s=wall_budget,
             )
         )
+    for n_clients in sharded_sizes:
+        points.append(
+            run_sharded_scale_point(
+                n_clients, window, duration_s=duration, seed=seed,
+                n_shards=n_shards, workers=workers, inline=shard_inline,
+                wall_budget_s=wall_budget,
+            )
+        )
 
     artifacts: Dict[str, str] = {}
     benchmark_json = params.get("benchmark_json")
@@ -473,18 +688,7 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
             "duration_s": duration,
             "window_s": window,
             "points": [
-                {
-                    "n_clients": row.n_clients,
-                    "mode": row.mode,
-                    "events": row.events,
-                    "wall_s": row.wall_s,
-                    "events_per_s": row.events_per_s,
-                    "frames_delivered": row.frames_delivered,
-                    "frames_per_wall_s": row.frames_per_wall_s,
-                    "takeovers": row.takeovers,
-                    "max_failover_s": row.max_failover_s,
-                    "failover_latencies": row.failover_latencies,
-                }
+                _point_payload(row)
                 for row in list(baselines.values()) + points
             ],
         }
@@ -541,5 +745,21 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
             + ", ".join(f"{v:.3f}s" for v in failovers)
             + " (flat in N: takeover is per-client state lookup)"
         )
+    for point in points:
+        if point.n_shards > 1 and point.qoe is not None:
+            slo_ok = all(
+                state.get("breaches", 0) == 0
+                for state in (point.slo or {}).values()
+            )
+            blocks.append(
+                f"Sharded N={point.n_clients:,} ({point.n_shards} shards): "
+                f"QoE mean {point.qoe['mean']:.2f} / p10 "
+                f"{point.qoe['p10']:.0f}, SLO "
+                f"{'clean' if slo_ok else 'BREACHED'}, "
+                f"{point.violations} invariant violations, makespan "
+                f"{point.wall_s:.1f}s (shard walls "
+                + ", ".join(f"{w:.1f}s" for w in point.shard_walls)
+                + ")"
+            )
     return ExperimentResult(spec=spec, blocks=blocks, data=points,
                             artifacts=artifacts)

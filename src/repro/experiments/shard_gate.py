@@ -1,0 +1,131 @@
+"""CI gate for the sharded scale smoke.
+
+Compares the sharded point of a ``repro-vod scale --sharded-sizes``
+sweep against the committed reference
+(``benchmarks/BENCH_shard_scale.json``).  Every shard is a
+seed-deterministic simulation under its content-addressed seed, so the
+merged event count, frame volume and takeover count must land inside
+tight relative bands — drift means the shards started doing different
+work, not that the pool got slow.  On top of the scale gate's checks
+the sharded point must also prove its merge contracts: the
+order-independence self-check recorded by
+:func:`~repro.experiments.scale.run_sharded_scale_point`, an exact
+merged QoE population, and the paper's SLO rules all green over the
+merged facts.  Wall time alone gets a generous absolute ceiling,
+because CI hardware varies.
+
+Usage::
+
+    python -m repro.experiments.shard_gate artifacts/shard-bench.json \
+        [benchmarks/BENCH_shard_scale.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+
+def check(measured_path: str, baseline_path: str) -> List[str]:
+    """Return the list of violations (empty means the gate passes)."""
+    with open(measured_path) as fh:
+        sweep = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    n = baseline["n_clients"]
+    n_shards = baseline["n_shards"]
+    points = [
+        p for p in sweep.get("points", ())
+        if p.get("mode") == "sharded" and p.get("n_clients") == n
+        and p.get("n_shards") == n_shards
+    ]
+    if not points:
+        return [
+            f"no sharded point for N={n} over {n_shards} shards "
+            f"in {measured_path}"
+        ]
+    point = points[0]
+    tol = baseline["tolerances"]
+
+    failures: List[str] = []
+
+    def band(name: str, rel_key: str) -> None:
+        measured, expected = point[name], baseline[name]
+        rel = tol[rel_key]
+        if not expected * (1 - rel) <= measured <= expected * (1 + rel):
+            failures.append(
+                f"{name}: {measured} outside {expected} +/- {rel:.0%}"
+            )
+
+    band("events", "events_rel")
+    band("frames_delivered", "frames_rel")
+    if point["takeovers"] != baseline["takeovers"]:
+        failures.append(
+            f"takeovers: {point['takeovers']} != {baseline['takeovers']} "
+            "(each shard's crash must fail over exactly the victim's share)"
+        )
+    if point["wall_s"] > tol["wall_ceiling_s"]:
+        failures.append(
+            f"wall_s: {point['wall_s']:.1f} above the "
+            f"{tol['wall_ceiling_s']}s ceiling"
+        )
+    if point["max_failover_s"] > tol["failover_ceiling_s"]:
+        failures.append(
+            f"max_failover_s: {point['max_failover_s']:.3f} above the "
+            f"{tol['failover_ceiling_s']}s ceiling (failover must stay "
+            "flat in N)"
+        )
+
+    # Merge contracts, on top of the scale gate's checks.
+    if point.get("merge_deterministic") is not True:
+        failures.append(
+            "merge_deterministic is not True: the reversed-order re-merge "
+            "self-check did not run or did not hold"
+        )
+    if point.get("violations", 0) != 0:
+        failures.append(
+            f"violations: {point['violations']} invariant violations "
+            "across shards (must be 0)"
+        )
+    qoe = point.get("qoe") or {}
+    if qoe.get("n") != n:
+        failures.append(
+            f"qoe.n: merged QoE histogram covers {qoe.get('n')} viewers, "
+            f"expected the whole population of {n}"
+        )
+    expected_qoe = baseline.get("qoe") or {}
+    for key in ("p10", "p50"):
+        if key in expected_qoe and qoe.get(key) != expected_qoe[key]:
+            failures.append(
+                f"qoe.{key}: {qoe.get(key)} != {expected_qoe[key]} "
+                "(score quantiles are exact over the integer buckets)"
+            )
+    for name, state in (point.get("slo") or {}).items():
+        if not state.get("ok", False):
+            failures.append(
+                f"slo.{name}: merged run breaches the paper's service "
+                f"level (value {state.get('value')})"
+            )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__)
+        return 2
+    baseline = argv[1] if len(argv) > 1 else (
+        "benchmarks/BENCH_shard_scale.json"
+    )
+    failures = check(argv[0], baseline)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("sharded scale smoke matches the committed reference")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,350 @@
+"""Order-independent merging of per-shard telemetry.
+
+Shared-nothing shards each finish with their own QoE scorecards, SLO
+accounting, metric snapshots and failover latencies.  The functions
+here fold those into one run-level view with two contracts:
+
+* **Order independence** — every merge is commutative and associative
+  over its inputs (shards are keyed or summed, never positionally
+  folded), so the merged result cannot depend on worker completion
+  order.  Property-tested in ``tests/shard/test_merge_properties.py``.
+* **Single-process equivalence** — merging the shards of a *disjoint*
+  deployment equals running the whole deployment in one process: QoE
+  cards union (client keys are disjoint by construction), metric
+  counters and histograms sum, and SLO windows sum component-wise
+  before the rules re-evaluate the merged sequence.
+
+At the million-viewer scale per-client scorecards stop being a
+reasonable wire format (a dict of 10⁶ dataclasses per shard), so the
+scale rig summarizes each shard's viewers into a
+:class:`ScoreHistogram` — integer-bucketed 0..100 QoE scores whose
+merge is exact (bucket-wise sum) and whose quantiles are exact to one
+score point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.telemetry.slo import RuleState, WindowSnapshot, default_rules
+
+
+class MergeError(ReproError):
+    """Per-shard results that cannot be merged coherently."""
+
+
+# ----------------------------------------------------------------------
+# QoE scorecards
+# ----------------------------------------------------------------------
+def merge_scorecards(shard_cards: Iterable[Dict[str, object]]) -> Dict:
+    """Union per-shard ``{client: QoEScorecard}`` maps.
+
+    Shards own disjoint viewers, so a duplicate client name means the
+    shard map was wrong — that is an error, not a tie to break."""
+    merged: Dict[str, object] = {}
+    for cards in shard_cards:
+        for name, card in cards.items():
+            if name in merged:
+                raise MergeError(
+                    f"client {name!r} appears in more than one shard; "
+                    "shards must own disjoint viewer populations"
+                )
+            merged[name] = card
+    return merged
+
+
+@dataclass
+class ScoreHistogram:
+    """Integer-bucketed 0..100 score distribution, exactly mergeable.
+
+    Scores land in ``counts[floor(score)]`` (100 shares the top
+    bucket), ``total`` keeps the exact float sum for the mean.  Merging
+    is a bucket-wise sum, so quantiles over merged shards are exact to
+    one score point no matter how many viewers each shard held.
+    """
+
+    counts: List[int] = field(default_factory=lambda: [0] * 101)
+    n: int = 0
+    total: float = 0.0
+
+    def add(self, score: float, weight: int = 1) -> None:
+        bucket = min(100, max(0, int(score)))
+        self.counts[bucket] += weight
+        self.n += weight
+        self.total += score * weight
+
+    def merge(self, other: "ScoreHistogram") -> "ScoreHistogram":
+        out = ScoreHistogram(
+            counts=[a + b for a, b in zip(self.counts, other.counts)],
+            n=self.n + other.n,
+            total=self.total + other.total,
+        )
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the bucketed scores."""
+        if self.n == 0:
+            return 0.0
+        rank = max(1, min(self.n, int(q * self.n + 0.999999)))
+        seen = 0
+        for bucket, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return float(bucket)
+        return 100.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "p10": self.quantile(0.10),
+            "p50": self.quantile(0.50),
+            "counts": {
+                str(bucket): count
+                for bucket, count in enumerate(self.counts)
+                if count
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ScoreHistogram":
+        hist = cls()
+        for bucket, count in payload.get("counts", {}).items():
+            hist.counts[int(bucket)] = int(count)
+        hist.n = int(payload.get("n", sum(hist.counts)))
+        hist.total = float(
+            payload.get("total", payload.get("mean", 0.0) * hist.n)
+        )
+        return hist
+
+
+def merge_score_histograms(
+    histograms: Iterable[ScoreHistogram],
+) -> ScoreHistogram:
+    merged = ScoreHistogram()
+    for histogram in histograms:
+        merged = merged.merge(histogram)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# SLO accounting
+# ----------------------------------------------------------------------
+def merge_slo_windows(
+    shard_windows: Sequence[Sequence[WindowSnapshot]],
+) -> List[WindowSnapshot]:
+    """Sum per-shard window sequences component-wise.
+
+    Every shard's :class:`~repro.telemetry.slo.SloMonitor` (run with
+    ``record_windows=True``) closes windows on the same ``window_s``
+    grid; aligned windows sum their client/stall/failover/bandwidth
+    accumulators, which is exactly what one monitor over the combined
+    event stream would have accumulated (clients are disjoint across
+    shards).  A shard that went quiet early contributes its last
+    cumulative state to the remaining windows (zero in-window
+    activity).  Misaligned boundaries — different ``window_s``, or a
+    lazy trailing window that spans several grid steps — raise
+    :class:`MergeError` rather than merging approximately.
+    """
+    lists = [list(windows) for windows in shard_windows if windows]
+    if not lists:
+        return []
+    grid = max(lists, key=len)
+    boundaries = [(w.start, w.end) for w in grid]
+    for windows in lists:
+        for index, window in enumerate(windows):
+            if (window.start, window.end) != boundaries[index]:
+                raise MergeError(
+                    f"shard window {index} covers "
+                    f"[{window.start}, {window.end}) but the grid has "
+                    f"[{boundaries[index][0]}, {boundaries[index][1]}); "
+                    "shards must share window_s and close on the same "
+                    "boundaries to merge exactly"
+                )
+    merged: List[WindowSnapshot] = []
+    for index, (start, end) in enumerate(boundaries):
+        clients = stalled = window_failovers = rejects = 0
+        extra = base = 0.0
+        failovers: List[float] = []
+        for windows in lists:
+            if index < len(windows):
+                window = windows[index]
+                clients += window.clients
+                stalled += window.stalled
+                window_failovers += window.window_failovers
+                rejects += window.rejects
+                extra += window.extra_frames
+                base += window.base_frames
+                failovers.extend(window.failover_durations)
+            elif windows:
+                # Quiet shard: cumulative state persists, nothing new.
+                clients += windows[-1].clients
+                failovers.extend(windows[-1].failover_durations)
+        merged.append(
+            WindowSnapshot(
+                start=start,
+                end=end,
+                clients=clients,
+                stalled=stalled,
+                failover_durations=sorted(failovers),
+                window_failovers=window_failovers,
+                extra_frames=extra,
+                base_frames=base,
+                rejects=rejects,
+            )
+        )
+    return merged
+
+
+def slo_summary_from_windows(
+    windows: Sequence[WindowSnapshot],
+    rules=None,
+    burn_threshold: float = 1.0,
+) -> Dict[str, Dict]:
+    """Evaluate SLO rules over a closed window sequence.
+
+    The same fold :class:`~repro.telemetry.slo.SloMonitor` applies
+    online (breach = ok->not-ok transition, burn = burn rate over the
+    threshold), minus the bus emissions — so replaying a monitor's own
+    recorded windows reproduces its summary, and replaying *merged*
+    windows yields the combined run's summary.
+    """
+    rules = tuple(rules) if rules is not None else default_rules()
+    states = {rule.name: RuleState(rule=rule) for rule in rules}
+    for window in windows:
+        for rule in rules:
+            verdict = rule.evaluate(window)
+            state = states[rule.name]
+            state.windows += 1
+            state.value = verdict.value
+            state.worst = max(state.worst, abs(verdict.value))
+            if verdict.burn_rate is not None and (
+                verdict.burn_rate >= burn_threshold
+            ):
+                state.burn_windows += 1
+            if not verdict.ok and state.ok:
+                state.breaches += 1
+            state.ok = verdict.ok
+    return {name: state.as_dict() for name, state in states.items()}
+
+
+def sharded_slo_summary(
+    n_clients: int,
+    duration_s: float,
+    failover_latencies: Sequence[float],
+    stalled_clients: int = 0,
+    rules=None,
+) -> Dict[str, Dict]:
+    """SLO verdicts for a merged shared-nothing scale run.
+
+    Flyweight shards run with telemetry off (measurement mode), so
+    there is no per-window stream to merge; instead the paper's rules
+    evaluate one whole-run window built from the merged facts: the
+    viewer population, which viewers stalled (none can, on clean
+    links — rows advance arithmetically), and every measured failover
+    latency.  Uses the real rule objects, not a reimplementation.
+    """
+    latencies = sorted(float(value) for value in failover_latencies)
+    window = WindowSnapshot(
+        start=0.0,
+        end=float(duration_s),
+        clients=int(n_clients),
+        stalled=int(stalled_clients),
+        failover_durations=latencies,
+        window_failovers=len(latencies),
+        extra_frames=0.0,
+        base_frames=0.0,
+    )
+    return slo_summary_from_windows([window], rules=rules)
+
+
+# ----------------------------------------------------------------------
+# Metric snapshots
+# ----------------------------------------------------------------------
+def merge_metric_snapshots(
+    snapshots: Iterable[Dict[str, object]],
+) -> Dict[str, object]:
+    """Merge :meth:`MetricRegistry.snapshot` dumps across shards.
+
+    Counters (ints) sum; histograms (dicts) require identical bucket
+    layouts and sum count-wise, with the mean recomputed from the
+    merged totals; gauges (floats / ``None``) keep the maximum — there
+    is no global last-writer across processes, and every current gauge
+    is entity-scoped so disjoint shards never collide on one anyway.
+    """
+    merged: Dict[str, object] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            if name not in merged:
+                merged[name] = _copy_metric(value)
+                continue
+            merged[name] = _combine_metric(name, merged[name], value)
+    return merged
+
+
+def _copy_metric(value):
+    if isinstance(value, dict):
+        out = dict(value)
+        out["counts"] = list(value.get("counts", ()))
+        out["buckets"] = list(value.get("buckets", ()))
+        return out
+    return value
+
+
+def _combine_metric(name: str, left, right):
+    if isinstance(left, bool) or isinstance(right, bool):
+        raise MergeError(f"metric {name!r} has a non-mergeable bool value")
+    if isinstance(left, dict) != isinstance(right, dict):
+        raise MergeError(
+            f"metric {name!r} is a histogram in one shard but not another"
+        )
+    if isinstance(left, dict):
+        if list(left.get("buckets", ())) != list(right.get("buckets", ())):
+            raise MergeError(
+                f"histogram {name!r} has mismatched bucket layouts"
+            )
+        counts = [a + b for a, b in zip(left["counts"], right["counts"])]
+        count = left["count"] + right["count"]
+        total = _add_optional(left.get("total"), right.get("total"))
+        return {
+            "count": count,
+            "total": total,
+            "mean": (total / count) if (count and total is not None) else (
+                None if total is None else 0.0
+            ),
+            "buckets": list(left["buckets"]),
+            "counts": counts,
+        }
+    if isinstance(left, int) and isinstance(right, int):
+        return left + right  # counters
+    # Gauges: floats (or None for non-finite exports).
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return max(left, right)
+
+
+def _add_optional(left: Optional[float], right: Optional[float]):
+    if left is None or right is None:
+        return None
+    return left + right
+
+
+# ----------------------------------------------------------------------
+# Plain sequences
+# ----------------------------------------------------------------------
+def merge_failovers(
+    shard_latencies: Iterable[Sequence[float]],
+) -> List[float]:
+    """All shards' failover latencies, sorted (order-independent)."""
+    merged: List[float] = []
+    for latencies in shard_latencies:
+        merged.extend(float(value) for value in latencies)
+    return sorted(merged)

@@ -1,0 +1,89 @@
+"""Shard maps: who simulates what, under which derived seed.
+
+A :class:`ShardPlan` is the complete, picklable description of how one
+logical run splits across workers: the shard count, the base seed, and
+the derived per-shard seeds.  The seed derivation mirrors the scenario
+matrix's cell convention exactly — ``crc32(f"{seed}:{shard_id}")``
+masked to 31 bits — so both subsystems share one content-addressed,
+platform-independent rule (never Python's randomized ``hash``).
+
+Determinism contract: everything a worker does is a pure function of
+its :class:`ShardTask` (shard id, derived seed, population share,
+params).  Two runs with the same plan produce byte-identical per-shard
+results on any machine, and the merge layer
+(:mod:`repro.shard.merge`) is order-independent, so the merged result
+is independent of worker scheduling too.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import ReproError
+
+
+def shard_seed(seed: int, shard_id: int) -> int:
+    """Content-addressed per-shard seed (the matrix-cell convention)."""
+    digest = zlib.crc32(f"{seed}:{shard_id}".encode("utf-8"))
+    return digest & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker's complete, picklable work order."""
+
+    shard_id: int
+    n_shards: int
+    seed: int  # this shard's derived seed, not the base seed
+    n_viewers: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one logical run splits across ``n_shards`` workers."""
+
+    n_shards: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ReproError(
+                f"a shard plan needs at least one shard, got {self.n_shards}"
+            )
+
+    def shard_seed(self, shard_id: int) -> int:
+        if not 0 <= shard_id < self.n_shards:
+            raise ReproError(
+                f"shard id {shard_id} outside plan of {self.n_shards}"
+            )
+        return shard_seed(self.seed, shard_id)
+
+    def split(self, total: int) -> List[int]:
+        """Balanced population split: every shard gets ``total // n``
+        viewers and the first ``total % n`` shards one extra, so shard
+        loads differ by at most one viewer and the split is independent
+        of anything but (total, n_shards)."""
+        base, extra = divmod(total, self.n_shards)
+        return [
+            base + (1 if shard_id < extra else 0)
+            for shard_id in range(self.n_shards)
+        ]
+
+    def tasks(
+        self, total_viewers: int = 0, params: Dict[str, Any] = None
+    ) -> List[ShardTask]:
+        """The per-worker work orders for a ``total_viewers`` run."""
+        shares = self.split(total_viewers)
+        return [
+            ShardTask(
+                shard_id=shard_id,
+                n_shards=self.n_shards,
+                seed=self.shard_seed(shard_id),
+                n_viewers=shares[shard_id],
+                params=dict(params or {}),
+            )
+            for shard_id in range(self.n_shards)
+        ]

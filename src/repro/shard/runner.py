@@ -1,0 +1,113 @@
+"""The spawn-safe worker pool behind every sharded run.
+
+All process fan-out in the reproduction goes through this module, with
+one set of rules:
+
+* **Spawn, explicitly.**  Workers always start from
+  ``multiprocessing.get_context("spawn")`` — macOS/Windows semantics on
+  every platform — so a run can never silently depend on fork-inherited
+  globals (RNG state, telemetry buses, open deployments).  Everything a
+  worker needs must arrive pickled through its task.
+* **Fail loud on unpicklable work.**  Task payloads and worker
+  functions are test-pickled *before* any process starts; a lambda, a
+  bound method or a live observer object fails immediately with an
+  error that says what to do (pass importable top-level callables and
+  plain-data tasks), instead of a mid-pool ``PicklingError``
+  stacktrace.
+* **Results come back in task order**, regardless of which worker
+  finished first — merge layers rely on keyed/summed folds for order
+  independence, but deterministic output order keeps artifacts and
+  logs byte-stable too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+class ShardError(ReproError):
+    """A sharded run that cannot start or finish coherently."""
+
+
+def spawn_context():
+    """The explicit spawn context every sharded run uses."""
+    return multiprocessing.get_context("spawn")
+
+
+def default_workers() -> int:
+    """One worker per core (the shard-per-core provisioning rule)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def ensure_picklable(value: Any, what: str) -> None:
+    """Raise a clear :class:`ShardError` if ``value`` cannot cross a
+    spawn boundary.
+
+    Spawned workers receive their work by pickle; anything carrying
+    live simulation state — observers, deployments, closures — must
+    stay out of task payloads and be (re)constructed inside the worker
+    from plain data instead.
+    """
+    try:
+        pickle.dumps(value)
+    except Exception as exc:
+        raise ShardError(
+            f"{what} is not picklable under the spawn start method: "
+            f"{exc}.  Sharded runs construct simulation state inside "
+            "each worker; pass importable top-level callables and "
+            "plain-data tasks (e.g. an observer *factory* by module "
+            "path), never live objects."
+        ) from None
+
+
+def map_tasks(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: Optional[int] = None,
+    inline: bool = False,
+) -> List[Any]:
+    """Run ``worker(task)`` for every task; results in task order.
+
+    ``workers`` caps the process pool (default: one per core); the
+    pool always uses the spawn start method.  ``inline=True`` runs the
+    tasks sequentially in this process — same code path semantics, no
+    process cost — which tests and single-core fallbacks use.  Tasks
+    and the worker are validated picklable either way, so an inline run
+    proves the spawn run would have been legal.
+    """
+    ensure_picklable(worker, f"worker {getattr(worker, '__name__', worker)!r}")
+    for index, task in enumerate(tasks):
+        ensure_picklable(task, f"task {index}")
+    if inline or len(tasks) == 0:
+        return [worker(task) for task in tasks]
+    n_workers = workers if workers is not None else default_workers()
+    n_workers = max(1, min(int(n_workers), len(tasks)))
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=spawn_context()
+    ) as pool:
+        try:
+            return list(pool.map(worker, tasks))
+        except Exception as exc:
+            raise ShardError(
+                f"sharded worker failed: {exc!r}"
+            ) from exc
+
+
+def run_shards(
+    tasks: Sequence[Any],
+    worker: Callable[[Any], Any],
+    workers: Optional[int] = None,
+    inline: bool = False,
+) -> List[Any]:
+    """Shared-nothing mode: every shard runs to completion independently.
+
+    A thin, intention-revealing wrapper over :func:`map_tasks` for
+    :class:`~repro.shard.plan.ShardTask` lists.
+    """
+    return map_tasks(worker, tasks, workers=workers, inline=inline)

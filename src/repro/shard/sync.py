@@ -1,0 +1,227 @@
+"""Conservative time-windowed synchronization across shards.
+
+Shared-nothing shards never look at each other.  The windowed mode
+adds the coupling the paper's service actually has — a shared
+server-group boundary — conservatively: every shard advances its
+simulator exactly one *lookahead window*, then barriers; the
+coordinator merges each shard's boundary report into a global digest
+and hands it back with the next window's go-ahead.  A report produced
+in window *k* is therefore visible to every shard at the start of
+window *k+1* — one window of lag, which is safe exactly when the
+lookahead does not exceed the minimum latency of the boundary links
+(no simulated cross-shard effect can propagate faster than the
+slowest-case-fastest link).  :func:`min_boundary_lookahead` computes
+that bound from the shared links' parameters.
+
+Two properties make this mode what the scale work needs:
+
+* **Bit-determinism given seed + shard map.**  The barrier serializes
+  all cross-shard visibility onto the window grid, so OS scheduling
+  cannot reorder anything observable.  Chunked ``run_until`` advances
+  are event-for-event identical to one straight run (the kernel's
+  early-exit contract), so windowing itself perturbs nothing —
+  ``tests/shard/test_sync_golden.py`` pins a windowed run against a
+  straight run and against the single-process kernel on a golden
+  config.
+* **Worker-process isolation.**  Each shard lives in its own spawned
+  process behind a pipe; the in-line variant (``inline=True``) drives
+  the identical protocol over local objects for tests and single-core
+  fallbacks.
+
+A shard participates through four duck-typed methods::
+
+    shard.step(target_t)     # advance the local simulator to target_t
+    shard.boundary() -> dict # picklable report at the barrier
+    shard.absorb(digest)     # fold the previous window's global digest
+    shard.finish() -> dict   # picklable final result
+
+The digest currently carries the merged load facts (events, frames,
+per-shard reports); capacity-coupled admission policies plug in by
+reading it in ``absorb`` — the conservative lag is already correct.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.shard.runner import ShardError, ensure_picklable, spawn_context
+
+
+def min_boundary_lookahead(*link_params) -> float:
+    """The safe lookahead for a set of shared boundary links.
+
+    Conservative synchronization is exact as long as no shard runs
+    further ahead than the fastest path a cross-shard effect could
+    take — the minimum one-way delay over the boundary links.
+    """
+    delays = [float(params.delay_s) for params in link_params]
+    if not delays:
+        raise ShardError("no boundary links to derive a lookahead from")
+    lookahead = min(delays)
+    if lookahead <= 0:
+        raise ShardError(
+            "boundary links with zero latency admit no conservative "
+            "lookahead; pass an explicit window instead"
+        )
+    return lookahead
+
+
+def merge_boundary(window: int, end_t: float, reports: Sequence[Dict]) -> Dict:
+    """Fold per-shard boundary reports into the global digest.
+
+    Keyed by shard id and summed field-wise — order-independent, like
+    every other merge in this package.
+    """
+    digest: Dict[str, Any] = {
+        "window": window,
+        "t": end_t,
+        "events": 0,
+        "frames": 0,
+        "shards": {},
+    }
+    for report in reports:
+        shard_id = report.get("shard")
+        digest["events"] += int(report.get("events", 0))
+        digest["frames"] += int(report.get("frames", 0))
+        digest["shards"][shard_id] = dict(report)
+    return digest
+
+
+def window_targets(duration_s: float, lookahead_s: float) -> List[float]:
+    """The barrier grid: window end times up to and including the end."""
+    if lookahead_s <= 0:
+        raise ShardError(f"lookahead must be positive, got {lookahead_s!r}")
+    if duration_s <= 0:
+        raise ShardError(f"duration must be positive, got {duration_s!r}")
+    targets: List[float] = []
+    t = 0.0
+    while t < duration_s:
+        t = min(duration_s, t + lookahead_s)
+        targets.append(t)
+    return targets
+
+
+def _resolve_builder(builder) -> Callable[[Any], Any]:
+    if callable(builder):
+        return builder
+    module_path, _, name = str(builder).partition(":")
+    if not name:
+        raise ShardError(
+            f"builder spec {builder!r} is not 'module:callable' and not "
+            "callable"
+        )
+    return getattr(importlib.import_module(module_path), name)
+
+
+def _windowed_worker_main(conn, builder, task) -> None:
+    """Spawned worker: build the shard, obey the barrier protocol."""
+    from repro.sim.gcgate import paused_gc
+
+    try:
+        with paused_gc():
+            shard = _resolve_builder(builder)(task)
+            while True:
+                command, payload = conn.recv()
+                if command == "advance":
+                    target, digest = payload
+                    if digest is not None:
+                        shard.absorb(digest)
+                    shard.step(target)
+                    conn.send(("report", shard.boundary()))
+                elif command == "finish":
+                    conn.send(("result", shard.finish()))
+                    break
+                else:  # pragma: no cover - protocol misuse
+                    raise ShardError(f"unknown command {command!r}")
+    except Exception as exc:  # surface the failure to the coordinator
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            raise
+    finally:
+        conn.close()
+
+
+def run_windowed(
+    tasks: Sequence[Any],
+    builder,
+    lookahead_s: float,
+    duration_s: float,
+    inline: bool = False,
+) -> Tuple[List[Dict], List[Dict]]:
+    """Run every shard under the window-barrier protocol.
+
+    Returns ``(results, digests)``: per-shard final results in shard
+    order, and the global digest of every window.  ``builder`` is an
+    importable top-level callable (or a ``"module:callable"`` string)
+    mapping a task to a shard object; one worker process per shard
+    (``inline=True`` keeps everything in-process, same protocol).
+    """
+    builder_fn = _resolve_builder(builder)
+    ensure_picklable(
+        builder, f"windowed builder {getattr(builder, '__name__', builder)!r}"
+    )
+    for index, task in enumerate(tasks):
+        ensure_picklable(task, f"task {index}")
+    targets = window_targets(duration_s, lookahead_s)
+
+    if inline:
+        shards = [builder_fn(task) for task in tasks]
+        digests: List[Dict] = []
+        digest: Optional[Dict] = None
+        for window, target in enumerate(targets):
+            reports = []
+            for shard in shards:
+                if digest is not None:
+                    shard.absorb(digest)
+                shard.step(target)
+                reports.append(shard.boundary())
+            digest = merge_boundary(window, target, reports)
+            digests.append(digest)
+        return [shard.finish() for shard in shards], digests
+
+    context = spawn_context()
+    connections = []
+    processes = []
+    try:
+        for task in tasks:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_windowed_worker_main,
+                args=(child_conn, builder, task),
+            )
+            process.start()
+            child_conn.close()
+            connections.append(parent_conn)
+            processes.append(process)
+
+        digests = []
+        digest = None
+        for window, target in enumerate(targets):
+            for conn in connections:
+                conn.send(("advance", (target, digest)))
+            reports = [_receive(conn, "report") for conn in connections]
+            digest = merge_boundary(window, target, reports)
+            digests.append(digest)
+        for conn in connections:
+            conn.send(("finish", None))
+        results = [_receive(conn, "result") for conn in connections]
+        return results, digests
+    finally:
+        for conn in connections:
+            conn.close()
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join()
+
+
+def _receive(conn, expected: str):
+    kind, payload = conn.recv()
+    if kind == "error":
+        raise ShardError(f"windowed shard worker failed: {payload}")
+    if kind != expected:  # pragma: no cover - protocol misuse
+        raise ShardError(f"expected {expected!r} from worker, got {kind!r}")
+    return payload

@@ -1,0 +1,111 @@
+"""The shared-nothing sharded scale point, end to end (small N).
+
+These runs use ``inline=True`` — the same code path as the spawned
+pool minus the processes (picklability is still enforced), so the
+merge semantics are exercised deterministically on any box.  One test
+runs the real spawned pool to pin inline == spawn on the merged point.
+"""
+
+from repro.experiments.scale import (
+    _point_payload,
+    run_scale_point,
+    run_sharded_scale_point,
+)
+
+
+def _small_point(**overrides):
+    params = dict(
+        n_clients=60, batch_window_s=1.0, duration_s=4.0, crash_at=2.0,
+        seed=77, n_shards=2, inline=True,
+    )
+    params.update(overrides)
+    return run_sharded_scale_point(**params)
+
+
+def test_sharded_point_merges_the_whole_population():
+    point = _small_point()
+    assert point.mode == "sharded"
+    assert point.n_clients == 60
+    assert point.n_shards == 2
+    assert len(point.shard_walls) == 2
+    assert point.qoe["n"] == 60
+    # Each shard crashed its most-loaded server: failovers were
+    # measured, merged sorted, and every takeover scored 99.
+    assert point.takeovers == len(point.failover_latencies) > 0
+    assert point.failover_latencies == sorted(point.failover_latencies)
+    assert point.qoe["counts"].get("99") == point.takeovers
+    assert point.merge_deterministic is True
+
+
+def test_sharded_point_evaluates_the_papers_rules():
+    point = _small_point()
+    assert set(point.slo) == {
+        "glitch_free_fraction", "failover_p99_s", "emergency_bandwidth_share",
+    }
+    # Clean links + sub-2s takeovers: the paper's service level holds.
+    assert all(rule["ok"] for rule in point.slo.values())
+    assert point.slo["failover_p99_s"]["value"] == point.failover_latencies[-1]
+
+
+def test_sharded_point_counts_invariant_violations():
+    point = _small_point(invariants=True)
+    assert point.violations == 0
+
+
+def test_sharded_events_sum_over_single_shard_runs():
+    # Shared-nothing really is shared-nothing: the merged point is the
+    # arithmetic sum of its shards, each reproducible standalone under
+    # its derived seed.
+    from repro.shard.plan import ShardPlan
+
+    point = _small_point()
+    tasks = ShardPlan(n_shards=2, seed=77).tasks(60)
+    singles = [
+        run_scale_point(
+            task.n_viewers, 1.0, duration_s=4.0, crash_at=2.0,
+            seed=task.seed, flyweight=True,
+        )
+        for task in tasks
+    ]
+    assert point.events == sum(single.events for single in singles)
+    assert point.frames_delivered == sum(
+        single.frames_delivered for single in singles
+    )
+    assert point.failover_latencies == sorted(
+        latency
+        for single in singles
+        for latency in single.failover_latencies
+    )
+
+
+def test_spawned_shards_equal_inline():
+    inline = _small_point(n_clients=40, duration_s=3.0)
+    spawned = run_sharded_scale_point(
+        n_clients=40, batch_window_s=1.0, duration_s=3.0, crash_at=2.0,
+        seed=77, n_shards=2, workers=2,
+    )
+    for attribute in (
+        "n_clients", "events", "frames_delivered", "failover_latencies",
+        "takeovers", "violations", "qoe", "slo",
+    ):
+        assert getattr(spawned, attribute) == getattr(inline, attribute), (
+            attribute
+        )
+
+
+def test_point_payload_carries_the_sharded_facts():
+    point = _small_point()
+    payload = _point_payload(point)
+    assert payload["mode"] == "sharded"
+    assert payload["n_shards"] == 2
+    assert payload["merge_deterministic"] is True
+    assert payload["qoe"]["n"] == 60
+    assert set(payload["slo"]) == set(point.slo)
+    assert len(payload["shard_walls"]) == 2
+    # The serial flyweight payload keeps its historical shape.
+    single = run_scale_point(
+        20, 1.0, duration_s=3.0, crash_at=2.0, flyweight=True
+    )
+    serial_payload = _point_payload(single)
+    assert serial_payload["mode"] == "flyweight"
+    assert "n_shards" not in serial_payload

@@ -1,0 +1,111 @@
+"""Shard gate: check() verdict logic on synthetic benches.
+
+The real sharded smoke runs in CI (the ``shard-gate`` job); here we
+pin down the judging rules on synthetic sweep/baseline pairs.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments.shard_gate import check
+
+POINT = {
+    "mode": "sharded",
+    "n_clients": 20000,
+    "n_shards": 4,
+    "events": 400000,
+    "frames_delivered": 4800000,
+    "takeovers": 6668,
+    "wall_s": 30.0,
+    "max_failover_s": 0.59,
+    "merge_deterministic": True,
+    "violations": 0,
+    "qoe": {"n": 20000, "mean": 99.67, "p10": 99.0, "p50": 100.0},
+    "slo": {
+        "glitch_free_fraction": {"ok": True, "value": 1.0},
+        "failover_p99_s": {"ok": True, "value": 0.59},
+    },
+}
+
+BASELINE = {
+    "n_clients": 20000,
+    "n_shards": 4,
+    "events": 400000,
+    "frames_delivered": 4800000,
+    "takeovers": 6668,
+    "qoe": {"p10": 99.0, "p50": 100.0},
+    "tolerances": {
+        "events_rel": 0.15,
+        "frames_rel": 0.05,
+        "wall_ceiling_s": 300.0,
+        "failover_ceiling_s": 2.0,
+    },
+}
+
+
+@pytest.fixture
+def paths(tmp_path):
+    def write(point, baseline=BASELINE):
+        measured_path = tmp_path / "measured.json"
+        baseline_path = tmp_path / "baseline.json"
+        measured_path.write_text(json.dumps({"points": [point]}))
+        baseline_path.write_text(json.dumps(baseline))
+        return str(measured_path), str(baseline_path)
+
+    return write
+
+
+def test_clean_point_passes(paths):
+    assert check(*paths(POINT)) == []
+
+
+def test_missing_sharded_point_fails(paths):
+    serial = dict(POINT, mode="flyweight")
+    failures = check(*paths(serial))
+    assert failures and "no sharded point" in failures[0]
+
+
+def test_event_drift_fails(paths):
+    drifted = dict(POINT, events=600000)
+    assert any("events" in f for f in check(*paths(drifted)))
+
+
+def test_takeover_count_is_exact(paths):
+    off_by_one = dict(POINT, takeovers=6667)
+    assert any("takeovers" in f for f in check(*paths(off_by_one)))
+
+
+def test_merge_determinism_is_required(paths):
+    unproven = dict(POINT)
+    del unproven["merge_deterministic"]
+    assert any("merge_deterministic" in f for f in check(*paths(unproven)))
+
+
+def test_invariant_violations_fail(paths):
+    violated = dict(POINT, violations=3)
+    assert any("violations" in f for f in check(*paths(violated)))
+
+
+def test_partial_qoe_population_fails(paths):
+    partial = copy.deepcopy(POINT)
+    partial["qoe"]["n"] = 15000
+    assert any("qoe.n" in f for f in check(*paths(partial)))
+
+
+def test_qoe_quantiles_are_exact(paths):
+    shifted = copy.deepcopy(POINT)
+    shifted["qoe"]["p10"] = 98.0
+    assert any("qoe.p10" in f for f in check(*paths(shifted)))
+
+
+def test_slo_breach_fails(paths):
+    breached = copy.deepcopy(POINT)
+    breached["slo"]["failover_p99_s"] = {"ok": False, "value": 2.5}
+    assert any("slo.failover_p99_s" in f for f in check(*paths(breached)))
+
+
+def test_wall_ceiling_is_generous_but_real(paths):
+    slow = dict(POINT, wall_s=301.0)
+    assert any("wall_s" in f for f in check(*paths(slow)))

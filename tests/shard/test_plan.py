@@ -1,0 +1,73 @@
+"""Shard plans: seed derivation, balanced splits, picklable tasks."""
+
+import pickle
+import zlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.shard.plan import ShardPlan, ShardTask, shard_seed
+
+
+def test_shard_seed_is_the_matrix_cell_convention():
+    # Content-addressed: crc32 over "seed:shard_id", masked to 31 bits —
+    # the same rule Cell.seed uses, never Python's randomized hash.
+    assert shard_seed(77, 0) == zlib.crc32(b"77:0") & 0x7FFFFFFF
+    assert shard_seed(77, 3) == zlib.crc32(b"77:3") & 0x7FFFFFFF
+    assert shard_seed(77, 0) != shard_seed(77, 1)
+    assert shard_seed(77, 0) != shard_seed(78, 0)
+
+
+def test_plan_rejects_empty():
+    with pytest.raises(ReproError):
+        ShardPlan(n_shards=0, seed=77)
+
+
+def test_plan_shard_seed_bounds():
+    plan = ShardPlan(n_shards=2, seed=77)
+    with pytest.raises(ReproError):
+        plan.shard_seed(2)
+    with pytest.raises(ReproError):
+        plan.shard_seed(-1)
+
+
+@given(
+    total=st.integers(min_value=0, max_value=2_000_000),
+    n_shards=st.integers(min_value=1, max_value=64),
+)
+def test_split_is_balanced_and_complete(total, n_shards):
+    shares = ShardPlan(n_shards=n_shards, seed=1).split(total)
+    assert sum(shares) == total
+    assert len(shares) == n_shards
+    assert max(shares) - min(shares) <= 1
+    # Deterministic: depends on (total, n_shards) only.
+    assert shares == ShardPlan(n_shards=n_shards, seed=999).split(total)
+
+
+def test_tasks_are_plain_picklable_work_orders():
+    plan = ShardPlan(n_shards=3, seed=42)
+    tasks = plan.tasks(10, params={"duration_s": 4.0})
+    assert [task.n_viewers for task in tasks] == [4, 3, 3]
+    for shard_id, task in enumerate(tasks):
+        assert task.shard_id == shard_id
+        assert task.n_shards == 3
+        assert task.seed == shard_seed(42, shard_id)
+        assert task.params == {"duration_s": 4.0}
+        restored = pickle.loads(pickle.dumps(task))
+        assert restored == task
+
+
+def test_tasks_copy_params_per_shard():
+    plan = ShardPlan(n_shards=2, seed=1)
+    shared = {"x": 1}
+    first, second = plan.tasks(0, params=shared)
+    assert first.params is not shared
+    assert first.params is not second.params
+
+
+def test_shard_task_defaults():
+    task = ShardTask(shard_id=0, n_shards=1, seed=5)
+    assert task.n_viewers == 0
+    assert task.params == {}

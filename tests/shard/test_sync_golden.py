@@ -1,0 +1,195 @@
+"""The conservative windowed mode, pinned against goldens.
+
+Three equalities, in increasing strength:
+
+1. *Windowing perturbs nothing*: a shard advanced window-by-window
+   under the barrier protocol finishes bit-identical to the same shard
+   run flat-out (the kernel's chunked ``run_until`` contract).
+2. *The shard decomposition is exact*: the union of per-shard traces
+   equals the single-process run of the combined deployment — and both
+   equal the committed golden (``tests/data/golden_shard_sync.json``).
+3. *Process isolation changes nothing*: spawned workers produce the
+   same results and digests as the inline protocol.
+"""
+
+import json
+import pathlib
+from types import SimpleNamespace
+
+import pytest
+
+from repro.shard.plan import ShardPlan
+from repro.shard.runner import ShardError
+from repro.shard.sync import (
+    merge_boundary,
+    min_boundary_lookahead,
+    run_windowed,
+    window_targets,
+)
+from repro.shard.worker import (
+    build_golden_shard,
+    merge_traces,
+    run_disjoint_single,
+    run_shard_straight,
+)
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).parent.parent / "data" / "golden_shard_sync.json"
+)
+
+
+def _golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _tasks(config):
+    plan = ShardPlan(n_shards=config["n_shards"], seed=config["seed"])
+    return plan.tasks(config["n_shards"] * config["viewers_per_shard"])
+
+
+# ----------------------------------------------------------------------
+# The lookahead and barrier-grid math
+# ----------------------------------------------------------------------
+def test_min_boundary_lookahead_is_the_fastest_link():
+    links = [SimpleNamespace(delay_s=0.5), SimpleNamespace(delay_s=0.02)]
+    assert min_boundary_lookahead(*links) == 0.02
+
+
+def test_min_boundary_lookahead_rejects_degenerate_boundaries():
+    with pytest.raises(ShardError):
+        min_boundary_lookahead()
+    with pytest.raises(ShardError):
+        min_boundary_lookahead(SimpleNamespace(delay_s=0.0))
+
+
+def test_window_targets_cover_the_duration_exactly():
+    targets = window_targets(10.0, 0.5)
+    assert len(targets) == 20
+    assert targets[0] == 0.5
+    assert targets[-1] == 10.0
+    # A duration that is not a multiple of the lookahead ends on a
+    # short final window, never past the end.
+    assert window_targets(1.2, 0.5) == [0.5, 1.0, 1.2]
+    with pytest.raises(ShardError):
+        window_targets(10.0, 0.0)
+    with pytest.raises(ShardError):
+        window_targets(0.0, 0.5)
+
+
+def test_merge_boundary_is_order_independent():
+    reports = [
+        {"shard": 0, "events": 10, "frames": 100},
+        {"shard": 1, "events": 7, "frames": 50},
+    ]
+    forward = merge_boundary(3, 2.0, reports)
+    backward = merge_boundary(3, 2.0, list(reversed(reports)))
+    assert forward == backward
+    assert forward["events"] == 17
+    assert forward["frames"] == 150
+    assert forward["shards"][0]["events"] == 10
+
+
+# ----------------------------------------------------------------------
+# Golden equivalences
+# ----------------------------------------------------------------------
+def test_windowed_equals_straight_and_single_process_golden():
+    golden = _golden()
+    config = golden["config"]
+    tasks = _tasks(config)
+
+    results, digests = run_windowed(
+        tasks,
+        build_golden_shard,
+        lookahead_s=config["lookahead_s"],
+        duration_s=config["duration_s"],
+        inline=True,
+    )
+
+    # (1) The barrier grid did not perturb any shard: windowed ==
+    # straight, field for field (only the window count may differ —
+    # the straight run never sees a digest).
+    for task, windowed in zip(tasks, results):
+        straight = run_shard_straight(task, config["duration_s"])
+        # Conservative lag: the digest from window k arrives with the
+        # window k+1 go-ahead, so the last window's digest is never
+        # absorbed — shards see exactly len(digests) - 1 of them.
+        assert windowed["windows"] == len(digests) - 1
+        for key in ("shard", "events", "starts", "final"):
+            assert windowed[key] == straight[key], key
+
+    # (2) The union of shard traces is the combined run — both equal
+    # the committed golden.
+    merged = merge_traces(results)
+    assert merged["starts"] == golden["combined"]["starts"]
+    assert merged["final"] == golden["combined"]["final"]
+
+    single = run_disjoint_single(
+        n_shards=config["n_shards"],
+        duration_s=config["duration_s"],
+        viewers_per_shard=config["viewers_per_shard"],
+        seed=config["seed"],
+    )
+    assert single["events"] == golden["combined"]["events"]
+    assert single["starts"] == golden["combined"]["starts"]
+    assert single["final"] == golden["combined"]["final"]
+
+    # The digest stream is the coupling surface: one entry per window,
+    # event totals monotone, final totals equal the shard sums.
+    assert len(digests) == len(
+        window_targets(config["duration_s"], config["lookahead_s"])
+    )
+    totals = [digest["events"] for digest in digests]
+    assert totals == sorted(totals)
+    assert digests[-1]["events"] == sum(r["events"] for r in results)
+    assert sorted(digests[-1]["shards"]) == [0, 1]
+
+
+def test_every_viewer_is_traced_exactly_once():
+    golden = _golden()
+    config = golden["config"]
+    names = set(golden["combined"]["final"])
+    assert len(names) == config["n_shards"] * config["viewers_per_shard"]
+    # Every client started exactly one session on its group's server.
+    for name, sessions in golden["combined"]["starts"].items():
+        group = name[1]  # "s<group>c<index>"
+        assert [entry[0] for entry in sessions] == [f"server{group}"]
+
+
+def test_spawned_windowed_run_equals_inline():
+    golden = _golden()
+    config = dict(golden["config"], duration_s=4.0)
+    tasks = _tasks(config)
+    inline_results, inline_digests = run_windowed(
+        tasks, build_golden_shard,
+        lookahead_s=config["lookahead_s"], duration_s=config["duration_s"],
+        inline=True,
+    )
+    spawn_results, spawn_digests = run_windowed(
+        tasks, build_golden_shard,
+        lookahead_s=config["lookahead_s"], duration_s=config["duration_s"],
+        inline=False,
+    )
+    assert spawn_results == inline_results
+    assert spawn_digests == inline_digests
+
+
+def test_windowed_rejects_unpicklable_builders():
+    with pytest.raises(ShardError):
+        run_windowed(
+            [1], lambda task: task, lookahead_s=0.5, duration_s=1.0,
+            inline=True,
+        )
+
+
+def test_builder_resolves_module_path_strings():
+    golden = _golden()
+    config = golden["config"]
+    tasks = _tasks(config)[:1]
+    results, _ = run_windowed(
+        tasks,
+        "repro.shard.worker:build_golden_shard",
+        lookahead_s=0.5,
+        duration_s=2.0,
+        inline=True,
+    )
+    assert results[0]["shard"] == 0
