@@ -50,7 +50,9 @@ class ExperimentResult:
     file paths written during the run.  Experiments that execute an
     observed scenario also fill ``qoe`` (per-client scorecards, see
     :mod:`repro.telemetry.qoe`) and ``slo`` (rule verdicts, see
-    :mod:`repro.telemetry.slo`).
+    :mod:`repro.telemetry.slo`); runs with a flight recorder attached
+    fill ``incidents`` (``Incident.as_dict()`` payloads, see
+    :mod:`repro.telemetry.flight`).
     """
 
     spec: ExperimentSpec
@@ -59,6 +61,7 @@ class ExperimentResult:
     artifacts: Dict[str, str] = field(default_factory=dict)
     qoe: Dict[str, Any] = field(default_factory=dict)
     slo: Dict[str, Dict] = field(default_factory=dict)
+    incidents: List[Dict] = field(default_factory=list)
 
     def render(self) -> str:
         """The experiment's full text output."""
@@ -85,6 +88,7 @@ REGISTRY: Dict[str, Tuple[str, Dict[str, Any]]] = {
     "matrix": ("repro.experiments.matrix", {}),
     "chaos": ("repro.faulting.chaos", {}),
     "ablations": ("repro.experiments.ablations", {}),
+    "postmortem": ("repro.experiments.postmortem", {}),
 }
 
 

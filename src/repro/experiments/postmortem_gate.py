@@ -1,0 +1,188 @@
+"""CI gate for the flight recorder: the ``postmortem-smoke`` job.
+
+Runs the seeded chaos point (flyweight viewers, a mid-run crash of the
+most-loaded server) and proves the recorder's three contracts end to
+end:
+
+* **Non-perturbation** — the same point with the recorder on and off
+  produces byte-identical simulated outcomes (event count, frames,
+  takeover count and every failover latency; PR 2's observer contract).
+* **Bounded memory** — the recorder's own metering shows ring occupancy
+  within the configured budget and capture volume within its cap.
+* **Explainability** — at least one :class:`Incident` is assembled, its
+  failover breakdowns sum exactly (detect + agree + redistribute =
+  take-over span), and the postmortem renderer produces a report
+  carrying the critical-path table.
+
+The same checks then repeat over the 4-shard shared-nothing path, whose
+incidents must merge order-independently (the reversed-order re-merge
+is folded into ``merge_deterministic``).
+
+Usage::
+
+    python -m repro.experiments.postmortem_gate [N] [SHARDS]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+#: Gate workload: big enough that sampling, eviction and capture all
+#: engage; small enough for CI (seconds per run).
+GATE_N = 20_000
+GATE_SHARDS = 4
+GATE_DURATION_S = 12.0
+GATE_SEED = 77
+
+_EXACT_EPS = 1e-9
+
+
+def _signature(point) -> str:
+    """The simulated outcome as one comparable string (byte-identical
+    means equal here)."""
+    return json.dumps(
+        {
+            "events": point.events,
+            "frames": point.frames_delivered,
+            "takeovers": point.takeovers,
+            "failover_latencies": point.failover_latencies,
+        },
+        sort_keys=True,
+    )
+
+
+def _check_incidents(incidents: List[Dict], where: str) -> List[str]:
+    failures: List[str] = []
+    if not incidents:
+        failures.append(f"{where}: no incident assembled (expected >= 1 "
+                        "from the mid-run crash)")
+        return failures
+    breakdowns = 0
+    for incident in incidents:
+        for b in incident["breakdowns"]:
+            breakdowns += 1
+            total = b["detect_s"] + b["agree_s"] + b["redistribute_s"]
+            if abs(total - b["total_s"]) > _EXACT_EPS:
+                failures.append(
+                    f"{where}: {incident['id']} client {b['client']}: "
+                    f"detect+agree+redistribute = {total!r} != takeover "
+                    f"span {b['total_s']!r}"
+                )
+    if not breakdowns:
+        failures.append(f"{where}: incidents carry no failover breakdowns")
+    return failures
+
+
+def _check_metering(metering: Dict, where: str) -> List[str]:
+    failures: List[str] = []
+    occupancy = metering.get("occupancy", 0)
+    budget = metering.get("ring_budget", 0)
+    if occupancy > budget:
+        failures.append(
+            f"{where}: ring occupancy {occupancy} exceeds the configured "
+            f"budget of {budget} events"
+        )
+    if metering.get("capture_occupancy", 0):
+        failures.append(
+            f"{where}: a capture window is still open after finish()"
+        )
+    if not metering.get("estimated_bytes", 0):
+        failures.append(f"{where}: self-metering reports zero bytes — "
+                        "the recorder saw nothing")
+    return failures
+
+
+def check(
+    n: int = GATE_N,
+    shards: int = GATE_SHARDS,
+    duration_s: float = GATE_DURATION_S,
+    seed: int = GATE_SEED,
+) -> List[str]:
+    """Run the gate workloads; return violations (empty = pass)."""
+    from repro.experiments.scale import (
+        run_scale_point, run_sharded_scale_point,
+    )
+    from repro.telemetry.flight import Incident
+    from repro.telemetry.postmortem import render_incidents
+
+    failures: List[str] = []
+
+    # 1) Recorder on/off equivalence at the single-process chaos point.
+    plain = run_scale_point(
+        n, 1.0, duration_s=duration_s, seed=seed, flyweight=True
+    )
+    recorded = run_scale_point(
+        n, 1.0, duration_s=duration_s, seed=seed, flyweight=True,
+        flight=True,
+    )
+    if _signature(plain) != _signature(recorded):
+        failures.append(
+            "recorder on/off runs diverged: enabling the flight recorder "
+            "perturbed the simulation "
+            f"(off={_signature(plain)[:120]}... "
+            f"on={_signature(recorded)[:120]}...)"
+        )
+    failures += _check_incidents(recorded.incidents, f"flyweight N={n}")
+    failures += _check_metering(recorded.flight or {}, f"flyweight N={n}")
+
+    # 2) The rendered report must carry the explainable decomposition.
+    report = render_incidents(
+        [Incident.from_dict(i) for i in recorded.incidents],
+        metering=recorded.flight,
+    )
+    if "Failover critical path" not in report:
+        failures.append(
+            "rendered postmortem lacks the failover critical-path table"
+        )
+
+    # 3) The sharded path: merged incidents, order-independent.
+    point = run_sharded_scale_point(
+        n, 1.0, duration_s=duration_s, seed=seed, n_shards=shards,
+        flight=True,
+    )
+    if point.merge_deterministic is not True:
+        failures.append(
+            "sharded merge_deterministic is not True (the reversed-order "
+            "incident re-merge did not hold)"
+        )
+    failures += _check_incidents(point.incidents, f"sharded N={n}")
+    for shard_id, metering in sorted(
+        ((point.flight or {}).get("shards") or {}).items()
+    ):
+        failures += _check_metering(
+            metering or {}, f"shard {shard_id} of N={n}"
+        )
+    shard_tags = {
+        s for i in point.incidents for s in str(i.get("shard", "")).split(",")
+    }
+    if len(shard_tags) != shards:
+        failures.append(
+            f"merged incidents cover shards {sorted(shard_tags)}, expected "
+            f"all {shards} (every shard crashes its most-loaded server)"
+        )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) > 2:
+        print(__doc__)
+        return 2
+    n = int(argv[0]) if argv else GATE_N
+    shards = int(argv[1]) if len(argv) > 1 else GATE_SHARDS
+    failures = check(n=n, shards=shards)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"postmortem smoke passed: recorder-on run of N={n} is "
+        "trace-identical to recorder-off, memory stayed within budget, "
+        f"and the {shards}-shard merge produced explainable incidents"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main(sys.argv[1:]))

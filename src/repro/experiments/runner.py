@@ -24,6 +24,15 @@ Two extra subcommands work with those artifacts directly::
 
     repro-vod trace --scenario lan --out run.jsonl   # record a run
     repro-vod report run.jsonl                        # reconstruct it
+
+Both accept ``--since``/``--until`` sim-second windows, ``trace --out``
+transparently gzips ``.jsonl.gz`` paths, and ``repro-vod postmortem``
+renders flight-recorder incident reports from a live scenario, a
+flyweight/sharded scale run, or a recorded export::
+
+    repro-vod postmortem --scenario lan
+    repro-vod postmortem --scale 20000 --shards 4
+    repro-vod postmortem --from-export run.jsonl.gz --since 30 --until 60
 """
 
 from __future__ import annotations
@@ -37,7 +46,9 @@ from repro.experiments.api import REGISTRY, ExperimentSpec, run
 
 #: Experiments that execute a scenario and therefore export telemetry
 #: artifacts by default.
-TELEMETRY_EXPERIMENTS = ("figure4", "figure5", "chaos", "scale", "placement")
+TELEMETRY_EXPERIMENTS = (
+    "figure4", "figure5", "chaos", "scale", "placement", "postmortem",
+)
 
 #: Order in which ``repro-vod all`` runs (excludes the slow chaos/
 #: capacity/gcs sweeps, mirroring the historical behaviour).
@@ -106,6 +117,19 @@ def _spec_from_args(name: str, args: argparse.Namespace) -> ExperimentSpec:
         params["flash"] = args.flash
     if getattr(args, "preset", None) is not None:
         params["preset"] = args.preset
+    if getattr(args, "scenario", None) is not None:
+        params["scenario"] = args.scenario
+    if getattr(args, "scale_n", None) is not None:
+        params["source"] = "scale"
+        params["n"] = args.scale_n
+    if getattr(args, "export", None) is not None:
+        params["export"] = args.export
+    if getattr(args, "since", None) is not None:
+        params["since"] = args.since
+    if getattr(args, "until", None) is not None:
+        params["until"] = args.until
+    if getattr(args, "max_rows", None) is not None:
+        params["max_rows"] = args.max_rows
     return ExperimentSpec(
         name=name,
         seed=args.seed,
@@ -139,6 +163,9 @@ def _run_trace(args: argparse.Namespace) -> None:
     result = run_scenario(
         spec, seed=args.seed, telemetry_path=args.out,
         telemetry_full=args.full,
+        telemetry_max_events=args.max_events,
+        telemetry_since=args.since,
+        telemetry_until=args.until,
     )
     client = result.client
     print(f"telemetry written to {args.out}")
@@ -153,7 +180,8 @@ def _run_trace(args: argparse.Namespace) -> None:
 def _run_report(args: argparse.Namespace) -> None:
     from repro.telemetry.report import load_timeline, render_report
 
-    print(render_report(load_timeline(args.path), max_rows=args.max_rows))
+    timeline = load_timeline(args.path, since=args.since, until=args.until)
+    print(render_report(timeline, max_rows=args.max_rows))
 
 
 def _scenario_spec(args: argparse.Namespace):
@@ -185,8 +213,12 @@ def _run_watch(args: argparse.Namespace) -> None:
             os.makedirs(directory, exist_ok=True)
     live = prepare_scenario(
         spec, seed=args.seed, telemetry_path=telemetry_path, observe=True,
+        flight=True,
     )
-    state = WatchState(live.sim.telemetry, slo_monitor=live.slo_monitor)
+    state = WatchState(
+        live.sim.telemetry, slo_monitor=live.slo_monitor,
+        flight_recorder=live.flight_recorder,
+    )
     interval = max(0.1, args.interval)
     # Event budget per drawn frame: a slice that turns out to be heavy
     # (a crash storm, a flood of connects) renders a mid-slice frame
@@ -213,6 +245,11 @@ def _run_watch(args: argparse.Namespace) -> None:
     if result.slo:
         print()
         print(render_slo(result.slo))
+    if result.incidents:
+        print(
+            f"\n[{len(result.incidents)} incident(s) captured by the "
+            "flight recorder; render with repro-vod postmortem]"
+        )
     if telemetry_path:
         print(f"\n[telemetry artifact written to {telemetry_path}]")
 
@@ -453,9 +490,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=None,
                    help="override the scenario run duration (seconds)")
     p.add_argument("--out", type=str,
-                   default=os.path.join("artifacts", "trace.jsonl"))
+                   default=os.path.join("artifacts", "trace.jsonl"),
+                   help="output path; a .jsonl.gz suffix gzips the "
+                        "stream transparently")
     p.add_argument("--full", action="store_true",
                    help="include firehose kinds (sim.*, net.deliver)")
+    p.add_argument("--since", type=float, default=None,
+                   help="only export events at/after this sim second")
+    p.add_argument("--until", type=float, default=None,
+                   help="only export events at/before this sim second")
+    p.add_argument("--max-events", dest="max_events", type=int,
+                   default=None,
+                   help="cap exported events; the file then ends with "
+                        "an explicit truncation marker record")
 
     p = sub.add_parser(
         "report", parents=[common],
@@ -464,6 +511,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", type=str)
     p.add_argument("--max-rows", type=int, default=80,
                    help="timeline rows to show before truncating")
+    p.add_argument("--since", type=float, default=None,
+                   help="only consider events at/after this sim second")
+    p.add_argument("--until", type=float, default=None,
+                   help="only consider events at/before this sim second")
+
+    p = sub.add_parser(
+        "postmortem", parents=[common],
+        help="flight-recorder incident reports: what triggered, the "
+             "causal chain, the exact takeover decomposition and the "
+             "QoE impact",
+    )
+    p.add_argument("--scenario", choices=("lan", "wan"), default=None,
+                   help="run this reference scenario live with the "
+                        "recorder attached (default lan)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="override the run duration (simulated seconds)")
+    p.add_argument("--scale", dest="scale_n", type=int, default=None,
+                   help="instead run the flyweight chaos rig at this "
+                        "population (mid-run crash of the most-loaded "
+                        "server)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="with --scale: run shared-nothing across this "
+                        "many shards and merge their incidents")
+    p.add_argument("--shard-inline", dest="shard_inline",
+                   action="store_true",
+                   help="with --shards: run the shards sequentially "
+                        "in-process")
+    p.add_argument("--from-export", dest="export", type=str, default=None,
+                   help="replay a recorded telemetry JSONL/.jsonl.gz "
+                        "artifact instead of running anything")
+    p.add_argument("--since", type=float, default=None,
+                   help="with --from-export: replay window start "
+                        "(sim seconds)")
+    p.add_argument("--until", type=float, default=None,
+                   help="with --from-export: replay window end "
+                        "(sim seconds)")
+    p.add_argument("--max-rows", dest="max_rows", type=int, default=None,
+                   help="table rows per incident section (default 40)")
 
     p = sub.add_parser(
         "watch", parents=[common],

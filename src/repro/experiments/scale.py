@@ -108,6 +108,11 @@ class ScalePoint:
     qoe: Optional[Dict] = None
     slo: Optional[Dict] = None
     merge_deterministic: Optional[bool] = None
+    # Flight-recorder output (``as_dict`` incidents — JSON-ready and
+    # identical in shape whether the point ran in-process or sharded)
+    # and the recorder's self-metering (per shard when sharded).
+    incidents: List[Dict] = field(default_factory=list)
+    flight: Optional[Dict] = None
 
     @property
     def batched(self) -> bool:
@@ -376,6 +381,8 @@ def run_scale_point(
     flyweight: bool = False,
     wall_budget_s: Optional[float] = None,
     invariants: bool = False,
+    flight: bool = False,
+    flight_config=None,
 ) -> ScalePoint:
     """Run one population point and return its measurements.
 
@@ -391,7 +398,11 @@ def run_scale_point(
     :class:`~repro.faulting.InvariantChecker` for the run and reports
     its violation count on the point — note its sampling timer adds
     (deterministic) events, so only compare event counts across runs
-    with the same setting."""
+    with the same setting.  ``flight`` attaches a bounded
+    :class:`~repro.telemetry.FlightRecorder` — a pure bus subscriber,
+    so the simulated outcome (events, frames, failover latencies) is
+    byte-identical with it on or off; the point then carries the
+    assembled incidents and the recorder's self-metering."""
     if crash_at is None:
         crash_at = duration_s / 2.0
     sim, deployment, viewers, observer = build_scale_rig(
@@ -415,6 +426,12 @@ def run_scale_point(
             seed=seed,
             duration_s=duration_s,
         )
+
+    recorder = None
+    if flight:
+        from repro.telemetry.flight import FlightRecorder
+
+        recorder = FlightRecorder(sim.telemetry, flight_config)
 
     sim.call_at(crash_at, make_crash_most_loaded(deployment, observer))
 
@@ -458,12 +475,28 @@ def run_scale_point(
         flyweight=flyweight,
         violations=len(checker.violations) if checker is not None else 0,
     )
+    abandoned_spans = None
+    if recorder is not None:
+        # Abandoned takeover spans are incident triggers, so sweep open
+        # spans before closing the recorder; the exporter (if any) then
+        # finds none itself, so hand it the list explicitly.
+        abandoned_spans = sim.telemetry.abandon_open_spans(
+            reason="export-close"
+        )
+        point.incidents = [i.as_dict() for i in recorder.finish(sim.now)]
+        point.flight = recorder.metering()
     if exporter is not None:
-        exporter.close(
+        summary = dict(
             frames_delivered=frames,
             takeovers=point.takeovers,
             max_failover_s=point.max_failover_s,
         )
+        if abandoned_spans is not None:
+            summary["open_spans"] = [
+                {"span": s.kind, "key": s.key, "start": s.start}
+                for s in abandoned_spans
+            ]
+        exporter.close(**summary)
     return point
 
 
@@ -487,6 +520,7 @@ def _scale_shard_worker(task: ShardTask) -> Dict:
         flyweight=True,
         wall_budget_s=params.get("wall_budget_s"),
         invariants=bool(params.get("invariants", False)),
+        flight=bool(params.get("flight", False)),
     )
     histogram = ScoreHistogram()
     clean = max(0, point.n_clients - point.takeovers)
@@ -505,6 +539,8 @@ def _scale_shard_worker(task: ShardTask) -> Dict:
         "takeovers": point.takeovers,
         "violations": point.violations,
         "qoe": histogram.as_dict(),
+        "incidents": point.incidents,
+        "flight": point.flight,
     }
 
 
@@ -519,6 +555,7 @@ def run_sharded_scale_point(
     inline: bool = False,
     wall_budget_s: Optional[float] = None,
     invariants: bool = False,
+    flight: bool = False,
 ) -> ScalePoint:
     """Run one population as ``n_shards`` shared-nothing head-ends.
 
@@ -533,7 +570,11 @@ def run_sharded_scale_point(
 
     The merge is re-applied over the reversed shard order and compared;
     ``merge_deterministic`` records that order-independence held (the
-    shard gate asserts it)."""
+    shard gate asserts it).  With ``flight`` every shard runs its own
+    bounded flight recorder; the per-shard incidents merge through
+    :func:`repro.shard.merge.merge_incidents` (also checked reversed)
+    and the point carries the merged incidents plus per-shard recorder
+    metering."""
     plan = ShardPlan(n_shards=n_shards, seed=seed)
     tasks = plan.tasks(
         n_clients,
@@ -543,6 +584,7 @@ def run_sharded_scale_point(
             "crash_at": crash_at,
             "wall_budget_s": wall_budget_s,
             "invariants": invariants,
+            "flight": flight,
         },
     )
     started = time.perf_counter()
@@ -558,9 +600,27 @@ def run_sharded_scale_point(
     latencies_reversed = merge_failovers(
         r["failover_latencies"] for r in reversed(shard_results)
     )
+    incidents: List[Dict] = []
+    flight_meter: Optional[Dict] = None
+    incidents_deterministic = True
+    if flight:
+        from repro.shard.merge import merge_incidents
+
+        pairs = [(r["shard_id"], r["incidents"]) for r in shard_results]
+        merged = merge_incidents(pairs)
+        merged_reversed = merge_incidents(list(reversed(pairs)))
+        incidents_deterministic = (
+            [i.as_dict() for i in merged]
+            == [i.as_dict() for i in merged_reversed]
+        )
+        incidents = [i.as_dict() for i in merged]
+        flight_meter = {
+            "shards": {r["shard_id"]: r["flight"] for r in shard_results}
+        }
     deterministic = (
         qoe.as_dict() == qoe_reversed.as_dict()
         and latencies == latencies_reversed
+        and incidents_deterministic
     )
     if not deterministic:
         raise MergeError(
@@ -588,6 +648,8 @@ def run_sharded_scale_point(
         qoe=qoe.as_dict(),
         slo=slo,
         merge_deterministic=deterministic,
+        incidents=incidents,
+        flight=flight_meter,
     )
 
 
@@ -614,6 +676,12 @@ def _point_payload(row: ScalePoint) -> Dict:
             slo=row.slo,
             merge_deterministic=row.merge_deterministic,
         )
+    if row.flight is not None:
+        payload.update(
+            n_incidents=len(row.incidents),
+            incidents=row.incidents,
+            flight=row.flight,
+        )
     return payload
 
 
@@ -632,7 +700,9 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
     shards sequentially in-process — determinism checks on small
     boxes), ``wall_budget`` (optional wall-clock ceiling per flyweight
     point, seconds), ``telemetry_n`` (population of the
-    telemetry-artifact run; ignored without ``spec.telemetry_path``).
+    telemetry-artifact run; ignored without ``spec.telemetry_path``),
+    ``flight`` (attach a flight recorder to flyweight and sharded
+    points; the points then carry incidents and recorder metering).
     """
     params = spec.params
     sizes = tuple(params.get("sizes", DEFAULT_SIZES))
@@ -647,6 +717,7 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
     shard_inline = bool(params.get("shard_inline", False))
     wall_budget = params.get("wall_budget")
     wall_budget = None if wall_budget is None else float(wall_budget)
+    flight = bool(params.get("flight", False))
     seed = spec.seed if spec.seed is not None else 77
 
     points: List[ScalePoint] = []
@@ -664,7 +735,7 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
         points.append(
             run_scale_point(
                 n_clients, window, duration_s=duration, seed=seed,
-                flyweight=True, wall_budget_s=wall_budget,
+                flyweight=True, wall_budget_s=wall_budget, flight=flight,
             )
         )
     for n_clients in sharded_sizes:
@@ -672,7 +743,7 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
             run_sharded_scale_point(
                 n_clients, window, duration_s=duration, seed=seed,
                 n_shards=n_shards, workers=workers, inline=shard_inline,
-                wall_budget_s=wall_budget,
+                wall_budget_s=wall_budget, flight=flight,
             )
         )
 
@@ -760,6 +831,11 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
                 f"{point.wall_s:.1f}s (shard walls "
                 + ", ".join(f"{w:.1f}s" for w in point.shard_walls)
                 + ")"
+                + (
+                    f", {len(point.incidents)} incident(s) recorded"
+                    if point.flight is not None
+                    else ""
+                )
             )
     return ExperimentResult(spec=spec, blocks=blocks, data=points,
                             artifacts=artifacts)

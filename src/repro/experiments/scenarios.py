@@ -49,6 +49,11 @@ from repro.workloads import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.export import JsonlExporter
+    from repro.telemetry.flight import (
+        FlightRecorder,
+        FlightRecorderConfig,
+        Incident,
+    )
     from repro.telemetry.qoe import QoECollector, QoEScorecard
     from repro.telemetry.slo import SloMonitor
 
@@ -198,6 +203,9 @@ class ScenarioResult:
     qoe: Dict[str, "QoEScorecard"] = field(default_factory=dict)
     slo: Dict[str, Dict] = field(default_factory=dict)
     failovers: List[float] = field(default_factory=list)
+    # Flight-recorder incidents and self-metering, when one was attached.
+    incidents: List["Incident"] = field(default_factory=list)
+    flight: Optional[Dict] = None
 
     @property
     def events(self) -> Dict[str, List[float]]:
@@ -365,6 +373,7 @@ class LiveScenario:
     exporter: Optional["JsonlExporter"] = None
     qoe_collector: Optional["QoECollector"] = None
     slo_monitor: Optional["SloMonitor"] = None
+    flight_recorder: Optional["FlightRecorder"] = None
     _finished: bool = False
 
     def step(self, until: float, max_events: Optional[int] = None) -> float:
@@ -394,6 +403,19 @@ class LiveScenario:
             self.slo_monitor.finish(self.sim.now)
             result.slo = self.slo_monitor.summary()
             result.failovers = list(self.slo_monitor.failovers)
+        abandoned_spans = None
+        if self.flight_recorder is not None:
+            # Abandon open spans *before* the recorder finishes: an
+            # abandoned takeover span is an incident trigger, and the
+            # exporter (still subscribed) captures the same events it
+            # would have emitted itself at close.  finish() then
+            # publishes the telemetry.flight.* self-metering into the
+            # registry, so the export's summary snapshot carries it.
+            abandoned_spans = self.sim.telemetry.abandon_open_spans(
+                reason="export-close"
+            )
+            result.incidents = self.flight_recorder.finish(self.sim.now)
+            result.flight = self.flight_recorder.metering()
         if self.exporter is not None:
             summary = dict(
                 faults_fired=len(injector.fired),
@@ -401,6 +423,13 @@ class LiveScenario:
                 skipped=result.client.skipped_total,
                 tracer_dropped=self.sim.tracer.dropped,
             )
+            if abandoned_spans is not None:
+                # The exporter's own sweep will find nothing now; keep
+                # its summary listing faithful.
+                summary["open_spans"] = [
+                    {"span": s.kind, "key": s.key, "start": s.start}
+                    for s in abandoned_spans
+                ]
             if self.slo_monitor is not None:
                 summary["slo_breaches"] = self.slo_monitor.total_breaches
             if error is not None:
@@ -425,15 +454,23 @@ def prepare_scenario(
     telemetry_path: Optional[str] = None,
     telemetry_full: bool = False,
     observe: Optional[bool] = None,
+    flight: bool = False,
+    flight_config: Optional["FlightRecorderConfig"] = None,
+    telemetry_max_events: Optional[int] = None,
+    telemetry_since: Optional[float] = None,
+    telemetry_until: Optional[float] = None,
 ) -> LiveScenario:
     """Build a scenario's world without running it.
 
     ``telemetry_path`` streams the run's telemetry to a JSONL file (see
-    :mod:`repro.telemetry.export`).  ``observe`` attaches the QoE and
-    SLO observers; it defaults to "whenever telemetry is exported", and
-    can be forced on (``repro-vod watch`` without an artifact) or off.
-    All of these are pure observers, so results are identical with or
-    without them.
+    :mod:`repro.telemetry.export`; a ``.gz`` suffix compresses, and
+    ``telemetry_max_events`` / ``telemetry_since`` / ``telemetry_until``
+    bound the export).  ``observe`` attaches the QoE and SLO observers;
+    it defaults to "whenever telemetry is exported", and can be forced
+    on (``repro-vod watch`` without an artifact) or off.  ``flight``
+    attaches a :class:`~repro.telemetry.flight.FlightRecorder` so the
+    run assembles incidents (``result.incidents``).  All of these are
+    pure observers, so results are identical with or without them.
     """
     effective_seed = spec.seed if seed is None else seed
     sim = Simulator(seed=effective_seed)
@@ -442,7 +479,12 @@ def prepare_scenario(
         from repro.telemetry.export import JsonlExporter
 
         exporter = JsonlExporter(
-            sim.telemetry, telemetry_path, full=telemetry_full
+            sim.telemetry,
+            telemetry_path,
+            full=telemetry_full,
+            max_events=telemetry_max_events,
+            since=telemetry_since,
+            until=telemetry_until,
         )
         exporter.meta(
             scenario=spec.name,
@@ -467,6 +509,11 @@ def prepare_scenario(
 
             slo_rules = default_rules() + (AdmissionStormRule(),)
         slo_monitor = SloMonitor(sim.telemetry, rules=slo_rules)
+    flight_recorder = None
+    if flight:
+        from repro.telemetry.flight import FlightRecorder
+
+        flight_recorder = FlightRecorder(sim.telemetry, flight_config)
     topology = build_topology(spec, sim)
     catalog = MovieCatalog(
         [Movie.synthetic("feature", duration_s=spec.movie_duration_s)]
@@ -536,6 +583,7 @@ def prepare_scenario(
         exporter=exporter,
         qoe_collector=qoe_collector,
         slo_monitor=slo_monitor,
+        flight_recorder=flight_recorder,
     )
 
 
@@ -545,14 +593,20 @@ def run_scenario(
     telemetry_path: Optional[str] = None,
     telemetry_full: bool = False,
     observe: Optional[bool] = None,
+    flight: bool = False,
+    flight_config: Optional["FlightRecorderConfig"] = None,
+    telemetry_max_events: Optional[int] = None,
+    telemetry_since: Optional[float] = None,
+    telemetry_until: Optional[float] = None,
 ) -> ScenarioResult:
     """Execute a scenario and return the collected measurements.
 
     ``telemetry_path`` additionally streams the run's telemetry to a
     JSONL file and attaches the QoE/SLO observers (``result.qoe`` /
-    ``result.slo``); all are pure observers, so measurements are
-    identical with or without them.  The export's summary trailer is
-    written even if the simulation raises.
+    ``result.slo``); ``flight`` attaches the flight recorder
+    (``result.incidents``).  All are pure observers, so measurements
+    are identical with or without them.  The export's summary trailer
+    is written even if the simulation raises.
     """
     live = prepare_scenario(
         spec,
@@ -560,6 +614,11 @@ def run_scenario(
         telemetry_path=telemetry_path,
         telemetry_full=telemetry_full,
         observe=observe,
+        flight=flight,
+        flight_config=flight_config,
+        telemetry_max_events=telemetry_max_events,
+        telemetry_since=telemetry_since,
+        telemetry_until=telemetry_until,
     )
     with live:
         live.step(spec.run_duration_s)

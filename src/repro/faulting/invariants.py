@@ -145,6 +145,14 @@ class InvariantChecker:
 
     def _violation(self, rule: str, client: Optional[str], detail: str) -> None:
         self.violations.append(Violation(self.sim.now, rule, client, detail))
+        tel = self.sim.telemetry
+        if tel.active:
+            # The flight recorder treats a violation as an incident
+            # trigger; the checker stays a pure observer (the emission
+            # draws no randomness and schedules nothing).
+            tel.emit(
+                "invariant.violation", rule=rule, client=client, detail=detail
+            )
 
     @property
     def ok(self) -> bool:

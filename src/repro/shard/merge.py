@@ -338,6 +338,136 @@ def _add_optional(left: Optional[float], right: Optional[float]):
 
 
 # ----------------------------------------------------------------------
+# Incidents (flight recorder)
+# ----------------------------------------------------------------------
+def merge_incidents(
+    shard_incidents: Iterable,
+    overlap_groups: bool = True,
+) -> List:
+    """Merge per-shard flight-recorder incidents, order-independently.
+
+    ``shard_incidents`` yields ``(shard_id, incidents)`` pairs where
+    each incident is an :class:`~repro.telemetry.flight.Incident` or
+    its ``as_dict()`` form.  Every incident is stamped with its shard,
+    then the whole set is sorted by the deterministic key
+    ``(trigger_t, shard, id)`` — so the merged sequence cannot depend
+    on worker completion order (the reversed-input self-check in the
+    scale rig holds by construction).
+
+    With ``overlap_groups`` (the default), incidents from *different*
+    shards whose windows overlap in sim time fold into one cross-shard
+    incident — the same injected fault seen from four shards is one
+    event, not four.  The folded incident unions the windows, keeps
+    the earliest trigger as primary, concatenates triggers/breakdowns/
+    chains/excerpts in deterministic sorted order, sums the QoE impact
+    (shards own disjoint viewers) and lists its members.
+    """
+    import json as _json
+
+    from repro.telemetry.flight import Incident
+
+    stamped: List[Incident] = []
+    for shard_id, incidents in shard_incidents:
+        for item in incidents:
+            if isinstance(item, Incident):
+                payload = item.as_dict()
+            else:
+                payload = dict(item)
+            incident = Incident.from_dict(payload)
+            incident.shard = str(shard_id)
+            stamped.append(incident)
+    stamped.sort(key=lambda i: (i.trigger_t, i.shard or "", i.id))
+
+    def _stable(record: Dict) -> str:
+        return _json.dumps(record, sort_keys=True, default=str)
+
+    groups: List[List[Incident]] = []
+    for incident in stamped:
+        if overlap_groups and groups:
+            group = groups[-1]
+            group_end = max(i.window_end for i in group)
+            # Group on the *trigger* falling inside the open window, not
+            # on raw window overlap: a pre-trigger lookback legitimately
+            # reaches back into the previous incident without making the
+            # two one event.
+            if incident.trigger_t <= group_end:
+                group.append(incident)
+                continue
+        groups.append([incident])
+
+    merged: List[Incident] = []
+    for index, group in enumerate(groups, start=1):
+        if len(group) == 1:
+            incident = group[0]
+            out = Incident.from_dict(incident.as_dict())
+            out.id = f"incident#{index}"
+            out.qoe = dict(incident.qoe)
+            out.qoe["members"] = [
+                {"shard": incident.shard, "id": incident.id}
+            ]
+            merged.append(out)
+            continue
+        primary = group[0]
+        triggers = sorted(
+            (t for i in group for t in i.triggers),
+            key=lambda t: (t.get("t", 0.0), t.get("kind", ""), _stable(t)),
+        )
+        breakdowns = sorted(
+            (b for i in group for b in i.breakdowns),
+            key=lambda b: (
+                b.get("crash_t", 0.0), b.get("client", ""), _stable(b)
+            ),
+        )
+        chains = sorted(
+            (c for i in group for c in i.chains),
+            key=lambda c: (c.get("start", 0.0), c.get("cause", ""), _stable(c)),
+        )
+        excerpt = sorted(
+            (e for i in group for e in i.excerpt),
+            key=lambda e: (e.get("t", 0.0), e.get("kind", ""), _stable(e)),
+        )
+        totals: Dict[str, float] = {}
+        top: List[Dict] = []
+        clients_hit = 0
+        for incident in group:
+            qoe = incident.qoe or {}
+            clients_hit += int(qoe.get("clients_hit", 0))
+            for key, value in (qoe.get("totals") or {}).items():
+                totals[key] = totals.get(key, 0) + value
+            top.extend(qoe.get("top") or [])
+        top.sort(key=lambda i: (-i.get("penalty", 0.0), i.get("client", "")))
+        merged.append(Incident(
+            id=f"incident#{index}",
+            trigger_kind=primary.trigger_kind,
+            trigger_t=primary.trigger_t,
+            trigger_detail=primary.trigger_detail,
+            shard=",".join(sorted({i.shard or "" for i in group})),
+            window_start=min(i.window_start for i in group),
+            window_end=max(i.window_end for i in group),
+            triggers=triggers,
+            n_triggers=sum(i.n_triggers for i in group),
+            pre_records=sum(i.pre_records for i in group),
+            captured_records=sum(i.captured_records for i in group),
+            truncated_records=sum(i.truncated_records for i in group),
+            breakdowns=breakdowns,
+            n_breakdowns=sum(i.n_breakdowns for i in group),
+            chains=chains,
+            n_chains=sum(i.n_chains for i in group),
+            qoe={
+                "clients_hit": clients_hit,
+                "totals": totals,
+                "top": top[:10],
+                "members": [
+                    {"shard": i.shard, "id": i.id, "trigger_t": i.trigger_t}
+                    for i in group
+                ],
+            },
+            excerpt=excerpt,
+        ))
+    return merged
+
+
+# ----------------------------------------------------------------------
 # Plain sequences
 # ----------------------------------------------------------------------
 def merge_failovers(

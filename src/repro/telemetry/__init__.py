@@ -22,7 +22,11 @@ Everything observable about a run flows through this package:
 * :class:`SloMonitor` — live windowed service-level objectives
   (``slo.breach`` / ``slo.burn`` / ``slo.recover`` events);
 * :class:`WatchState` / :func:`render_watch` — the ``repro-vod watch``
-  terminal dashboard fold.
+  terminal dashboard fold;
+* :class:`FlightRecorder` / :class:`Incident` — bounded always-on
+  capture (per-kind rings, deterministic sampling, trigger-scoped
+  full-fidelity windows) rendered as postmortems by
+  :func:`render_incidents` behind ``repro-vod postmortem``.
 
 With no subscribers the whole subsystem costs one attribute check per
 instrumented site, and enabling it never changes simulation outcomes
@@ -51,6 +55,15 @@ from repro.telemetry.export import (
     JsonlExporter,
     read_jsonl,
 )
+from repro.telemetry.flight import (
+    ALWAYS_RETAIN_PREFIXES,
+    FLIGHT_PREFIXES,
+    FlightRecorder,
+    FlightRecorderConfig,
+    Incident,
+    incidents_from_records,
+    is_trigger,
+)
 from repro.telemetry.metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
     CounterMetric,
@@ -65,6 +78,11 @@ from repro.telemetry.qoe import (
     QoEScorecard,
     render_scorecards,
     scorecards_from_timeline,
+)
+from repro.telemetry.postmortem import (
+    incidents_from_export,
+    render_incident,
+    render_incidents,
 )
 from repro.telemetry.report import RunTimeline, load_timeline, render_report
 from repro.telemetry.series import Counter, Probe, TimeSeries
@@ -148,6 +166,16 @@ __all__ = [
     "default_rules",
     "slo_from_timeline",
     "render_slo",
+    "FlightRecorder",
+    "FlightRecorderConfig",
+    "Incident",
+    "FLIGHT_PREFIXES",
+    "ALWAYS_RETAIN_PREFIXES",
+    "is_trigger",
+    "incidents_from_records",
+    "incidents_from_export",
+    "render_incident",
+    "render_incidents",
     "WatchState",
     "render_watch",
     "ClientStats",

@@ -13,10 +13,19 @@ The default subscription excludes the two firehose kinds — kernel
 scenario exports megabytes, not gigabytes; pass ``full=True`` to keep
 everything.  Non-JSON field values (e.g. ``ProcessId``) fall back to
 ``str()``.
+
+Million-viewer ergonomics: a path ending in ``.gz`` (conventionally
+``.jsonl.gz``) writes through :mod:`gzip` transparently — and
+:func:`read_jsonl` reads it back the same way; ``max_events`` caps the
+event records, writing one explicit ``{"kind": "truncated"}`` marker at
+the cap (the summary still lands, with an ``events_dropped`` count), so
+a huge run exports *something* instead of being all-or-nothing; and
+``since``/``until`` restrict the export to a sim-time window.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from typing import Dict, List, Optional, Sequence
 
@@ -30,8 +39,15 @@ FIREHOSE_PREFIXES = ("sim.", "net.deliver")
 #: The default export keeps every application-level kind.
 DEFAULT_PREFIXES = (
     "client.", "server.", "gcs.", "net.drop", "fault.", "span.", "metric.",
-    "slo.",
+    "slo.", "invariant.",
 )
+
+
+def _open_text(path: str, mode: str):
+    """Open ``path`` for text I/O, through gzip when it ends in .gz."""
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
 
 
 class JsonlExporter:
@@ -60,11 +76,22 @@ class JsonlExporter:
         path: str,
         prefixes: Optional[Sequence[str]] = None,
         full: bool = False,
+        max_events: Optional[int] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
     ) -> None:
         self.telemetry = telemetry
         self.path = path
         self.events_written = 0
-        self._handle = open(path, "w")
+        #: Events past the ``max_events`` cap (counted, marked, skipped).
+        self.events_dropped = 0
+        #: Events outside the ``since``/``until`` window (just skipped).
+        self.events_filtered = 0
+        self.max_events = max_events
+        self.since = since
+        self.until = until
+        self._truncation_marked = False
+        self._handle = _open_text(path, "w")
         if prefixes is None:
             prefixes = None if full else DEFAULT_PREFIXES
         self._subscription = telemetry.subscribe(self._on_event, prefixes=prefixes)
@@ -72,9 +99,29 @@ class JsonlExporter:
 
     def meta(self, **fields) -> None:
         """Write the header record (call once, before the run)."""
-        self._write(dict({"kind": "meta", "schema": SCHEMA_VERSION}, **fields))
+        header = {"kind": "meta", "schema": SCHEMA_VERSION}
+        if self.since is not None:
+            header["since"] = self.since
+        if self.until is not None:
+            header["until"] = self.until
+        self._write(dict(header, **fields))
 
     def _on_event(self, event: TelemetryEvent) -> None:
+        if (self.since is not None and event.time < self.since) or (
+            self.until is not None and event.time > self.until
+        ):
+            self.events_filtered += 1
+            return
+        if self.max_events is not None and self.events_written >= self.max_events:
+            self.events_dropped += 1
+            if not self._truncation_marked:
+                self._truncation_marked = True
+                self._write({
+                    "kind": "truncated",
+                    "t": event.time,
+                    "max_events": self.max_events,
+                })
+            return
         self.events_written += 1
         self._write(event.as_dict())
 
@@ -106,6 +153,10 @@ class JsonlExporter:
             "metrics": self.telemetry.metrics.snapshot(),
             "open_spans": open_spans,
         }
+        if self.events_dropped:
+            summary["events_dropped"] = self.events_dropped
+        if self.events_filtered:
+            summary["events_filtered"] = self.events_filtered
         summary.update(summary_fields)
         self._write(summary)
         self._handle.close()
@@ -121,21 +172,39 @@ class JsonlExporter:
         return False  # never swallow the exception
 
 
-def read_jsonl(path: str) -> List[Dict]:
+def read_jsonl(
+    path: str,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+) -> List[Dict]:
     """Parse a telemetry JSONL file back into a list of dicts.
 
     Tolerant of a truncated final line (a run killed mid-write): a line
     that fails to parse is skipped rather than poisoning the whole
-    artifact.  An empty file parses to an empty list.
+    artifact.  An empty file parses to an empty list.  A ``.gz`` path
+    is decompressed transparently.  ``since``/``until`` keep only the
+    event records inside the sim-time window (records without a ``t``
+    — meta, summary, truncation markers — always pass).
     """
     records = []
-    with open(path) as handle:
+    with _open_text(path, "r") as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except ValueError:
                 continue  # truncated tail of a crashed run
+            if since is not None or until is not None:
+                t = record.get("t")
+                if t is not None and record.get("kind") not in (
+                    "meta", "summary", "truncated"
+                ):
+                    t = float(t)
+                    if (since is not None and t < since) or (
+                        until is not None and t > until
+                    ):
+                        continue
+            records.append(record)
     return records

@@ -45,6 +45,7 @@ class RunTimeline:
     def __init__(self, records: List[Dict]) -> None:
         self.meta: Dict = {}
         self.summary: Dict = {}
+        self.truncated: Optional[Dict] = None
         self.events: List[Dict] = []
         for record in records:
             kind = record.get("kind")
@@ -52,6 +53,10 @@ class RunTimeline:
                 self.meta = record
             elif kind == "summary":
                 self.summary = record
+            elif kind == "truncated":
+                # The exporter's max_events marker: everything after its
+                # ``t`` was counted, not written.
+                self.truncated = record
             else:
                 self.events.append(record)
 
@@ -125,10 +130,20 @@ class RunTimeline:
         return out
 
 
-def load_timeline(path: str) -> RunTimeline:
+def load_timeline(
+    path: str,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+) -> RunTimeline:
+    """Parse an export, optionally restricted to a sim-time window.
+
+    ``since``/``until`` filter at read time (``repro-vod report
+    --since/--until``), so inspecting a postmortem window of a
+    million-viewer artifact never materializes the whole run.
+    """
     from repro.telemetry.export import read_jsonl
 
-    return RunTimeline(read_jsonl(path))
+    return RunTimeline(read_jsonl(path, since=since, until=until))
 
 
 def _describe(event: Dict) -> str:
@@ -259,6 +274,14 @@ def _append_summary(timeline: RunTimeline, blocks: List[str]) -> None:
         blocks.append(
             f"WARNING: kernel tracer dropped {dropped} records "
             "(trace truncated at max_records)"
+        )
+    if timeline.truncated is not None:
+        dropped = timeline.summary.get("events_dropped", "?")
+        blocks.append(
+            f"WARNING: export truncated at "
+            f"t={timeline.truncated.get('t', 0.0):.3f} "
+            f"(max_events={timeline.truncated.get('max_events')}, "
+            f"{dropped} events dropped)"
         )
 
 

@@ -19,10 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.telemetry.flight import is_trigger
+
 #: Everything the dashboard listens to.
 WATCH_PREFIXES = (
     "client.", "server.", "gcs.view", "fault.", "span.", "metric.sample",
-    "slo.",
+    "slo.", "invariant.",
 )
 
 #: How many recent notable events a frame shows.
@@ -31,7 +33,7 @@ RECENT_EVENTS = 8
 _NOTABLE = (
     "fault.", "gcs.view.install", "server.crash", "server.shutdown",
     "server.session", "client.migrate", "client.stall", "client.resume",
-    "slo.",
+    "slo.", "invariant.",
 )
 
 
@@ -63,9 +65,15 @@ class ClientView:
 class WatchState:
     """Folds bus events into one dashboard frame's worth of state."""
 
-    def __init__(self, telemetry, slo_monitor=None) -> None:
+    def __init__(self, telemetry, slo_monitor=None,
+                 flight_recorder=None) -> None:
         self.telemetry = telemetry
         self.slo_monitor = slo_monitor
+        #: Optional live :class:`~repro.telemetry.flight.FlightRecorder`
+        #: — the incident strip reads its closed-incident count and open
+        #: capture window; without one the strip falls back to the
+        #: fold's own trigger counters.
+        self.flight_recorder = flight_recorder
         self.now = 0.0
         self.events_seen = 0
         self.clients: Dict[str, ClientView] = {}
@@ -74,6 +82,9 @@ class WatchState:
         self.recent: List[str] = []
         self.faults = 0
         self.views_installed = 0
+        self.triggers_seen = 0
+        self.last_trigger: Optional[str] = None
+        self.last_breach_rule: Optional[str] = None
         self._subscription = telemetry.subscribe(
             self._on_event, prefixes=WATCH_PREFIXES
         )
@@ -151,6 +162,11 @@ class WatchState:
                 item["ok"] = True
             elif kind == "slo.burn":
                 item["burns"] += 1
+        if is_trigger(kind, fields):
+            self.triggers_seen += 1
+            self.last_trigger = f"{kind}@{event.time:.2f}s"
+            if kind == "slo.breach":
+                self.last_breach_rule = str(fields.get("rule", "?"))
         if kind.startswith(_NOTABLE):
             detail = " ".join(
                 f"{k}={v}" for k, v in fields.items()
@@ -180,6 +196,37 @@ class WatchState:
             (f"{i * width:5.0f}-{(i + 1) * width:5.0f}", counts[i])
             for i in range(bins)
         ]
+
+    def incident_strip(self) -> Optional[str]:
+        """One status line for the incident strip (None when quiet).
+
+        With a live recorder attached: closed-incident count plus the
+        open capture window (trigger, folded trigger count, capture
+        deadline).  Always: the fold's trigger counter, the last
+        trigger and the last breached SLO rule.
+        """
+        recorder = self.flight_recorder
+        closed = len(recorder.incidents) if recorder is not None else None
+        open_trigger = (
+            recorder.open_trigger if recorder is not None else None
+        )
+        if not self.triggers_seen and not closed:
+            return None
+        parts: List[str] = []
+        if closed is not None:
+            parts.append(f"closed={closed}")
+        if open_trigger is not None:
+            parts.append(
+                f"OPEN {open_trigger['kind']}@{open_trigger['t']:.2f}s "
+                f"({open_trigger['triggers']} trigger(s), capture to "
+                f"{open_trigger['deadline']:.2f}s)"
+            )
+        parts.append(f"triggers={self.triggers_seen}")
+        if self.last_trigger:
+            parts.append(f"last={self.last_trigger}")
+        if self.last_breach_rule:
+            parts.append(f"last breach rule={self.last_breach_rule}")
+        return "incidents: " + "  ".join(parts)
 
     def slo_rows(self) -> List[Tuple[str, str, str]]:
         """(rule, state, value) rows — live monitor first, else events."""
@@ -212,6 +259,12 @@ def render_watch(state: WatchState, max_clients: int = 12) -> str:
         for rule, status, value in slo_rows:
             marker = "  " if status == "OK" else "!!"
             lines.append(f"  {marker} {rule:<28} {status:<7} {value}")
+
+    strip = state.incident_strip()
+    if strip:
+        if not slo_rows:
+            lines.append("")
+        lines.append(strip)
 
     dist = state.buffer_distribution()
     if dist:
